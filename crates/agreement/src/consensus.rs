@@ -1,0 +1,282 @@
+//! Interactive consistency and multivalued consensus.
+//!
+//! [`VectorConsensus`] runs `n` parallel broadcast instances — one per
+//! source — multiplexed over the same rounds, producing the classic
+//! *interactive consistency* vector; the consensus decision is the strict
+//! majority of the agreed vector (default when none). This is the shape the
+//! judicial service uses: "the Byzantine agreement protocol is used in
+//! order to ensure that all agents agree on the set of commitments" (§3.3)
+//! — each agent broadcasts its commitment digest, everyone agrees on the
+//! whole vector.
+
+use ga_crypto::mac::Authenticator;
+
+use crate::dolev_strong::DolevStrongBroadcast;
+use crate::om::OmBroadcast;
+use crate::traits::{BaInstance, Send};
+use crate::wire::{Reader, Writer};
+use crate::{Value, DEFAULT_VALUE};
+
+/// Majority consensus over `n` parallel per-source broadcasts.
+///
+/// Generic over the broadcast protocol `B`; see [`OmConsensus`] and
+/// [`DolevStrongConsensus`] for ready-made instantiations.
+pub struct VectorConsensus<B> {
+    me: usize,
+    n: usize,
+    instances: Vec<B>,
+    decided: Option<Value>,
+}
+
+impl<B: BaInstance> std::fmt::Debug for VectorConsensus<B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VectorConsensus")
+            .field("me", &self.me)
+            .field("n", &self.n)
+            .field("decided", &self.decided)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<B: BaInstance> VectorConsensus<B> {
+    /// Builds from one broadcast instance per source (`instances[s]` must
+    /// be the instance whose source is `s`, from `me`'s perspective).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instances` is empty or `me` is out of range.
+    pub fn from_instances(me: usize, instances: Vec<B>) -> VectorConsensus<B> {
+        assert!(!instances.is_empty(), "need at least one source");
+        assert!(me < instances.len(), "me out of range");
+        VectorConsensus {
+            me,
+            n: instances.len(),
+            instances,
+            decided: None,
+        }
+    }
+
+    /// The agreed per-source vector (fully populated after the final
+    /// round).
+    pub fn vector(&self) -> Vec<Option<Value>> {
+        self.instances.iter().map(|i| i.decided()).collect()
+    }
+}
+
+impl<B: BaInstance> BaInstance for VectorConsensus<B> {
+    fn begin(&mut self, input: Value) {
+        for (src, inst) in self.instances.iter_mut().enumerate() {
+            // Only my own broadcast carries my input; for others I am a
+            // relay/receiver and the input is irrelevant.
+            inst.begin(if src == self.me { input } else { DEFAULT_VALUE });
+        }
+        self.decided = None;
+    }
+
+    fn step(&mut self, rel_round: u64, inbox: &[(usize, &[u8])], send: &mut Send<'_>) {
+        // Demultiplex: each wire message is a sequence of
+        // (instance u16, inner payload) parts.
+        let mut per_instance: Vec<Vec<(usize, &[u8])>> = vec![Vec::new(); self.n];
+        for &(sender, payload) in inbox {
+            let mut r = Reader::new(payload);
+            while !r.is_exhausted() {
+                let Some(idx) = r.get_u16() else { break };
+                let Some(inner) = r.get_bytes() else { break };
+                if let Some(bucket) = per_instance.get_mut(idx as usize) {
+                    bucket.push((sender, inner));
+                }
+            }
+        }
+
+        // Step every instance, capturing sends; then re-multiplex per
+        // destination into a single wire message.
+        let mut outgoing: Vec<Vec<(u16, Vec<u8>)>> = vec![Vec::new(); self.n];
+        for (idx, inst) in self.instances.iter_mut().enumerate() {
+            let mut capture = |to: usize, payload: Vec<u8>| {
+                if let Some(bucket) = outgoing.get_mut(to) {
+                    bucket.push((idx as u16, payload));
+                }
+            };
+            inst.step(rel_round, &per_instance[idx], &mut capture);
+        }
+        for (to, parts) in outgoing.into_iter().enumerate() {
+            if parts.is_empty() {
+                continue;
+            }
+            let mut w = Writer::new();
+            for (idx, inner) in parts {
+                w.put_u16(idx);
+                w.put_bytes(&inner);
+            }
+            send(to, w.finish());
+        }
+
+        if rel_round == self.rounds() - 1 {
+            self.decided = Some(majority(
+                self.vector().into_iter().flatten(),
+                self.n,
+            ));
+        }
+    }
+
+    fn rounds(&self) -> u64 {
+        self.instances[0].rounds()
+    }
+
+    fn decided(&self) -> Option<Value> {
+        self.decided
+    }
+
+    fn name(&self) -> &'static str {
+        "vector-consensus"
+    }
+}
+
+/// Strict-majority vote over `values` with population size `n`; falls back
+/// to [`DEFAULT_VALUE`].
+pub fn majority(values: impl IntoIterator<Item = Value>, n: usize) -> Value {
+    let mut counts: std::collections::HashMap<Value, usize> = Default::default();
+    for v in values {
+        *counts.entry(v).or_insert(0) += 1;
+    }
+    counts
+        .into_iter()
+        .find(|&(_, c)| 2 * c > n)
+        .map(|(v, _)| v)
+        .unwrap_or(DEFAULT_VALUE)
+}
+
+/// Oral-messages interactive consistency: `n > 3f`, `f+2` rounds,
+/// exponential messages.
+pub type OmConsensus = VectorConsensus<OmBroadcast>;
+
+impl OmConsensus {
+    /// Creates the OM-backed consensus instance for processor `me`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n > 3f`.
+    pub fn new(me: usize, n: usize, f: usize) -> OmConsensus {
+        let instances = (0..n).map(|src| OmBroadcast::new(me, n, f, src)).collect();
+        VectorConsensus::from_instances(me, instances)
+    }
+}
+
+/// Authenticated interactive consistency: honest majority (`f < n/2`),
+/// `f+2` rounds, polynomial messages.
+pub type DolevStrongConsensus = VectorConsensus<DolevStrongBroadcast>;
+
+impl DolevStrongConsensus {
+    /// Creates the authenticated consensus instance; `auth` must be `me`'s
+    /// authenticator from the shared key ring.
+    pub fn new(me: usize, n: usize, f: usize, auth: Authenticator) -> DolevStrongConsensus {
+        let instances = (0..n)
+            .map(|src| DolevStrongBroadcast::new(me, n, f, src, auth.clone()))
+            .collect();
+        VectorConsensus::from_instances(me, instances)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{no_tamper as honest, run_pure};
+    use ga_crypto::mac::KeyRing;
+
+    #[test]
+    fn om_consensus_all_honest_majority_wins() {
+        let n = 4;
+        let instances: Vec<OmConsensus> = (0..n).map(|me| OmConsensus::new(me, n, 1)).collect();
+        let decided = run_pure(instances, &[5, 5, 5, 9], honest);
+        assert!(decided.iter().all(|d| *d == Some(5)));
+    }
+
+    #[test]
+    fn om_consensus_with_silent_byzantine_agrees() {
+        let n = 4;
+        let instances: Vec<OmConsensus> = (0..n).map(|me| OmConsensus::new(me, n, 1)).collect();
+        let decided = run_pure(instances, &[5, 5, 5, 5], |from: usize, _: u64, _: usize, _: &[u8]| {
+            (from == 1).then(Vec::new)
+        });
+        for me in [0usize, 2, 3] {
+            assert_eq!(decided[me], Some(5), "honest p{me}");
+        }
+    }
+
+    #[test]
+    fn om_consensus_validity_unanimous_inputs() {
+        let n = 7;
+        let instances: Vec<OmConsensus> = (0..n).map(|me| OmConsensus::new(me, n, 2)).collect();
+        let decided = run_pure(
+            instances,
+            &[7, 7, 7, 7, 7, 0, 0],
+            |from: usize, _: u64, to: usize, _: &[u8]| {
+                (from >= 5).then(|| vec![from as u8, to as u8, 0xff])
+            },
+        );
+        for me in 0..5 {
+            assert_eq!(decided[me], Some(7), "honest p{me}");
+        }
+    }
+
+    #[test]
+    fn ds_consensus_majority_with_f_near_half() {
+        // n=5, f=2 (< n/2): three honest 4s must win.
+        let n = 5;
+        let r = KeyRing::generate(n, 7);
+        let instances: Vec<DolevStrongConsensus> = (0..n)
+            .map(|me| DolevStrongConsensus::new(me, n, 2, r.authenticator(me)))
+            .collect();
+        let decided = run_pure(instances, &[4, 4, 4, 9, 9], |from: usize, _: u64, _: usize, _: &[u8]| {
+            (from >= 3).then(|| vec![0u8; 3])
+        });
+        for me in 0..3 {
+            assert_eq!(decided[me], Some(4), "honest p{me}");
+        }
+    }
+
+    #[test]
+    fn vector_is_exposed_for_interactive_consistency() {
+        let n = 4;
+        let instances: Vec<OmConsensus> = (0..n).map(|me| OmConsensus::new(me, n, 1)).collect();
+        let mut instances = instances;
+        // Run manually to inspect the vector at the end.
+        for (i, inst) in instances.iter_mut().enumerate() {
+            inst.begin([10, 20, 30, 40][i]);
+        }
+        let rounds = instances[0].rounds();
+        let mut pending: Vec<Vec<(usize, Vec<u8>)>> = vec![Vec::new(); n];
+        for round in 0..rounds {
+            let inboxes = std::mem::replace(&mut pending, vec![Vec::new(); n]);
+            for (i, inst) in instances.iter_mut().enumerate() {
+                let inbox: Vec<(usize, &[u8])> =
+                    inboxes[i].iter().map(|(s, p)| (*s, p.as_slice())).collect();
+                let mut outgoing = Vec::new();
+                {
+                    let mut send = |to: usize, p: Vec<u8>| outgoing.push((to, p));
+                    inst.step(round, &inbox, &mut send);
+                }
+                for (to, p) in outgoing {
+                    pending[to].push((i, p));
+                }
+            }
+        }
+        for inst in &instances {
+            assert_eq!(
+                inst.vector(),
+                vec![Some(10), Some(20), Some(30), Some(40)],
+                "interactive consistency vector"
+            );
+            // No strict majority among {10,20,30,40} → default.
+            assert_eq!(inst.decided(), Some(DEFAULT_VALUE));
+        }
+    }
+
+    #[test]
+    fn majority_helper() {
+        assert_eq!(majority([1, 1, 1, 2], 4), 1);
+        assert_eq!(majority([1, 1, 2, 2], 4), DEFAULT_VALUE);
+        assert_eq!(majority(std::iter::empty(), 4), DEFAULT_VALUE);
+        assert_eq!(majority([5, 5, 5], 4), 5);
+    }
+}

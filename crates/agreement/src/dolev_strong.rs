@@ -1,0 +1,306 @@
+//! Authenticated Byzantine broadcast (Dolev–Strong signature chains).
+//!
+//! With message authentication the fault threshold collapses: broadcast
+//! works for *any* number of Byzantine processors, and multivalued
+//! consensus needs only an honest majority — the paper's footnote 2
+//! ("authentication utilizes a Byzantine agreement that needs only a
+//! majority").
+//!
+//! Protocol: the source signs its value and sends it. A processor that
+//! accepts, at step `t`, a valid chain with `t` distinct signatures
+//! starting with the source, adds the value to its accepted set and — if
+//! `t ≤ f` — relays the chain extended with its own signature. After step
+//! `f+1`, a processor decides the unique accepted value, or the default if
+//! it accepted zero or several (the source equivocated).
+
+use std::collections::BTreeSet;
+
+use ga_crypto::mac::{Authenticator, SignatureChain, Tag};
+
+use crate::traits::{broadcast_others, BaInstance, Send};
+use crate::wire::{Reader, Writer};
+use crate::{Value, DEFAULT_VALUE};
+
+/// One authenticated broadcast instance at one processor.
+pub struct DolevStrongBroadcast {
+    me: usize,
+    n: usize,
+    f: usize,
+    source: usize,
+    auth: Authenticator,
+    input: Value,
+    accepted: BTreeSet<Value>,
+    /// Values we have already relayed (relay each at most once).
+    relayed: BTreeSet<Value>,
+    decided: Option<Value>,
+}
+
+impl std::fmt::Debug for DolevStrongBroadcast {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DolevStrongBroadcast")
+            .field("me", &self.me)
+            .field("source", &self.source)
+            .field("decided", &self.decided)
+            .finish_non_exhaustive()
+    }
+}
+
+impl DolevStrongBroadcast {
+    /// Creates the instance for processor `me`; `auth` must be `me`'s
+    /// authenticator from the shared key ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ids are out of range or `auth` is not `me`'s.
+    pub fn new(me: usize, n: usize, f: usize, source: usize, auth: Authenticator) -> Self {
+        assert!(me < n && source < n, "ids in range");
+        assert_eq!(auth.id(), me, "authenticator must belong to this processor");
+        DolevStrongBroadcast {
+            me,
+            n,
+            f,
+            source,
+            auth,
+            input: DEFAULT_VALUE,
+            accepted: BTreeSet::new(),
+            relayed: BTreeSet::new(),
+            decided: None,
+        }
+    }
+
+    fn encode_chain(chain: &SignatureChain) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_bytes(chain.value());
+        w.put_u16(chain.len() as u16);
+        for signer in chain.signers() {
+            w.put_u16(signer as u16);
+        }
+        // Tags, in the same order.
+        for (signer, tag) in chain_links(chain) {
+            let _ = signer;
+            w.put_bytes(&tag);
+        }
+        w.finish()
+    }
+
+    fn decode_chain(payload: &[u8]) -> Option<SignatureChain> {
+        let mut r = Reader::new(payload);
+        let value = r.get_bytes()?.to_vec();
+        let count = r.get_u16()? as usize;
+        if count == 0 || count > 1024 {
+            return None;
+        }
+        let mut signers = Vec::with_capacity(count);
+        for _ in 0..count {
+            signers.push(r.get_u16()? as usize);
+        }
+        let mut links = Vec::with_capacity(count);
+        for signer in signers {
+            let tag_bytes = r.get_bytes()?;
+            let tag: Tag = tag_bytes.try_into().ok()?;
+            links.push((signer, tag));
+        }
+        Some(rebuild_chain(value, links))
+    }
+
+    fn value_of(chain: &SignatureChain) -> Option<Value> {
+        chain.value().try_into().ok().map(u64::from_be_bytes)
+    }
+
+    fn accept_and_relay(
+        &mut self,
+        step: u64,
+        inbox: &[(usize, &[u8])],
+        send: &mut Send<'_>,
+    ) {
+        for &(_, payload) in inbox {
+            let Some(chain) = Self::decode_chain(payload) else {
+                continue;
+            };
+            // Validity conditions per Dolev–Strong.
+            if !chain.valid(&self.auth) {
+                continue;
+            }
+            let signers: Vec<usize> = chain.signers().collect();
+            if signers.first() != Some(&self.source) {
+                continue;
+            }
+            if (chain.len() as u64) < step {
+                continue; // stale chain, too few signatures for this step
+            }
+            if signers.contains(&self.me) {
+                continue;
+            }
+            let Some(value) = Self::value_of(&chain) else {
+                continue;
+            };
+            let newly = self.accepted.insert(value);
+            // Track at most two values — enough to detect equivocation.
+            if newly && self.accepted.len() <= 2 && step <= self.f as u64 && self.relayed.insert(value)
+            {
+                let extended = chain.extend(&self.auth);
+                broadcast_others(self.n, self.me, &Self::encode_chain(&extended), send);
+            }
+        }
+    }
+}
+
+/// Reconstructs a chain from decoded parts. Lives outside the impl so the
+/// crypto crate's private fields stay private: we re-create the chain
+/// through its public constructor path by replaying the links.
+fn rebuild_chain(value: Vec<u8>, links: Vec<(usize, Tag)>) -> SignatureChain {
+    SignatureChain::from_parts(value, links)
+}
+
+/// Extracts the chain's links.
+fn chain_links(chain: &SignatureChain) -> Vec<(usize, Tag)> {
+    chain.links().to_vec()
+}
+
+impl BaInstance for DolevStrongBroadcast {
+    fn begin(&mut self, input: Value) {
+        self.input = input;
+        self.accepted.clear();
+        self.relayed.clear();
+        self.decided = None;
+    }
+
+    fn step(&mut self, rel_round: u64, inbox: &[(usize, &[u8])], send: &mut Send<'_>) {
+        let f = self.f as u64;
+        match rel_round {
+            0 => {
+                if self.me == self.source {
+                    let chain =
+                        SignatureChain::originate(&self.auth, &self.input.to_be_bytes());
+                    self.accepted.insert(self.input);
+                    broadcast_others(self.n, self.me, &Self::encode_chain(&chain), send);
+                }
+            }
+            t if t <= f + 1 => {
+                self.accept_and_relay(t, inbox, send);
+                if t == f + 1 {
+                    self.decided = Some(if self.accepted.len() == 1 {
+                        *self.accepted.iter().next().expect("len checked")
+                    } else {
+                        DEFAULT_VALUE
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn rounds(&self) -> u64 {
+        self.f as u64 + 2
+    }
+
+    fn decided(&self) -> Option<Value> {
+        self.decided
+    }
+
+    fn name(&self) -> &'static str {
+        "dolev-strong"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{no_tamper as honest, run_pure};
+    use ga_crypto::mac::KeyRing;
+
+    fn ring(n: usize) -> KeyRing {
+        KeyRing::generate(n, 2024)
+    }
+
+    #[test]
+    fn broadcast_honest_source() {
+        let n = 4;
+        let r = ring(n);
+        let instances: Vec<DolevStrongBroadcast> = (0..n)
+            .map(|me| DolevStrongBroadcast::new(me, n, 1, 0, r.authenticator(me)))
+            .collect();
+        let decided = run_pure(instances, &[77, 0, 0, 0], honest);
+        assert!(decided.iter().all(|d| *d == Some(77)));
+    }
+
+    #[test]
+    fn equivocating_source_yields_common_default() {
+        // Source signs two different values and sends one to each half.
+        // Honest relays expose the equivocation: everyone accepts both
+        // values and falls to the default.
+        let n = 4;
+        let r = ring(n);
+        let auth0 = r.authenticator(0);
+        let instances: Vec<DolevStrongBroadcast> = (0..n)
+            .map(|me| DolevStrongBroadcast::new(me, n, 1, 0, r.authenticator(me)))
+            .collect();
+        let decided = run_pure(instances, &[7, 0, 0, 0], |from: usize, round: u64, to: usize, _p: &[u8]| {
+            if from == 0 && round == 0 {
+                let v: u64 = if to % 2 == 0 { 7 } else { 8 };
+                let chain = SignatureChain::originate(&auth0, &v.to_be_bytes());
+                Some(DolevStrongBroadcast::encode_chain(&chain))
+            } else {
+                None
+            }
+        });
+        let honest_decisions: Vec<_> = (1..4).map(|i| decided[i]).collect();
+        assert!(honest_decisions.iter().all(|d| *d == honest_decisions[0]));
+        assert_eq!(honest_decisions[0], Some(DEFAULT_VALUE));
+    }
+
+    #[test]
+    fn forged_chain_rejected() {
+        // A Byzantine relay tampers with the value; MAC verification drops
+        // the chain, so validity holds for the honest source's value.
+        let n = 4;
+        let r = ring(n);
+        let instances: Vec<DolevStrongBroadcast> = (0..n)
+            .map(|me| DolevStrongBroadcast::new(me, n, 1, 0, r.authenticator(me)))
+            .collect();
+        let decided = run_pure(instances, &[50, 0, 0, 0], |from: usize, round: u64, _to: usize, p: &[u8]| {
+            if from == 3 && round > 0 {
+                // Flip a byte mid-payload.
+                let mut bad = p.to_vec();
+                if bad.len() > 4 {
+                    bad[4] ^= 0xff;
+                }
+                Some(bad)
+            } else {
+                None
+            }
+        });
+        for me in 0..3 {
+            assert_eq!(decided[me], Some(50), "honest p{me}");
+        }
+    }
+
+    #[test]
+    fn chain_codec_round_trip() {
+        let r = ring(3);
+        let chain = SignatureChain::originate(&r.authenticator(0), &42u64.to_be_bytes());
+        let chain = chain.extend(&r.authenticator(1));
+        let encoded = DolevStrongBroadcast::encode_chain(&chain);
+        let decoded = DolevStrongBroadcast::decode_chain(&encoded).unwrap();
+        assert!(decoded.valid(&r.authenticator(2)));
+        assert_eq!(
+            DolevStrongBroadcast::value_of(&decoded),
+            Some(42),
+        );
+    }
+
+    #[test]
+    fn restart_clears_accepted_values() {
+        let n = 4;
+        let r = ring(n);
+        let make = || -> Vec<DolevStrongBroadcast> {
+            (0..n)
+                .map(|me| DolevStrongBroadcast::new(me, n, 1, 0, r.authenticator(me)))
+                .collect()
+        };
+        let first = run_pure(make(), &[5, 0, 0, 0], honest);
+        assert!(first.iter().all(|d| *d == Some(5)));
+        let second = run_pure(make(), &[6, 0, 0, 0], honest);
+        assert!(second.iter().all(|d| *d == Some(6)));
+    }
+}

@@ -1,0 +1,199 @@
+//! Exponential information gathering (EIG) tree.
+//!
+//! The data structure behind the oral-messages algorithm: node `α` (a
+//! sequence of distinct processor ids starting with the source) stores "the
+//! value that the last processor of `α` claimed, relayed along `α`". After
+//! `f+1` rounds the tree is resolved bottom-up by recursive majority.
+
+use std::collections::HashMap;
+
+use crate::{Value, DEFAULT_VALUE};
+
+/// A path label: processor ids, first is the broadcast source.
+pub type Path = Vec<u16>;
+
+/// The EIG tree of one broadcast instance at one processor.
+#[derive(Debug, Clone, Default)]
+pub struct EigTree {
+    nodes: HashMap<Path, Value>,
+}
+
+impl EigTree {
+    /// An empty tree.
+    pub fn new() -> EigTree {
+        EigTree::default()
+    }
+
+    /// Stores `value` at node `path` (first write wins; Byzantine senders
+    /// cannot overwrite an already-relayed value).
+    pub fn store(&mut self, path: Path, value: Value) {
+        self.nodes.entry(path).or_insert(value);
+    }
+
+    /// The stored value at `path`, if any.
+    pub fn get(&self, path: &[u16]) -> Option<Value> {
+        self.nodes.get(path).copied()
+    }
+
+    /// Number of populated nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether no node is populated.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// All populated nodes at `level` (path length).
+    pub fn level(&self, level: usize) -> impl Iterator<Item = (&Path, Value)> {
+        self.nodes
+            .iter()
+            .filter(move |(p, _)| p.len() == level)
+            .map(|(p, &v)| (p, v))
+    }
+
+    /// Clears the tree for reuse.
+    pub fn reset(&mut self) {
+        self.nodes.clear();
+    }
+
+    /// Resolves the tree: the decision of the broadcast.
+    ///
+    /// `resolve(α)` is the stored value at leaves (level `f+1`), else the
+    /// strict majority of `resolve(α·q)` over all `q ∉ α`; missing values
+    /// and tied majorities resolve to [`DEFAULT_VALUE`].
+    pub fn resolve(&self, source: u16, n: usize, f: usize) -> Value {
+        self.resolve_node(&[source], n, f)
+    }
+
+    fn resolve_node(&self, path: &[u16], n: usize, f: usize) -> Value {
+        if path.len() == f + 1 {
+            return self.get(path).unwrap_or(DEFAULT_VALUE);
+        }
+        let mut counts: HashMap<Value, usize> = HashMap::new();
+        let mut children = 0usize;
+        for q in 0..n as u16 {
+            if path.contains(&q) {
+                continue;
+            }
+            children += 1;
+            let mut child = path.to_vec();
+            child.push(q);
+            let v = self.resolve_node(&child, n, f);
+            *counts.entry(v).or_insert(0) += 1;
+        }
+        if children == 0 {
+            return self.get(path).unwrap_or(DEFAULT_VALUE);
+        }
+        // Strict majority; ties/dispersion fall to the default.
+        counts
+            .into_iter()
+            .find(|&(_, c)| 2 * c > children)
+            .map(|(v, _)| v)
+            .unwrap_or(DEFAULT_VALUE)
+    }
+}
+
+/// Validates a relayed path: length, distinct ids, declared source, actual
+/// sender as last element, ids in range.
+pub fn valid_path(path: &[u16], expect_len: usize, source: u16, sender: usize, n: usize) -> bool {
+    if path.len() != expect_len || path.is_empty() {
+        return false;
+    }
+    if path[0] != source {
+        return false;
+    }
+    if *path.last().expect("nonempty") != sender as u16 {
+        return false;
+    }
+    if path.iter().any(|&p| p as usize >= n) {
+        return false;
+    }
+    let mut seen = std::collections::HashSet::new();
+    path.iter().all(|p| seen.insert(*p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_first_write_wins() {
+        let mut t = EigTree::new();
+        t.store(vec![0], 5);
+        t.store(vec![0], 9);
+        assert_eq!(t.get(&[0]), Some(5));
+    }
+
+    #[test]
+    fn resolve_unanimous_tree() {
+        // n=4, f=1, source 0: level-1 node [0]=7, level-2 children all 7.
+        let mut t = EigTree::new();
+        t.store(vec![0], 7);
+        for q in 1..4u16 {
+            t.store(vec![0, q], 7);
+        }
+        assert_eq!(t.resolve(0, 4, 1), 7);
+    }
+
+    #[test]
+    fn resolve_majority_over_one_liar() {
+        // Child [0,3] lies (says 9); majority of {7, 7, 9} is 7.
+        let mut t = EigTree::new();
+        t.store(vec![0], 7);
+        t.store(vec![0, 1], 7);
+        t.store(vec![0, 2], 7);
+        t.store(vec![0, 3], 9);
+        assert_eq!(t.resolve(0, 4, 1), 7);
+    }
+
+    #[test]
+    fn resolve_missing_everything_defaults() {
+        let t = EigTree::new();
+        assert_eq!(t.resolve(0, 4, 1), DEFAULT_VALUE);
+    }
+
+    #[test]
+    fn resolve_no_majority_defaults() {
+        // n=5, f=1: children of [0] are [0,1..4]; two say 3, two say 4 — no
+        // strict majority among 4 children.
+        let mut t = EigTree::new();
+        t.store(vec![0], 3);
+        t.store(vec![0, 1], 3);
+        t.store(vec![0, 2], 3);
+        t.store(vec![0, 3], 4);
+        t.store(vec![0, 4], 4);
+        assert_eq!(t.resolve(0, 5, 1), DEFAULT_VALUE);
+    }
+
+    #[test]
+    fn level_iterates_only_that_depth() {
+        let mut t = EigTree::new();
+        t.store(vec![0], 1);
+        t.store(vec![0, 1], 2);
+        t.store(vec![0, 2], 3);
+        assert_eq!(t.level(1).count(), 1);
+        assert_eq!(t.level(2).count(), 2);
+        assert_eq!(t.level(3).count(), 0);
+    }
+
+    #[test]
+    fn valid_path_checks_everything() {
+        assert!(valid_path(&[0, 2], 2, 0, 2, 4));
+        assert!(!valid_path(&[0, 2], 3, 0, 2, 4), "wrong length");
+        assert!(!valid_path(&[1, 2], 2, 0, 2, 4), "wrong source");
+        assert!(!valid_path(&[0, 2], 2, 0, 3, 4), "sender mismatch");
+        assert!(!valid_path(&[0, 0], 2, 0, 0, 4), "duplicate ids");
+        assert!(!valid_path(&[0, 9], 2, 0, 9, 4), "id out of range");
+        assert!(!valid_path(&[], 0, 0, 0, 4), "empty path");
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut t = EigTree::new();
+        t.store(vec![0], 7);
+        t.reset();
+        assert!(t.is_empty());
+    }
+}

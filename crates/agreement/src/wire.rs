@@ -1,0 +1,172 @@
+//! Tiny length-prefixed binary codec for protocol messages.
+//!
+//! Byzantine processes send arbitrary bytes, so every decoder here is
+//! total: malformed input yields `None`, never a panic. Protocols treat
+//! undecodable messages as absent (the oral-messages model's "no message"
+//! default).
+
+/// Append-only encoder.
+#[derive(Debug, Default, Clone)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    /// Appends a single byte.
+    pub fn put_u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Appends a big-endian u16.
+    pub fn put_u16(&mut self, v: u16) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Appends a big-endian u32.
+    pub fn put_u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Appends a big-endian u64.
+    pub fn put_u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Appends a u16-length-prefixed byte string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` exceeds `u16::MAX` — protocol payloads are tiny.
+    pub fn put_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        let len = u16::try_from(bytes.len()).expect("payload fits u16 length");
+        self.put_u16(len);
+        self.buf.extend_from_slice(bytes);
+        self
+    }
+
+    /// Finishes, returning the encoded buffer.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Cursor-based decoder; every getter is failure-safe.
+#[derive(Debug, Clone, Copy)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Starts reading `buf` from the beginning.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+
+    /// Whether the cursor consumed everything.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.remaining() < n {
+            return None;
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Some(s)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+
+    /// Reads a big-endian u16.
+    pub fn get_u16(&mut self) -> Option<u16> {
+        self.take(2).map(|s| u16::from_be_bytes([s[0], s[1]]))
+    }
+
+    /// Reads a big-endian u32.
+    pub fn get_u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|s| u32::from_be_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    /// Reads a big-endian u64.
+    pub fn get_u64(&mut self) -> Option<u64> {
+        self.take(8).map(|s| {
+            u64::from_be_bytes([s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]])
+        })
+    }
+
+    /// Reads a u16-length-prefixed byte string.
+    pub fn get_bytes(&mut self) -> Option<&'a [u8]> {
+        let len = self.get_u16()? as usize;
+        self.take(len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_scalars() {
+        let mut w = Writer::new();
+        w.put_u8(7).put_u16(300).put_u32(70_000).put_u64(u64::MAX);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.get_u8(), Some(7));
+        assert_eq!(r.get_u16(), Some(300));
+        assert_eq!(r.get_u32(), Some(70_000));
+        assert_eq!(r.get_u64(), Some(u64::MAX));
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn round_trip_bytes() {
+        let mut w = Writer::new();
+        w.put_bytes(b"hello").put_bytes(b"");
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.get_bytes(), Some(b"hello".as_slice()));
+        assert_eq!(r.get_bytes(), Some(b"".as_slice()));
+    }
+
+    #[test]
+    fn truncated_input_yields_none() {
+        let mut w = Writer::new();
+        w.put_u64(42);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf[..5]);
+        assert_eq!(r.get_u64(), None);
+    }
+
+    #[test]
+    fn bogus_length_prefix_yields_none() {
+        let mut r = Reader::new(&[0xff, 0xff, 1, 2, 3]);
+        assert_eq!(r.get_bytes(), None);
+    }
+
+    #[test]
+    fn empty_reader() {
+        let mut r = Reader::new(&[]);
+        assert_eq!(r.get_u8(), None);
+        assert!(r.is_exhausted());
+    }
+}

@@ -1,0 +1,17 @@
+//! Criterion bench for E8: audit-cadence ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ga_bench::e8_audit_cadence;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8/audit_cadence");
+    for epoch in [1u64, 8, 32] {
+        g.bench_with_input(BenchmarkId::from_parameter(epoch), &epoch, |b, &e| {
+            b.iter(|| std::hint::black_box(e8_audit_cadence::run_cadence(e, 64, 3)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

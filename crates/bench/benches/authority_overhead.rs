@@ -1,0 +1,26 @@
+//! Criterion bench for E6: per-consensus cost of each BA backend.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ga_agreement::harness::{run_consensus, Backend};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6/authority_overhead");
+    for backend in Backend::ALL {
+        for n in [4usize, 7] {
+            let f = backend.max_faults(n).min(2);
+            g.bench_with_input(
+                BenchmarkId::new(backend.label(), n),
+                &(backend, n, f),
+                |b, &(backend, n, f)| {
+                    b.iter(|| {
+                        std::hint::black_box(run_consensus(backend, n, f, &[], |i| i as u64 % 2, 1))
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! Criterion bench for E1: regenerating Fig. 1 and the §5.1 expectation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ga_bench::e1_fig1;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("e1/fig1_regenerate", |b| {
+        b.iter(|| std::hint::black_box(e1_fig1::run()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

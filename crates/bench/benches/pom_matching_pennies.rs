@@ -1,0 +1,17 @@
+//! Criterion bench for E2: PoM reduction on the Fig. 1 game.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ga_bench::e2_pom_pennies;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2/pom_matching_pennies");
+    for rounds in [50u64, 200] {
+        g.bench_with_input(BenchmarkId::from_parameter(rounds), &rounds, |b, &r| {
+            b.iter(|| std::hint::black_box(e2_pom_pennies::run(r, 7)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

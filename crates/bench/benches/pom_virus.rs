@@ -1,0 +1,18 @@
+//! Criterion bench for E5: PoM in the virus inoculation game.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ga_bench::e5_virus;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5/pom_virus");
+    for side in [4usize, 6] {
+        g.bench_with_input(BenchmarkId::from_parameter(side), &side, |b, &side| {
+            let l = (side * side) as f64;
+            b.iter(|| std::hint::black_box(e5_virus::run(side, 1.0, l, &[0, 2, 4])))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

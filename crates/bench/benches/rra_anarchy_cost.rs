@@ -1,0 +1,21 @@
+//! Criterion bench for E3: RRA multi-round anarchy cost sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ga_bench::e3_rra;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3/rra_anarchy_cost");
+    for (n, b) in [(4usize, 2usize), (8, 4), (16, 8)] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_b{b}")),
+            &(n, b),
+            |bench, &(n, b)| {
+                bench.iter(|| std::hint::black_box(e3_rra::run(&[(n, b)], &[1000], 3)))
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

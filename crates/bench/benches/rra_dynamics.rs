@@ -1,0 +1,13 @@
+//! Criterion bench for E7: RRA gap trajectories under the three regimes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ga_bench::e7_dynamics;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("e7/rra_dynamics", |b| {
+        b.iter(|| std::hint::black_box(e7_dynamics::run(6, 3, &[1, 10, 100, 500], 9)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion bench for E4: SSBA convergence from arbitrary configurations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ga_bench::e4_ssba;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4/ssba_convergence");
+    g.sample_size(10);
+    for (n, f) in [(4usize, 1usize), (7, 2)] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_f{f}")),
+            &(n, f),
+            |b, &(n, f)| {
+                b.iter(|| {
+                    std::hint::black_box(e4_ssba::run_convergence(&[(n, f)], 2, 300_000, 5))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Micro-benchmarks of the substrates the authority's per-play cost is
+//! built from: hashing, commitments, committed-PRG audits, and one
+//! consensus of each backend via the pure executor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ga_agreement::consensus::{DolevStrongConsensus, OmConsensus};
+use ga_agreement::executor::{no_tamper, run_pure};
+use ga_agreement::king::PhaseKing;
+use ga_bench as _;
+use ga_crypto::commitment::Commitment;
+use ga_crypto::mac::KeyRing;
+use ga_crypto::prg::CommittedPrg;
+use ga_crypto::sha256::Sha256;
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro/crypto");
+    for size in [64usize, 1024, 16 * 1024] {
+        let data = vec![0xabu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("sha256", size), &data, |b, d| {
+            b.iter(|| std::hint::black_box(Sha256::digest(d)))
+        });
+    }
+    g.bench_function("commit+verify", |b| {
+        b.iter(|| {
+            let (c, o) = Commitment::commit(b"action-1", [7u8; 32]);
+            std::hint::black_box(c.verify(b"action-1", &o).is_ok())
+        })
+    });
+    g.bench_function("committed_prg_audit_16", |b| {
+        let mut cp = CommittedPrg::new([5u8; 32], [9u8; 32]);
+        let w = vec![0.5, 0.5];
+        let transcript: Vec<(Vec<f64>, usize)> =
+            (0..16).map(|_| (w.clone(), cp.sample(&w))).collect();
+        b.iter(|| {
+            std::hint::black_box(CommittedPrg::verify_samples(
+                cp.commitment(),
+                cp.reveal(),
+                &transcript,
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_consensus(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro/consensus_n7_f2");
+    g.bench_function("om", |b| {
+        b.iter(|| {
+            let instances: Vec<OmConsensus> = (0..7).map(|me| OmConsensus::new(me, 7, 2)).collect();
+            std::hint::black_box(run_pure(instances, &[1, 1, 1, 1, 0, 0, 0], no_tamper))
+        })
+    });
+    g.bench_function("phase_king_f1", |b| {
+        b.iter(|| {
+            let instances: Vec<PhaseKing> = (0..7).map(|me| PhaseKing::new(me, 7, 1)).collect();
+            std::hint::black_box(run_pure(instances, &[1, 1, 1, 1, 0, 0, 0], no_tamper))
+        })
+    });
+    g.bench_function("dolev_strong", |b| {
+        let ring = KeyRing::generate(7, 1);
+        b.iter(|| {
+            let instances: Vec<DolevStrongConsensus> = (0..7)
+                .map(|me| DolevStrongConsensus::new(me, 7, 2, ring.authenticator(me)))
+                .collect();
+            std::hint::black_box(run_pure(instances, &[1, 1, 1, 1, 0, 0, 0], no_tamper))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_crypto, bench_consensus);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! The experiment runner: regenerates every figure/theorem artifact of the
+//! paper (see DESIGN.md §4 and EXPERIMENTS.md).
+//!
+//! ```text
+//! cargo run -p ga-bench --bin experiments               # all experiments
+//! cargo run -p ga-bench --bin experiments -- --exp e3   # one experiment
+//! cargo run -p ga-bench --bin experiments -- --seed 7   # reseed
+//! ```
+
+use ga_bench::{
+    e1_fig1, e2_pom_pennies, e3_rra, e4_ssba, e5_virus, e6_overhead, e7_dynamics,
+    e8_audit_cadence,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut exp: Option<String> = None;
+    let mut seed = 2010u64; // the journal version's year
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--exp" if i + 1 < args.len() => {
+                exp = Some(args[i + 1].to_lowercase());
+                i += 2;
+            }
+            "--seed" if i + 1 < args.len() => {
+                seed = args[i + 1].parse().unwrap_or(seed);
+                i += 2;
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: experiments [--exp e1..e8] [--seed N]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other} (try --help)");
+                return;
+            }
+        }
+    }
+
+    let want = |name: &str| exp.as_deref().map_or(true, |e| e == name);
+
+    println!("game-authority experiment suite (seed {seed})");
+    println!("paper: Dolev, Schiller, Spirakis, Tsigas — TCS 411 (2010) 2459–2466");
+
+    if want("e1") {
+        for t in e1_fig1::tables() {
+            print!("{}", t.render());
+        }
+    }
+    if want("e2") {
+        for t in e2_pom_pennies::tables(200, seed) {
+            print!("{}", t.render());
+        }
+    }
+    if want("e3") {
+        for t in e3_rra::tables(seed) {
+            print!("{}", t.render());
+        }
+    }
+    if want("e4") {
+        for t in e4_ssba::tables(seed) {
+            print!("{}", t.render());
+        }
+    }
+    if want("e5") {
+        for t in e5_virus::tables() {
+            print!("{}", t.render());
+        }
+    }
+    if want("e6") {
+        for t in e6_overhead::tables(seed) {
+            print!("{}", t.render());
+        }
+    }
+    if want("e7") {
+        for t in e7_dynamics::tables(seed) {
+            print!("{}", t.render());
+        }
+    }
+    if want("e8") {
+        for t in e8_audit_cadence::tables(seed) {
+            print!("{}", t.render());
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! E1 — Fig. 1: matching pennies with a hidden manipulative strategy.
+//!
+//! Regenerates (a) the payoff matrix itself and (b) the §5.1
+//! expected-profit computation: against A's honest uniform mixture, B's
+//! manipulation lifts B from 0 to +4 and drops A from 0 to −4.
+
+use ga_game_theory::game::Game;
+use ga_game_theory::profile::{MixedStrategy, PureProfile};
+use ga_games::matching_pennies::{
+    fig1_expected_payoffs, manipulated_matching_pennies, HEADS, MANIPULATE, TAILS,
+};
+
+use crate::table::{f3, Table};
+
+/// The numbers behind Fig. 1 / §5.1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig1Result {
+    /// The 2×3 payoff matrix, `(A, B)` per cell, row-major.
+    pub matrix: Vec<Vec<(f64, f64)>>,
+    /// Expected payoffs `(A, B)` when B plays Heads / Tails / Manipulate
+    /// against uniform A.
+    pub expected: [(f64, f64); 3],
+}
+
+/// Computes the Fig. 1 artifact.
+pub fn run() -> Fig1Result {
+    let game = manipulated_matching_pennies();
+    let matrix = (0..2)
+        .map(|r| {
+            (0..3)
+                .map(|c| {
+                    let p = PureProfile::new(vec![r, c]);
+                    (-game.cost(0, &p), -game.cost(1, &p))
+                })
+                .collect()
+        })
+        .collect();
+    let uniform = MixedStrategy::uniform(2);
+    let expected = [
+        fig1_expected_payoffs(&uniform, HEADS),
+        fig1_expected_payoffs(&uniform, TAILS),
+        fig1_expected_payoffs(&uniform, MANIPULATE),
+    ];
+    Fig1Result { matrix, expected }
+}
+
+/// Renders E1 as printable tables.
+pub fn tables() -> Vec<Table> {
+    let r = run();
+    let mut matrix = Table::new(
+        "E1 / Fig. 1 — matching pennies with a hidden manipulation strategy",
+        &["A\\B", "Heads", "Tails", "Manipulate"],
+    );
+    let rows = ["Heads", "Tails"];
+    for (i, name) in rows.iter().enumerate() {
+        let mut cells = vec![name.to_string()];
+        for c in 0..3 {
+            let (a, b) = r.matrix[i][c];
+            cells.push(format!("({:+},{:+})", a as i64, b as i64));
+        }
+        matrix.row(cells);
+    }
+    matrix.note("paper Fig. 1, regenerated from the game definition");
+
+    let mut expected = Table::new(
+        "E1 / §5.1 — expected profits vs. A's uniform mixture",
+        &["B plays", "E[A]", "E[B]"],
+    );
+    for (i, name) in ["Heads", "Tails", "Manipulate"].iter().enumerate() {
+        let (ea, eb) = r.expected[i];
+        expected.row(vec![name.to_string(), f3(ea), f3(eb)]);
+    }
+    expected.note("paper: manipulation moves B from 0 to +4, A from 0 to −4");
+    vec![matrix, expected]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_matches_fig1() {
+        let r = run();
+        assert_eq!(r.matrix[0], vec![(1.0, -1.0), (-1.0, 1.0), (1.0, -1.0)]);
+        assert_eq!(r.matrix[1], vec![(-1.0, 1.0), (1.0, -1.0), (-9.0, 9.0)]);
+    }
+
+    #[test]
+    fn expected_profits_match_section_5_1() {
+        let r = run();
+        assert_eq!(r.expected[0], (0.0, 0.0));
+        assert_eq!(r.expected[1], (0.0, 0.0));
+        assert_eq!(r.expected[2], (-4.0, 4.0));
+    }
+
+    #[test]
+    fn tables_render() {
+        for t in tables() {
+            assert!(!t.render().is_empty());
+        }
+    }
+}

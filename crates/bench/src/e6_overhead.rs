@@ -1,0 +1,122 @@
+//! E6 — the authority's per-play protocol cost (§3.3, implicit).
+//!
+//! Each play is three BA activations plus a commit and a reveal round.
+//! This experiment measures rounds, messages and bytes per consensus for
+//! every backend across `n`, exposing the scalability trade-offs the paper
+//! alludes to ("further research can improve the design and allow better
+//! scalability").
+
+use ga_agreement::harness::{run_consensus, Backend};
+
+use crate::table::Table;
+
+/// One `(backend, n, f)` measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverheadPoint {
+    /// Protocol backend.
+    pub backend: Backend,
+    /// Processors.
+    pub n: usize,
+    /// Fault budget.
+    pub f: usize,
+    /// Rounds per consensus.
+    pub rounds: u64,
+    /// Messages per consensus.
+    pub messages: u64,
+    /// Bytes per consensus.
+    pub bytes: u64,
+    /// Estimated pulses for one full authority play (3 BAs + commit +
+    /// reveal + executive).
+    pub play_pulses: u64,
+    /// Whether the honest processors agreed (sanity).
+    pub agreement: bool,
+}
+
+/// Sweeps consensus cost across backends and sizes.
+pub fn run(ns: &[usize], seed: u64) -> Vec<OverheadPoint> {
+    let mut out = Vec::new();
+    for &n in ns {
+        for backend in Backend::ALL {
+            let f = backend.max_faults(n).min(2);
+            if f == 0 && n > 4 {
+                continue;
+            }
+            let byz: Vec<usize> = (n - f..n).collect();
+            let report = run_consensus(backend, n, f, &byz, |i| (i % 2) as u64, seed);
+            out.push(OverheadPoint {
+                backend,
+                n,
+                f,
+                rounds: report.rounds,
+                messages: report.messages,
+                bytes: report.bytes,
+                play_pulses: 3 * report.rounds + 4,
+                agreement: report.agreement(),
+            });
+        }
+    }
+    out
+}
+
+/// Renders E6.
+pub fn tables(seed: u64) -> Vec<Table> {
+    let points = run(&[4, 7, 9, 13], seed);
+    let mut t = Table::new(
+        "E6 — per-consensus and per-play cost of the authority's BA schedule",
+        &[
+            "backend",
+            "n",
+            "f",
+            "rounds",
+            "messages",
+            "bytes",
+            "play pulses",
+            "agreement",
+        ],
+    );
+    for p in &points {
+        t.row(vec![
+            p.backend.label().to_string(),
+            p.n.to_string(),
+            p.f.to_string(),
+            p.rounds.to_string(),
+            p.messages.to_string(),
+            p.bytes.to_string(),
+            p.play_pulses.to_string(),
+            if p.agreement { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    t.note("om: optimal resilience, exponential bytes; phase-king: O(f) rounds, polynomial; dolev-strong: honest majority via authentication");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_backends_agree_and_scale_shapes_hold() {
+        let points = run(&[4, 7], 11);
+        assert!(points.iter().all(|p| p.agreement), "{points:?}");
+        // OM's message bytes grow much faster than phase-king's.
+        let om4 = points
+            .iter()
+            .find(|p| p.backend == Backend::Om && p.n == 4)
+            .unwrap();
+        let om7 = points
+            .iter()
+            .find(|p| p.backend == Backend::Om && p.n == 7)
+            .unwrap();
+        assert!(om7.bytes > om4.bytes * 4, "exponential growth visible");
+    }
+
+    #[test]
+    fn phase_king_rounds_grow_with_f() {
+        let points = run(&[9, 13], 13);
+        let pk9 = points
+            .iter()
+            .find(|p| p.backend == Backend::PhaseKing && p.n == 9)
+            .unwrap();
+        assert!(pk9.rounds >= 5);
+    }
+}

@@ -1,0 +1,150 @@
+//! E8 — ablation: per-play audits vs. end-of-epoch seed audits (§5.3).
+//!
+//! The paper implements "the simplest auditing approach; the agents audit
+//! each other's actions in every round" and suggests, "for the sake of
+//! efficiency", committing to the PRG seed and auditing only at the end of
+//! a bounded sequence of rounds. This ablation quantifies the trade:
+//! detection latency (and the honest agents' interim losses) versus audit
+//! work, on the Fig. 1 manipulation.
+
+use game_authority::agent::Behavior;
+use game_authority::authority::{Authority, AuthorityConfig};
+use ga_games::matching_pennies::{manipulated_matching_pennies, MANIPULATE};
+
+use crate::table::{f3, Table};
+
+/// One cadence's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CadencePoint {
+    /// Epoch length (1 = per-play support audit).
+    pub epoch_len: u64,
+    /// Play at which the manipulator was punished.
+    pub detected_at: Option<u64>,
+    /// Honest agent A's cumulative loss until (and including) detection.
+    pub honest_loss_until_detection: f64,
+    /// Audit operations performed until detection: per-play support checks
+    /// count one per audited play; an epoch seed audit counts the replayed
+    /// transcript length.
+    pub audit_ops: u64,
+}
+
+/// Runs the Fig. 1 manipulation under one audit cadence.
+///
+/// `epoch_len == 1` means the per-play support audit (the paper's default);
+/// larger values defer all mixed-strategy checking to the epoch boundary.
+pub fn run_cadence(epoch_len: u64, rounds: u64, seed: u64) -> CadencePoint {
+    let game = manipulated_matching_pennies();
+    let per_play = epoch_len == 1;
+    let config = AuthorityConfig {
+        epoch_len: if per_play { u64::MAX } else { epoch_len },
+        seed,
+        per_play_support_audit: per_play,
+        ..AuthorityConfig::default()
+    };
+    let mut authority = Authority::new(
+        &game,
+        vec![
+            Behavior::honest_mixed(vec![0.5, 0.5]),
+            Behavior::hidden_manipulator(vec![0.5, 0.5, 0.0], MANIPULATE),
+        ],
+        config,
+    );
+    let reports = authority.play(rounds);
+    let detected_at = reports
+        .iter()
+        .find(|r| r.punished.contains(&1))
+        .map(|r| r.round);
+    let horizon = detected_at.map_or(rounds, |d| d + 1);
+    let honest_loss_until_detection: f64 = reports
+        .iter()
+        .take(horizon as usize)
+        .map(|r| r.costs[0])
+        .sum();
+    let audit_ops = if per_play {
+        horizon // one support check per play, per mixed agent
+    } else {
+        // One seed replay per elapsed epoch, each replaying epoch_len
+        // samples.
+        horizon.div_ceil(epoch_len) * epoch_len
+    };
+    CadencePoint {
+        epoch_len,
+        detected_at,
+        honest_loss_until_detection,
+        audit_ops,
+    }
+}
+
+/// Runs the cadence sweep.
+pub fn run(rounds: u64, seed: u64) -> Vec<CadencePoint> {
+    [1u64, 2, 4, 8, 16, 32]
+        .iter()
+        .map(|&l| run_cadence(l, rounds, seed))
+        .collect()
+}
+
+/// Renders E8.
+pub fn tables(seed: u64) -> Vec<Table> {
+    let points = run(128, seed);
+    let mut t = Table::new(
+        "E8 — ablation: audit cadence on the Fig. 1 manipulation (per-play vs epoch seed audit)",
+        &[
+            "epoch len",
+            "detected at",
+            "A's loss until detection",
+            "audit ops",
+        ],
+    );
+    for p in &points {
+        t.row(vec![
+            if p.epoch_len == 1 {
+                "per-play".into()
+            } else {
+                p.epoch_len.to_string()
+            },
+            p.detected_at
+                .map(|d| format!("play {d}"))
+                .unwrap_or_else(|| "never".into()),
+            f3(p.honest_loss_until_detection),
+            p.audit_ops.to_string(),
+        ]);
+    }
+    t.note("§5.3: deferring audits to the epoch boundary trades detection latency (≈4/play interim loss) for batched audit work");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_play_detects_immediately() {
+        let p = run_cadence(1, 64, 3);
+        assert_eq!(p.detected_at, Some(0));
+        assert!(p.honest_loss_until_detection <= 10.0);
+    }
+
+    #[test]
+    fn epoch_audit_detects_at_boundary() {
+        for epoch in [4u64, 8] {
+            let p = run_cadence(epoch, 64, 3);
+            assert_eq!(
+                p.detected_at,
+                Some(epoch - 1),
+                "deferred detection lands on the epoch boundary"
+            );
+            assert!(
+                p.honest_loss_until_detection > (epoch as f64 - 1.0) * 2.0,
+                "interim bleeding grows with the epoch: {p:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn latency_grows_with_epoch_length() {
+        let points = run(128, 5);
+        let latencies: Vec<u64> = points.iter().filter_map(|p| p.detected_at).collect();
+        assert_eq!(latencies.len(), points.len(), "always detected");
+        assert!(latencies.windows(2).all(|w| w[0] <= w[1]), "{latencies:?}");
+    }
+}

@@ -1,0 +1,16 @@
+//! # ga-bench — experiment library
+//!
+//! One function per paper artifact (see DESIGN.md §4 and EXPERIMENTS.md).
+//! Each returns a structured table so the `experiments` binary, the
+//! Criterion benches and the integration tests all share one
+//! implementation.
+
+pub mod e1_fig1;
+pub mod e2_pom_pennies;
+pub mod e3_rra;
+pub mod e4_ssba;
+pub mod e5_virus;
+pub mod e6_overhead;
+pub mod e7_dynamics;
+pub mod e8_audit_cadence;
+pub mod table;

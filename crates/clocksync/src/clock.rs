@@ -1,0 +1,182 @@
+//! The digital clock rule.
+//!
+//! Every pulse, each processor broadcasts its clock value and then applies
+//! [`ClockRule::step`] to the received multiset:
+//!
+//! * **Adopt** — if some value `v` is supported by at least `n − f`
+//!   distinct processors (own value included), set the clock to
+//!   `(v + 1) mod M`. Two different values can never both reach `n − f`
+//!   support when `n > 3f` (they would need `2(n−f) ≤ n` ⟺ `n ≤ 2f`), so
+//!   the adopted value is unique — this branch gives deterministic
+//!   *closure*: synchronized honest clocks tick in unison forever.
+//! * **Randomize** — otherwise flip a private coin: keep the current value
+//!   or reset to 0. Once every honest processor happens to reset in the
+//!   same pulse (or a coalition of `n − 2f` honest values aligns enough to
+//!   drag the rest through the adopt branch), the system enters the
+//!   synchronized regime. Expected convergence is exponential in the worst
+//!   case, matching the randomized flavor of the paper's reference \[11\].
+
+use rand::Rng;
+
+/// The per-processor clock state and update rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClockRule {
+    /// Number of processors.
+    n: usize,
+    /// Fault bound.
+    f: usize,
+    /// Clock modulus `M`.
+    modulus: u64,
+    /// Current clock value in `0..modulus`.
+    value: u64,
+}
+
+impl ClockRule {
+    /// Creates a clock with an initial value.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n > 3f` and `modulus ≥ 2`; the initial value is
+    /// reduced mod `modulus`.
+    pub fn new(n: usize, f: usize, modulus: u64, initial: u64) -> ClockRule {
+        assert!(n > 3 * f, "clock synchronization requires n > 3f");
+        assert!(modulus >= 2, "need at least two clock values");
+        ClockRule {
+            n,
+            f,
+            modulus,
+            value: initial % modulus,
+        }
+    }
+
+    /// The current clock value.
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// The modulus `M`.
+    pub fn modulus(&self) -> u64 {
+        self.modulus
+    }
+
+    /// Transient-fault hook: force an arbitrary value.
+    pub fn set_arbitrary(&mut self, value: u64) {
+        self.value = value % self.modulus;
+    }
+
+    /// Applies one pulse given `received` clock claims (at most one per
+    /// other processor; own value is counted automatically) and private
+    /// randomness. Returns the new clock value.
+    pub fn step(&mut self, received: &[u64], rng: &mut impl Rng) -> u64 {
+        // Tally support per value, own value included.
+        let mut counts: std::collections::HashMap<u64, usize> = Default::default();
+        *counts.entry(self.value).or_insert(0) += 1;
+        for &v in received.iter().take(self.n - 1) {
+            *counts.entry(v % self.modulus).or_insert(0) += 1;
+        }
+        let threshold = self.n - self.f;
+        let supported = counts
+            .iter()
+            .filter(|&(_, &c)| c >= threshold)
+            .map(|(&v, _)| v)
+            .max();
+        self.value = match supported {
+            Some(v) => (v + 1) % self.modulus,
+            None => {
+                if rng.gen_bool(0.5) {
+                    0
+                } else {
+                    self.value
+                }
+            }
+        };
+        self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn synchronized_clocks_increment_together() {
+        // n=4, f=1: all honest at 5 → everyone sees ≥3 fives → 6.
+        let mut c = ClockRule::new(4, 1, 10, 5);
+        let next = c.step(&[5, 5, 9], &mut rng());
+        assert_eq!(next, 6, "byzantine 9 cannot break the quorum");
+    }
+
+    #[test]
+    fn wraparound_at_modulus() {
+        let mut c = ClockRule::new(4, 1, 10, 9);
+        assert_eq!(c.step(&[9, 9, 9], &mut rng()), 0);
+    }
+
+    #[test]
+    fn closure_holds_under_any_byzantine_vote() {
+        // Whatever the f=1 adversary claims, 3 honest 7s carry the quorum.
+        for byz_claim in [0u64, 6, 7, 8, 9] {
+            let mut c = ClockRule::new(4, 1, 10, 7);
+            assert_eq!(c.step(&[7, 7, byz_claim], &mut rng()), 8);
+        }
+    }
+
+    #[test]
+    fn unsupported_values_randomize_to_zero_or_keep() {
+        let mut saw_zero = false;
+        let mut saw_keep = false;
+        for seed in 0..64 {
+            let mut c = ClockRule::new(4, 1, 10, 5);
+            let mut r = StdRng::seed_from_u64(seed);
+            let next = c.step(&[1, 2, 3], &mut r);
+            match next {
+                0 => saw_zero = true,
+                5 => saw_keep = true,
+                other => panic!("unexpected clock value {other}"),
+            }
+        }
+        assert!(saw_zero && saw_keep, "both coin outcomes reachable");
+    }
+
+    #[test]
+    fn byzantine_cannot_fake_quorum_alone() {
+        // f=1 of n=4: one loud liar repeating 3 claims of "2" — counts as
+        // received entries but `received` is capped at n-1 = 3 values; a
+        // single sender appears once in the caller's dedup, here we emulate
+        // the cap only.
+        let mut c = ClockRule::new(4, 1, 10, 5);
+        // Liar contributes one claim; two other honest at 1 and 2.
+        let next = c.step(&[2, 1, 2], &mut rng());
+        assert_ne!(next, 3, "support 2 < n-f=3 must not adopt");
+    }
+
+    #[test]
+    fn set_arbitrary_reduces_mod_m() {
+        let mut c = ClockRule::new(4, 1, 10, 0);
+        c.set_arbitrary(123);
+        assert_eq!(c.value(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "n > 3f")]
+    fn rejects_bad_resilience() {
+        ClockRule::new(3, 1, 10, 0);
+    }
+
+    #[test]
+    fn two_values_cannot_both_have_quorum() {
+        // Structural: threshold n-f with n>3f means a second quorum value
+        // is impossible; adopting max() is thus unambiguous. Check the
+        // tally picks the quorum value, not a larger unsupported one.
+        let mut c = ClockRule::new(7, 2, 16, 4);
+        // 5 processors say 4 (incl. self), liars say 15, 15.
+        let next = c.step(&[4, 4, 4, 4, 15, 15], &mut rng());
+        assert_eq!(next, 5);
+    }
+}

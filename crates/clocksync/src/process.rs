@@ -1,0 +1,138 @@
+//! The clock-synchronization simulator process.
+
+use ga_agreement::wire::{Reader, Writer};
+use ga_simnet::prelude::*;
+use rand::Rng;
+
+use crate::clock::ClockRule;
+use crate::tags;
+
+/// Runs a [`ClockRule`] over `ga-simnet`: broadcasts the clock every pulse
+/// and applies the rule to what arrived.
+///
+/// State is scrambleable for transient-fault experiments.
+#[derive(Debug, Clone)]
+pub struct ClockProcess {
+    rule: ClockRule,
+    n: usize,
+}
+
+impl ClockProcess {
+    /// Creates the process for one processor.
+    pub fn new(n: usize, f: usize, modulus: u64, initial: u64) -> ClockProcess {
+        ClockProcess {
+            rule: ClockRule::new(n, f, modulus, initial),
+            n,
+        }
+    }
+
+    /// Current clock value.
+    pub fn value(&self) -> u64 {
+        self.rule.value()
+    }
+
+    /// Encodes a clock announcement.
+    pub fn encode(value: u64) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u8(tags::CLOCK);
+        w.put_u64(value);
+        w.finish()
+    }
+
+    /// Decodes a clock announcement (None for foreign/garbled payloads).
+    pub fn decode(payload: &[u8]) -> Option<u64> {
+        let mut r = Reader::new(payload);
+        if r.get_u8()? != tags::CLOCK {
+            return None;
+        }
+        let v = r.get_u64()?;
+        r.is_exhausted().then_some(v)
+    }
+}
+
+impl Process for ClockProcess {
+    fn on_pulse(&mut self, ctx: &mut Context<'_>) {
+        // One claim per sender: Byzantine floods must not multiply votes.
+        let mut claims: Vec<Option<u64>> = vec![None; self.n];
+        for m in ctx.inbox() {
+            if let Some(v) = Self::decode(m.bytes()) {
+                let idx = m.from.index();
+                if idx < self.n && claims[idx].is_none() {
+                    claims[idx] = Some(v);
+                }
+            }
+        }
+        let received: Vec<u64> = claims.into_iter().flatten().collect();
+        let rng = ctx.rng();
+        self.rule.step(&received, rng);
+        ctx.broadcast(Self::encode(self.rule.value()));
+    }
+
+    fn scramble(&mut self, rng: &mut rand::rngs::StdRng) {
+        self.rule.set_arbitrary(rng.gen());
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn name(&self) -> &'static str {
+        "clock-sync"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codec_round_trip() {
+        let p = ClockProcess::encode(17);
+        assert_eq!(ClockProcess::decode(&p), Some(17));
+        assert_eq!(ClockProcess::decode(b"junk"), None);
+        assert_eq!(ClockProcess::decode(&[]), None);
+    }
+
+    #[test]
+    fn synchronized_start_stays_synchronized() {
+        let n = 4;
+        let mut sim = Simulation::builder(Topology::complete(n))
+            .seed(1)
+            .build_with(|_| Box::new(ClockProcess::new(n, 1, 8, 0)) as Box<dyn Process>);
+        // Pulse 0 has empty inboxes: no quorum visible, clocks may reset to
+        // 0 or keep 0 — both are 0, so from pulse 1 on the quorum branch
+        // drives everything.
+        sim.run(10);
+        let values: Vec<u64> = (0..n)
+            .map(|i| sim.process_as::<ClockProcess>(ProcessId(i)).unwrap().value())
+            .collect();
+        assert!(values.windows(2).all(|w| w[0] == w[1]), "{values:?}");
+    }
+
+    #[test]
+    fn clock_advances_once_per_pulse_when_synchronized() {
+        let n = 4;
+        let mut sim = Simulation::builder(Topology::complete(n))
+            .seed(2)
+            .build_with(|_| Box::new(ClockProcess::new(n, 1, 100, 0)) as Box<dyn Process>);
+        sim.run(5);
+        let v5 = sim.process_as::<ClockProcess>(ProcessId(0)).unwrap().value();
+        sim.run(3);
+        let v8 = sim.process_as::<ClockProcess>(ProcessId(0)).unwrap().value();
+        assert_eq!(v8, v5 + 3, "one tick per pulse in the synchronized regime");
+    }
+
+    #[test]
+    fn scramble_changes_value() {
+        use rand::SeedableRng;
+        let mut p = ClockProcess::new(4, 1, 1 << 30, 0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        p.scramble(&mut rng);
+        // With modulus 2^30 a random value is almost surely nonzero.
+        assert_ne!(p.value(), 0);
+    }
+}

@@ -1,0 +1,284 @@
+//! SSBA — the self-stabilizing Byzantine agreement composition
+//! (Theorem 1).
+//!
+//! "The self-stabilizing Byzantine agreement algorithm is a composition of
+//! two distributed algorithms. We use the self-stabilizing Byzantine clock
+//! synchronization algorithm of \[11\]. Whenever the clock value reaches the
+//! value 1, the self-stabilizing Byzantine agreement algorithm invokes the
+//! Byzantine agreement protocol (BAP) … We take the clock size M to be
+//! large enough to allow exactly one Byzantine agreement." (§4)
+//!
+//! [`SsbaProcess`] implements exactly that loop. The two lemmas become
+//! executable properties:
+//!
+//! * **Convergence (Lemma 2)** — from an arbitrary configuration (scrambled
+//!   clocks, misaligned BA epochs, garbage in flight), within finitely many
+//!   pulses all clocks agree; the next wrap to 1 then starts a *clean* BA.
+//! * **Closure (Lemma 3)** — once synchronized, every period of `M` pulses
+//!   contains exactly one complete agreement, forever.
+
+use ga_agreement::traits::BaInstance;
+use ga_agreement::wire::{Reader, Writer};
+use ga_agreement::Value;
+use ga_simnet::prelude::*;
+use rand::Rng;
+
+use crate::clock::ClockRule;
+use crate::process::ClockProcess;
+use crate::tags;
+
+/// The composed clock + BA process of Theorem 1.
+pub struct SsbaProcess {
+    clock: ClockRule,
+    n: usize,
+    instance: Box<dyn BaInstance>,
+    /// `Some(r)` while an agreement is in flight and has executed relative
+    /// round `r`.
+    ba_round: Option<u64>,
+    /// The input contributed to every agreement activation.
+    input: Value,
+    /// Log of completed agreement decisions, in order.
+    agreements: Vec<Value>,
+}
+
+impl std::fmt::Debug for SsbaProcess {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SsbaProcess")
+            .field("clock", &self.clock.value())
+            .field("ba_round", &self.ba_round)
+            .field("agreements", &self.agreements.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SsbaProcess {
+    /// Composes a clock of modulus `modulus` with a BA `instance`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `modulus ≥ instance.rounds() + 1` — the paper's "large
+    /// enough to allow exactly one Byzantine agreement" — and `n > 3f`
+    /// (inherited from the clock rule).
+    pub fn new(
+        n: usize,
+        f: usize,
+        modulus: u64,
+        instance: Box<dyn BaInstance>,
+        input: Value,
+    ) -> SsbaProcess {
+        assert!(
+            modulus >= instance.rounds() + 1,
+            "clock modulus must fit one full agreement (need ≥ {})",
+            instance.rounds() + 1
+        );
+        SsbaProcess {
+            clock: ClockRule::new(n, f, modulus, 0),
+            n,
+            instance,
+            ba_round: None,
+            input,
+            agreements: Vec::new(),
+        }
+    }
+
+    /// Current clock value.
+    pub fn clock_value(&self) -> u64 {
+        self.clock.value()
+    }
+
+    /// Completed agreement decisions so far.
+    pub fn agreements(&self) -> &[Value] {
+        &self.agreements
+    }
+
+    /// Changes the input used by *future* agreement activations.
+    pub fn set_input(&mut self, input: Value) {
+        self.input = input;
+    }
+
+    /// Wraps an inner BA payload with the BA channel tag.
+    fn tag_ba(inner: &[u8]) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u8(tags::BA);
+        w.put_bytes(inner);
+        w.finish()
+    }
+
+    /// Unwraps a BA-channel payload.
+    fn untag_ba(payload: &[u8]) -> Option<&[u8]> {
+        let mut r = Reader::new(payload);
+        if r.get_u8()? != tags::BA {
+            return None;
+        }
+        r.get_bytes()
+    }
+}
+
+impl Process for SsbaProcess {
+    fn on_pulse(&mut self, ctx: &mut Context<'_>) {
+        // Split the multiplexed inbox (owned copies: the context is
+        // mutably borrowed again below for the clock tick and sends).
+        let mut clock_claims: Vec<Option<u64>> = vec![None; self.n];
+        let mut ba_owned: Vec<(usize, Vec<u8>)> = Vec::new();
+        for m in ctx.inbox() {
+            let idx = m.from.index();
+            if let Some(v) = ClockProcess::decode(m.bytes()) {
+                if idx < self.n && clock_claims[idx].is_none() {
+                    clock_claims[idx] = Some(v);
+                }
+            } else if let Some(inner) = Self::untag_ba(m.bytes()) {
+                ba_owned.push((idx, inner.to_vec()));
+            }
+        }
+        let ba_inbox: Vec<(usize, &[u8])> =
+            ba_owned.iter().map(|(s, p)| (*s, p.as_slice())).collect();
+
+        // Clock tick.
+        let received: Vec<u64> = clock_claims.into_iter().flatten().collect();
+        let clock_value = self.clock.step(&received, ctx.rng());
+        ctx.broadcast(ClockProcess::encode(clock_value));
+
+        // BA schedule, driven purely by the clock value. The relative round
+        // is *derived* from the clock (value 1 ⇒ round 0), so a scrambled
+        // `ba_round` from a transient fault cannot outlive one wrap.
+        let mut outgoing: Vec<(usize, Vec<u8>)> = Vec::new();
+        if clock_value == 1 {
+            self.instance.begin(self.input);
+            self.ba_round = Some(0);
+            let mut send = |to: usize, payload: Vec<u8>| outgoing.push((to, payload));
+            self.instance.step(0, &ba_inbox, &mut send);
+        } else if let Some(prev) = self.ba_round {
+            let r = prev + 1;
+            if r < self.instance.rounds() {
+                {
+                    let mut send = |to: usize, payload: Vec<u8>| outgoing.push((to, payload));
+                    self.instance.step(r, &ba_inbox, &mut send);
+                }
+                self.ba_round = Some(r);
+                if r == self.instance.rounds() - 1 {
+                    if let Some(d) = self.instance.decided() {
+                        self.agreements.push(d);
+                    }
+                    self.ba_round = None;
+                }
+            } else {
+                self.ba_round = None;
+            }
+        }
+        for (to, inner) in outgoing {
+            ctx.send(ProcessId(to), Self::tag_ba(&inner));
+        }
+    }
+
+    fn scramble(&mut self, rng: &mut rand::rngs::StdRng) {
+        // The full transient fault of §4: arbitrary clock, arbitrary BA
+        // epoch alignment, arbitrary in-progress agreement state.
+        self.clock.set_arbitrary(rng.gen());
+        self.instance.begin(rng.gen());
+        self.ba_round = if rng.gen_bool(0.5) {
+            Some(rng.gen_range(0..self.instance.rounds()))
+        } else {
+            None
+        };
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn name(&self) -> &'static str {
+        "ssba"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ga_agreement::consensus::OmConsensus;
+
+    fn build(n: usize, f: usize, seed: u64) -> Simulation {
+        let rounds = OmConsensus::new(0, n, f).rounds();
+        let modulus = rounds + 2;
+        Simulation::builder(Topology::complete(n))
+            .seed(seed)
+            .build_with(|id| {
+                Box::new(SsbaProcess::new(
+                    n,
+                    f,
+                    modulus,
+                    Box::new(OmConsensus::new(id.index(), n, f)),
+                    10 + id.index() as u64, // distinct inputs
+                )) as Box<dyn Process>
+            })
+    }
+
+    fn agreement_logs(sim: &Simulation, n: usize) -> Vec<Vec<Value>> {
+        (0..n)
+            .map(|i| {
+                sim.process_as::<SsbaProcess>(ProcessId(i))
+                    .unwrap()
+                    .agreements()
+                    .to_vec()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn synchronized_start_produces_periodic_agreements() {
+        let n = 4;
+        let mut sim = build(n, 1, 5);
+        sim.run(60);
+        let logs = agreement_logs(&sim, n);
+        assert!(
+            logs[0].len() >= 2,
+            "several periods elapsed: {:?}",
+            logs[0]
+        );
+        // All processes hold identical agreement logs (agreement property,
+        // repeatedly).
+        assert!(logs.windows(2).all(|w| w[0] == w[1]), "{logs:?}");
+    }
+
+    #[test]
+    fn recovers_after_total_transient_fault() {
+        let n = 4;
+        let mut sim = build(n, 1, 6);
+        sim.run(20);
+        sim.inject(&TransientFault::total(n, 99));
+        // Convergence: give the clock time to re-synchronize, then closure:
+        // compare agreement logs appended after recovery.
+        sim.run(400);
+        let before: Vec<usize> = agreement_logs(&sim, n).iter().map(Vec::len).collect();
+        sim.run(60);
+        let logs = agreement_logs(&sim, n);
+        for i in 0..n {
+            assert!(
+                logs[i].len() > before[i],
+                "agreements resumed after the fault"
+            );
+        }
+        // The post-recovery suffix must again be identical everywhere.
+        let min_len = logs.iter().map(Vec::len).min().unwrap();
+        let tails: Vec<&[Value]> = logs.iter().map(|l| &l[l.len() - min_len.min(2)..]).collect();
+        assert!(tails.windows(2).all(|w| w[0] == w[1]), "{tails:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "clock modulus must fit")]
+    fn modulus_too_small_rejected() {
+        SsbaProcess::new(4, 1, 2, Box::new(OmConsensus::new(0, 4, 1)), 0);
+    }
+
+    #[test]
+    fn tag_untag_round_trip() {
+        let tagged = SsbaProcess::tag_ba(b"inner");
+        assert_eq!(SsbaProcess::untag_ba(&tagged), Some(b"inner".as_slice()));
+        assert_eq!(SsbaProcess::untag_ba(b"junk"), None);
+        // Clock messages are not BA messages.
+        assert_eq!(SsbaProcess::untag_ba(&ClockProcess::encode(5)), None);
+    }
+}

@@ -1,0 +1,182 @@
+//! Agent behaviours for the reference engine.
+//!
+//! The paper's population is "honest but selfish" agents plus a Byzantine
+//! minority. [`Behavior`] captures both: the honest strategies the
+//! middleware certifies, and the attack repertoire the judicial service
+//! must catch — each [`BehaviorKind`] maps onto the verdict that exposes
+//! it.
+
+/// What an agent does each play.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BehaviorKind {
+    /// Honest pure strategist: best response to the previous outcome
+    /// (`initial` before any outcome exists) — exactly §3.3's honest agent.
+    HonestPure {
+        /// Action for the first play.
+        initial: usize,
+    },
+    /// Honest mixed strategist: samples the claimed strategy from a
+    /// committed PRG (§5.3).
+    HonestMixed {
+        /// The mixed strategy, as action weights.
+        strategy: Vec<f64>,
+    },
+    /// Fig. 1's manipulator: claims `claimed` but always plays
+    /// `manipulation`. Caught by the support audit
+    /// ([`Verdict::OutsideClaimedSupport`](crate::judicial::Verdict)).
+    HiddenManipulator {
+        /// The strategy it claims to play.
+        claimed: Vec<f64>,
+        /// The hidden strategy it actually plays.
+        manipulation: usize,
+    },
+    /// The subtle manipulator: samples its committed PRG honestly but
+    /// overrides the outcome with `preferred` whenever they differ. Caught
+    /// by the end-of-epoch seed audit
+    /// ([`Verdict::SeedMismatch`](crate::judicial::Verdict)).
+    SubtleManipulator {
+        /// The strategy it claims (and whose support it stays inside).
+        claimed: Vec<f64>,
+        /// The action it substitutes for honest samples.
+        preferred: usize,
+    },
+    /// Commits to one action, reveals another
+    /// ([`Verdict::BadOpening`](crate::judicial::Verdict)).
+    Equivocator {
+        /// The action it actually reveals.
+        reveal: usize,
+        /// The action it commits to.
+        commit: usize,
+    },
+    /// Commits but never reveals
+    /// ([`Verdict::MissingReveal`](crate::judicial::Verdict)).
+    NoReveal {
+        /// The action it commits to (and hides forever).
+        action: usize,
+    },
+    /// Sends nothing at all
+    /// ([`Verdict::MissingCommitment`](crate::judicial::Verdict)).
+    Silent,
+    /// Plays an out-of-range action
+    /// ([`Verdict::IllegalAction`](crate::judicial::Verdict)).
+    Illegal {
+        /// The illegal action index.
+        action: usize,
+    },
+}
+
+/// An agent's behaviour, with constructors for every kind.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Behavior {
+    kind: BehaviorKind,
+}
+
+impl Behavior {
+    /// Honest pure strategist (best-responder).
+    pub fn honest_pure(initial: usize) -> Behavior {
+        Behavior {
+            kind: BehaviorKind::HonestPure { initial },
+        }
+    }
+
+    /// Honest mixed strategist with PRG-committed sampling.
+    pub fn honest_mixed(strategy: Vec<f64>) -> Behavior {
+        Behavior {
+            kind: BehaviorKind::HonestMixed { strategy },
+        }
+    }
+
+    /// Fig. 1 manipulator: claims `claimed`, always plays `manipulation`.
+    pub fn hidden_manipulator(claimed: Vec<f64>, manipulation: usize) -> Behavior {
+        Behavior {
+            kind: BehaviorKind::HiddenManipulator {
+                claimed,
+                manipulation,
+            },
+        }
+    }
+
+    /// Seed-cheating manipulator staying inside the claimed support.
+    pub fn subtle_manipulator(claimed: Vec<f64>, preferred: usize) -> Behavior {
+        Behavior {
+            kind: BehaviorKind::SubtleManipulator { claimed, preferred },
+        }
+    }
+
+    /// Commit/reveal equivocator.
+    pub fn equivocator(commit: usize, reveal: usize) -> Behavior {
+        Behavior {
+            kind: BehaviorKind::Equivocator { reveal, commit },
+        }
+    }
+
+    /// Commits but never reveals.
+    pub fn no_reveal(action: usize) -> Behavior {
+        Behavior {
+            kind: BehaviorKind::NoReveal { action },
+        }
+    }
+
+    /// Completely silent.
+    pub fn silent() -> Behavior {
+        Behavior {
+            kind: BehaviorKind::Silent,
+        }
+    }
+
+    /// Plays an illegal action index.
+    pub fn illegal(action: usize) -> Behavior {
+        Behavior {
+            kind: BehaviorKind::Illegal { action },
+        }
+    }
+
+    /// The behaviour kind.
+    pub fn kind(&self) -> &BehaviorKind {
+        &self.kind
+    }
+
+    /// Whether this behaviour is one of the honest ones.
+    pub fn is_honest(&self) -> bool {
+        matches!(
+            self.kind,
+            BehaviorKind::HonestPure { .. } | BehaviorKind::HonestMixed { .. }
+        )
+    }
+
+    /// The mixed strategy this behaviour *claims*, if it claims one.
+    pub fn claimed_strategy(&self) -> Option<&[f64]> {
+        match &self.kind {
+            BehaviorKind::HonestMixed { strategy } => Some(strategy),
+            BehaviorKind::HiddenManipulator { claimed, .. } => Some(claimed),
+            BehaviorKind::SubtleManipulator { claimed, .. } => Some(claimed),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn honesty_classification() {
+        assert!(Behavior::honest_pure(0).is_honest());
+        assert!(Behavior::honest_mixed(vec![0.5, 0.5]).is_honest());
+        assert!(!Behavior::hidden_manipulator(vec![0.5, 0.5], 2).is_honest());
+        assert!(!Behavior::silent().is_honest());
+        assert!(!Behavior::equivocator(0, 1).is_honest());
+    }
+
+    #[test]
+    fn claimed_strategies() {
+        assert_eq!(
+            Behavior::honest_mixed(vec![0.3, 0.7]).claimed_strategy(),
+            Some([0.3, 0.7].as_slice())
+        );
+        assert_eq!(Behavior::honest_pure(0).claimed_strategy(), None);
+        assert!(Behavior::subtle_manipulator(vec![0.5, 0.5], 0)
+            .claimed_strategy()
+            .is_some());
+    }
+}

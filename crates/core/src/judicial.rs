@@ -1,0 +1,306 @@
+//! The judicial service: auditing plays and naming fouls.
+//!
+//! §3.2 requires three guarantees, each of which becomes a check here:
+//!
+//! 1. **Legitimate action choice** — every action is drawn from the agent's
+//!    applicable set `Πᵢ` ([`Verdict::IllegalAction`]);
+//! 2. **Private and simultaneous action choice** — realized by Blum
+//!    commit–reveal; violations surface as missing/invalid commitments or
+//!    reveals;
+//! 3. **Foul plays** — an action that is not a best response to the
+//!    previous play's profile ([`Verdict::NotBestResponse`]).
+//!
+//! §5.3 adds the mixed-strategy audit: the revealed action of every round
+//! must equal the output of the agent's *committed* PRG seed for its
+//! claimed strategy ([`Verdict::SeedMismatch`]), and the action must lie in
+//! the claimed support ([`Verdict::OutsideClaimedSupport`]).
+
+use ga_crypto::commitment::{Commitment, Opening};
+use ga_crypto::prg::{CommittedPrg, SeedReveal};
+use ga_crypto::CryptoError;
+use ga_game_theory::best_response::best_responses;
+use ga_game_theory::game::Game;
+use ga_game_theory::profile::PureProfile;
+
+/// The judicial service's per-agent finding for one play.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Played by the rules.
+    Honest,
+    /// Action outside the agent's applicable set `Πᵢ`.
+    IllegalAction,
+    /// No commitment was published in the commit phase.
+    MissingCommitment,
+    /// No reveal was published in the reveal phase.
+    MissingReveal,
+    /// The reveal did not open the commitment (equivocation).
+    BadOpening,
+    /// Pure-strategy foul play: not a best response to the previous
+    /// profile (§3.2 requirement 3).
+    NotBestResponse,
+    /// Mixed-strategy audit: the action is not in the support of the
+    /// claimed strategy (a §5.1-style hidden manipulative strategy).
+    OutsideClaimedSupport,
+    /// Mixed-strategy audit: the revealed seed does not reproduce the
+    /// played actions (§5.3).
+    SeedMismatch,
+    /// The agent was already disconnected and should not have acted.
+    AlreadyPunished,
+}
+
+impl Verdict {
+    /// Whether this verdict keeps the agent in good standing.
+    pub fn is_honest(self) -> bool {
+        self == Verdict::Honest
+    }
+}
+
+/// One agent's submission for a play: the commitment from the commit phase
+/// and the reveal from the reveal phase.
+#[derive(Debug, Clone)]
+pub struct Submission {
+    /// Commitment published before anyone revealed (None = silent).
+    pub commitment: Option<Commitment>,
+    /// Revealed `(action, opening)` (None = refused to reveal).
+    pub reveal: Option<(usize, Opening)>,
+    /// The mixed strategy the agent claims to be playing, if any
+    /// (pure-strategy agents pass `None`).
+    pub claimed_strategy: Option<Vec<f64>>,
+}
+
+/// Encodes an action for commitment (shared by agents and auditors so an
+/// honest commit always verifies).
+pub fn action_bytes(action: usize) -> [u8; 8] {
+    (action as u64).to_be_bytes()
+}
+
+/// Audits one play of `game`.
+///
+/// `previous` is the PSP of the previous play (if any): the §3.2 foul-play
+/// criterion judges each action as a best response to it. `punished` marks
+/// agents already disconnected. Returns one [`Verdict`] per agent.
+pub fn audit_play(
+    game: &dyn Game,
+    previous: Option<&PureProfile>,
+    submissions: &[Submission],
+    punished: &[bool],
+) -> Vec<Verdict> {
+    audit_play_with(game, previous, submissions, punished, true)
+}
+
+/// [`audit_play`] with a configurable cadence: when `check_support` is
+/// `false`, the per-play support check for mixed strategies is skipped —
+/// detection of hidden manipulations is deferred to the end-of-epoch seed
+/// audit ([`audit_epoch`]), the efficiency trade-off §5.3 suggests
+/// ("commit to the private seed … reveal at the end of the sequence of
+/// rounds and then audit").
+pub fn audit_play_with(
+    game: &dyn Game,
+    previous: Option<&PureProfile>,
+    submissions: &[Submission],
+    punished: &[bool],
+    check_support: bool,
+) -> Vec<Verdict> {
+    submissions
+        .iter()
+        .enumerate()
+        .map(|(agent, s)| audit_one(game, previous, agent, s, punished, check_support))
+        .collect()
+}
+
+fn audit_one(
+    game: &dyn Game,
+    previous: Option<&PureProfile>,
+    agent: usize,
+    s: &Submission,
+    punished: &[bool],
+    check_support: bool,
+) -> Verdict {
+    if punished.get(agent).copied().unwrap_or(false) {
+        // A disconnected agent that still manages to act is flagged; a
+        // silent one is simply skipped (still flagged as punished so the
+        // executive keeps ignoring it).
+        return Verdict::AlreadyPunished;
+    }
+    let Some(commitment) = s.commitment else {
+        return Verdict::MissingCommitment;
+    };
+    let Some((action, opening)) = s.reveal else {
+        return Verdict::MissingReveal;
+    };
+    match commitment.verify(&action_bytes(action), &opening) {
+        Ok(()) => {}
+        Err(CryptoError::BadOpening) => return Verdict::BadOpening,
+        Err(_) => return Verdict::BadOpening,
+    }
+    if action >= game.num_actions(agent) {
+        return Verdict::IllegalAction;
+    }
+    if let Some(claimed) = &s.claimed_strategy {
+        // Mixed play: the action must be inside the claimed support; the
+        // deeper seed audit happens at epoch end (audit_epoch). Under the
+        // deferred cadence the support check waits for the epoch audit too.
+        if check_support && claimed.get(action).copied().unwrap_or(0.0) <= 0.0 {
+            return Verdict::OutsideClaimedSupport;
+        }
+    } else if let Some(prev) = previous {
+        // Pure play: best-response discipline.
+        if !best_responses(game, agent, prev).contains(&action) {
+            return Verdict::NotBestResponse;
+        }
+    }
+    Verdict::Honest
+}
+
+/// End-of-epoch mixed-strategy audit (§5.3): verify that `transcript`
+/// (per-round `(claimed weights, played action)`) is exactly what the
+/// committed seed produces.
+pub fn audit_epoch(
+    seed_commitment: Commitment,
+    reveal: SeedReveal,
+    transcript: &[(Vec<f64>, usize)],
+) -> Verdict {
+    match CommittedPrg::verify_samples(seed_commitment, reveal, transcript) {
+        Ok(()) => Verdict::Honest,
+        Err(CryptoError::BadOpening) => Verdict::BadOpening,
+        Err(CryptoError::SeedMismatch) => Verdict::SeedMismatch,
+        Err(_) => Verdict::SeedMismatch,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ga_crypto::commitment::Commitment;
+    use ga_crypto::prg::CommittedPrg;
+    use ga_games::prisoners_dilemma;
+
+    fn commit_to(action: usize, nonce_byte: u8) -> (Commitment, Opening) {
+        Commitment::commit(&action_bytes(action), [nonce_byte; 32])
+    }
+
+    fn honest_submission(action: usize, nonce: u8) -> Submission {
+        let (c, o) = commit_to(action, nonce);
+        Submission {
+            commitment: Some(c),
+            reveal: Some((action, o)),
+            claimed_strategy: None,
+        }
+    }
+
+    #[test]
+    fn honest_pure_play_passes() {
+        let g = prisoners_dilemma();
+        let prev = PureProfile::new(vec![1, 1]);
+        let subs = vec![honest_submission(1, 1), honest_submission(1, 2)];
+        let verdicts = audit_play(&g, Some(&prev), &subs, &[false, false]);
+        assert!(verdicts.iter().all(|v| v.is_honest()));
+    }
+
+    #[test]
+    fn cooperation_after_defection_is_a_foul() {
+        // Best response to (D,D) is D; playing C is the §3.2 foul.
+        let g = prisoners_dilemma();
+        let prev = PureProfile::new(vec![1, 1]);
+        let subs = vec![honest_submission(0, 1), honest_submission(1, 2)];
+        let verdicts = audit_play(&g, Some(&prev), &subs, &[false, false]);
+        assert_eq!(verdicts[0], Verdict::NotBestResponse);
+        assert_eq!(verdicts[1], Verdict::Honest);
+    }
+
+    #[test]
+    fn first_round_has_no_best_response_obligation() {
+        let g = prisoners_dilemma();
+        let subs = vec![honest_submission(0, 1), honest_submission(1, 2)];
+        let verdicts = audit_play(&g, None, &subs, &[false, false]);
+        assert!(verdicts.iter().all(|v| v.is_honest()));
+    }
+
+    #[test]
+    fn equivocation_caught_by_opening() {
+        let g = prisoners_dilemma();
+        let (c, o) = commit_to(0, 1); // committed to cooperate...
+        let subs = vec![
+            Submission {
+                commitment: Some(c),
+                reveal: Some((1, o)), // ...revealed defect
+                claimed_strategy: None,
+            },
+            honest_submission(1, 2),
+        ];
+        let verdicts = audit_play(&g, None, &subs, &[false, false]);
+        assert_eq!(verdicts[0], Verdict::BadOpening);
+    }
+
+    #[test]
+    fn missing_phases_are_fouls() {
+        let g = prisoners_dilemma();
+        let (c, _) = commit_to(0, 1);
+        let subs = vec![
+            Submission {
+                commitment: None,
+                reveal: None,
+                claimed_strategy: None,
+            },
+            Submission {
+                commitment: Some(c),
+                reveal: None,
+                claimed_strategy: None,
+            },
+        ];
+        let verdicts = audit_play(&g, None, &subs, &[false, false]);
+        assert_eq!(verdicts[0], Verdict::MissingCommitment);
+        assert_eq!(verdicts[1], Verdict::MissingReveal);
+    }
+
+    #[test]
+    fn illegal_action_caught() {
+        let g = prisoners_dilemma();
+        let subs = vec![honest_submission(7, 1), honest_submission(1, 2)];
+        let verdicts = audit_play(&g, None, &subs, &[false, false]);
+        assert_eq!(verdicts[0], Verdict::IllegalAction);
+    }
+
+    #[test]
+    fn outside_claimed_support_caught() {
+        use ga_games::matching_pennies::{manipulated_matching_pennies, MANIPULATE};
+        let g = manipulated_matching_pennies();
+        let (c, o) = commit_to(MANIPULATE, 3);
+        let subs = vec![
+            honest_submission(0, 1),
+            Submission {
+                commitment: Some(c),
+                reveal: Some((MANIPULATE, o)),
+                claimed_strategy: Some(vec![0.5, 0.5, 0.0]), // claims to mix H/T
+            },
+        ];
+        let verdicts = audit_play(&g, None, &subs, &[false, false]);
+        assert_eq!(verdicts[1], Verdict::OutsideClaimedSupport);
+    }
+
+    #[test]
+    fn punished_agents_stay_flagged() {
+        let g = prisoners_dilemma();
+        let subs = vec![honest_submission(1, 1), honest_submission(1, 2)];
+        let verdicts = audit_play(&g, None, &subs, &[true, false]);
+        assert_eq!(verdicts[0], Verdict::AlreadyPunished);
+        assert_eq!(verdicts[1], Verdict::Honest);
+    }
+
+    #[test]
+    fn epoch_audit_honest_and_cheating() {
+        let mut cp = CommittedPrg::new([7u8; 32], [9u8; 32]);
+        let w = vec![0.5, 0.5];
+        let mut transcript: Vec<(Vec<f64>, usize)> =
+            (0..8).map(|_| (w.clone(), cp.sample(&w))).collect();
+        assert_eq!(
+            audit_epoch(cp.commitment(), cp.reveal(), &transcript),
+            Verdict::Honest
+        );
+        transcript[3].1 = 1 - transcript[3].1;
+        assert_eq!(
+            audit_epoch(cp.commitment(), cp.reveal(), &transcript),
+            Verdict::SeedMismatch
+        );
+    }
+}

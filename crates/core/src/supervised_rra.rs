@@ -1,0 +1,317 @@
+//! Supervised repeated resource allocation — §6 end to end.
+//!
+//! Corollary 4 / Theorem 5 are conditional on "a game authority that
+//! supervises the RRA game". This module is that coupling: every round is
+//! a full authority play of the current *stage game* (loads + contention):
+//!
+//! 1. each agent commits to its demand `(resource, units)`;
+//! 2. reveals are audited: `units == 1` (*legitimate action choice* —
+//!    §3.2 req. 1), the opening matches, and the resource is a best
+//!    response to the previous round's profile in today's stage game
+//!    (§3.2 req. 3);
+//! 3. fouls are punished (disconnection), and only surviving agents'
+//!    demands hit the loads.
+//!
+//! With the authority in place the measured dynamics inherit the paper's
+//! bounds; without it a multi-demand cheater tears through Lemma 6's
+//! envelope (compare [`rra_round`](SupervisedRra::play_round) runs with
+//! `audits: false`).
+
+use ga_crypto::commitment::Commitment;
+use ga_crypto::prg::Prg;
+use ga_game_theory::best_response::{best_response, best_responses};
+use ga_game_theory::profile::PureProfile;
+use ga_games::resource_allocation::RraStageGame;
+
+use crate::executive::{Executive, Punishment};
+use crate::judicial::Verdict;
+
+/// How an agent behaves in the supervised RRA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RraAgent {
+    /// Plays a best response to the previous profile with one unit.
+    Honest,
+    /// Places `units` demands on the most-loaded resource (violating the
+    /// single-unit rule whenever `units != 1`).
+    Cheater {
+        /// Demands placed per round.
+        units: u32,
+    },
+    /// Always demands the same resource with one unit — legal in form, but
+    /// a *foul play* (§3.2 req. 3) as soon as that resource stops being a
+    /// best response.
+    Stubborn {
+        /// The fixated resource.
+        resource: usize,
+    },
+}
+
+/// A demand: the committed-and-revealed action of one RRA round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Demand {
+    /// Chosen resource.
+    pub resource: usize,
+    /// Units placed (legitimate plays have exactly 1).
+    pub units: u32,
+}
+
+fn demand_bytes(d: Demand) -> [u8; 12] {
+    let mut out = [0u8; 12];
+    out[..8].copy_from_slice(&(d.resource as u64).to_be_bytes());
+    out[8..].copy_from_slice(&d.units.to_be_bytes());
+    out
+}
+
+/// Per-round outcome of the supervised dynamics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupervisedRound {
+    /// Round number (1-based after completion).
+    pub k: u64,
+    /// Verdicts of this round's audit.
+    pub verdicts: Vec<Verdict>,
+    /// Agents newly disconnected.
+    pub punished: Vec<usize>,
+    /// Loads after the round.
+    pub loads: Vec<u64>,
+    /// Load gap Δ(k).
+    pub gap: u64,
+}
+
+/// The supervised RRA driver.
+#[derive(Debug)]
+pub struct SupervisedRra {
+    n: usize,
+    loads: Vec<u64>,
+    agents: Vec<RraAgent>,
+    executive: Executive,
+    prev_profile: Option<PureProfile>,
+    nonce_prgs: Vec<Prg>,
+    round: u64,
+    /// When false, the judicial service looks away (the unsupervised
+    /// baseline).
+    audits: bool,
+}
+
+impl SupervisedRra {
+    /// Creates the driver for `agents` over `b` resources.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b < 2` or no agents.
+    pub fn new(agents: Vec<RraAgent>, b: usize, audits: bool, seed: u64) -> SupervisedRra {
+        assert!(b >= 2, "need at least two resources");
+        assert!(!agents.is_empty(), "need at least one agent");
+        let n = agents.len();
+        let nonce_prgs = (0..n)
+            .map(|i| Prg::from_seed_material(b"ga-rra-nonce", seed ^ (i as u64) << 20))
+            .collect();
+        SupervisedRra {
+            n,
+            loads: vec![0; b],
+            agents,
+            executive: Executive::new(n, Punishment::Disconnect),
+            prev_profile: None,
+            nonce_prgs,
+            round: 0,
+            audits,
+        }
+    }
+
+    /// Current loads.
+    pub fn loads(&self) -> &[u64] {
+        &self.loads
+    }
+
+    /// Load gap Δ(k).
+    pub fn gap(&self) -> u64 {
+        let max = self.loads.iter().max().copied().unwrap_or(0);
+        let min = self.loads.iter().min().copied().unwrap_or(0);
+        max - min
+    }
+
+    /// The executive ledger.
+    pub fn executive(&self) -> &Executive {
+        &self.executive
+    }
+
+    /// Plays one supervised round.
+    pub fn play_round(&mut self) -> SupervisedRound {
+        let stage = RraStageGame::new(self.n, self.loads.clone());
+        let most = (0..self.loads.len())
+            .max_by_key(|&a| self.loads[a])
+            .expect("b ≥ 2");
+
+        // Choice + commit + reveal, per agent.
+        let mut demands: Vec<Option<Demand>> = Vec::with_capacity(self.n);
+        let mut commitments: Vec<Option<(Commitment, ga_crypto::commitment::Opening)>> =
+            Vec::with_capacity(self.n);
+        for i in 0..self.n {
+            if !self.executive.is_active(i) {
+                demands.push(None);
+                commitments.push(None);
+                continue;
+            }
+            let demand = match self.agents[i] {
+                RraAgent::Honest => {
+                    let resource = match &self.prev_profile {
+                        Some(prev) => best_response(&stage, i, prev),
+                        None => i % self.loads.len(),
+                    };
+                    Demand { resource, units: 1 }
+                }
+                RraAgent::Cheater { units } => Demand {
+                    resource: most,
+                    units,
+                },
+                RraAgent::Stubborn { resource } => Demand {
+                    resource: resource.min(self.loads.len() - 1),
+                    units: 1,
+                },
+            };
+            let nonce = self.nonce_prgs[i].next_block();
+            let pair = Commitment::commit(&demand_bytes(demand), nonce);
+            demands.push(Some(demand));
+            commitments.push(Some(pair));
+        }
+
+        // Judicial audit.
+        let verdicts: Vec<Verdict> = (0..self.n)
+            .map(|i| {
+                if !self.executive.is_active(i) {
+                    return Verdict::AlreadyPunished;
+                }
+                if !self.audits {
+                    return Verdict::Honest;
+                }
+                let demand = demands[i].expect("active agents demanded");
+                let (commitment, opening) = commitments[i].as_ref().expect("committed");
+                if commitment
+                    .verify(&demand_bytes(demand), opening)
+                    .is_err()
+                {
+                    return Verdict::BadOpening;
+                }
+                if demand.units != 1 || demand.resource >= self.loads.len() {
+                    return Verdict::IllegalAction; // §3.2 requirement 1
+                }
+                if let Some(prev) = &self.prev_profile {
+                    if !best_responses(&stage, i, prev).contains(&demand.resource) {
+                        return Verdict::NotBestResponse; // §3.2 requirement 3
+                    }
+                }
+                Verdict::Honest
+            })
+            .collect();
+        let punished = self.executive.apply_verdicts(&verdicts);
+
+        // Executive: only surviving agents' demands land. (Punishment is
+        // detected from this round's reveals, so the offending round's
+        // demand still lands — the authority repairs from the next round.)
+        let mut profile_actions = vec![0usize; self.n];
+        for i in 0..self.n {
+            let Some(demand) = demands[i] else { continue };
+            profile_actions[i] = demand.resource.min(self.loads.len() - 1);
+            self.loads[profile_actions[i]] += u64::from(demand.units);
+        }
+        self.prev_profile = Some(PureProfile::new(profile_actions));
+        self.round += 1;
+
+        SupervisedRound {
+            k: self.round,
+            verdicts,
+            punished,
+            loads: self.loads.clone(),
+            gap: self.gap(),
+        }
+    }
+
+    /// Plays `rounds` rounds, returning every round's record.
+    pub fn play(&mut self, rounds: u64) -> Vec<SupervisedRound> {
+        (0..rounds).map(|_| self.play_round()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn honest_population_stays_in_the_envelope() {
+        let n = 5;
+        let mut rra = SupervisedRra::new(vec![RraAgent::Honest; n], 3, true, 1);
+        for r in rra.play(300) {
+            assert!(r.punished.is_empty(), "no honest fouls: {:?}", r.verdicts);
+            assert!(r.gap <= 2 * n as u64 - 1, "Δ({}) = {}", r.k, r.gap);
+        }
+    }
+
+    #[test]
+    fn cheater_is_caught_in_round_one_and_dynamics_recover() {
+        let n = 5;
+        let mut agents = vec![RraAgent::Honest; n];
+        agents[4] = RraAgent::Cheater { units: 8 };
+        let mut rra = SupervisedRra::new(agents, 3, true, 2);
+        let rounds = rra.play(200);
+        assert_eq!(rounds[0].verdicts[4], Verdict::IllegalAction);
+        assert_eq!(rounds[0].punished, vec![4]);
+        assert!(!rra.executive().is_active(4));
+        // One cheated round lands; honest water-filling then re-absorbs
+        // the skew back into the envelope.
+        let last = rounds.last().unwrap();
+        assert!(
+            last.gap <= 2 * n as u64 - 1,
+            "Δ recovered: {} (loads {:?})",
+            last.gap,
+            last.loads
+        );
+    }
+
+    #[test]
+    fn unsupervised_cheater_diverges() {
+        let n = 5;
+        let mut agents = vec![RraAgent::Honest; n];
+        agents[4] = RraAgent::Cheater { units: 8 };
+        let mut rra = SupervisedRra::new(agents, 3, false, 2);
+        let rounds = rra.play(200);
+        assert!(rounds.iter().all(|r| r.punished.is_empty()));
+        let last = rounds.last().unwrap();
+        assert!(
+            last.gap > 2 * n as u64 - 1,
+            "unsupervised gap diverges: {}",
+            last.gap
+        );
+    }
+
+    #[test]
+    fn honest_agents_never_flagged_even_with_cheater_present() {
+        let n = 4;
+        let mut agents = vec![RraAgent::Honest; n];
+        agents[0] = RraAgent::Cheater { units: 3 };
+        let mut rra = SupervisedRra::new(agents, 2, true, 3);
+        for r in rra.play(50) {
+            for i in 1..n {
+                assert!(
+                    r.verdicts[i].is_honest() || r.verdicts[i] == Verdict::AlreadyPunished,
+                    "honest p{i} flagged: {:?}",
+                    r.verdicts
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stubborn_agent_is_caught_as_non_best_response() {
+        // Fixating on one resource is legal in form (one unit) but becomes
+        // a §3.2 foul play once that resource's backlog makes any honest
+        // agent switch — the best-response audit's job.
+        let n = 4;
+        let mut agents = vec![RraAgent::Honest; n];
+        agents[3] = RraAgent::Stubborn { resource: 0 };
+        let mut rra = SupervisedRra::new(agents, 2, true, 4);
+        let rounds = rra.play(30);
+        let caught = rounds
+            .iter()
+            .any(|r| r.verdicts[3] == Verdict::NotBestResponse);
+        assert!(caught, "fixation is a foul play eventually");
+    }
+}

@@ -1,0 +1,225 @@
+//! Blum coin flipping by telephone (SIGACT News 1983).
+//!
+//! The paper cites Blum \[4\] as the template for "ensuring an action is
+//! indeed random" (§5.3): commit first, reveal after everyone committed, and
+//! combine the reveals so no party controls the outcome. This module gives a
+//! two-party (and n-party) coin usable by tests and by tie-breaking logic in
+//! the legislative service.
+//!
+//! Protocol (two parties):
+//! 1. Each party draws a random 32-byte contribution and broadcasts a
+//!    commitment to it.
+//! 2. After receiving the other commitment, each reveals.
+//! 3. The coin is the XOR-parity of the first bytes — unbiased as long as at
+//!    least one party is honest, because the dishonest party committed before
+//!    seeing the honest contribution.
+//!
+//! ```
+//! use ga_crypto::coin::CoinFlip;
+//!
+//! # fn main() -> Result<(), ga_crypto::CryptoError> {
+//! let alice = CoinFlip::contribute([1u8; 32], [11u8; 32]);
+//! let bob = CoinFlip::contribute([2u8; 32], [22u8; 32]);
+//! // Exchange commitments, then reveals; both compute the same coin.
+//! let coin_a = CoinFlip::combine(&[
+//!     (alice.commitment(), alice.reveal()),
+//!     (bob.commitment(), bob.reveal()),
+//! ])?;
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::commitment::{Commitment, Nonce, Opening};
+use crate::CryptoError;
+
+/// One party's side of a coin-flipping protocol instance.
+#[derive(Debug, Clone)]
+pub struct CoinFlip {
+    contribution: [u8; 32],
+    commitment: Commitment,
+    opening: Opening,
+}
+
+/// A revealed contribution: the bytes and the opening for their commitment.
+#[derive(Debug, Clone, Copy)]
+pub struct CoinReveal {
+    contribution: [u8; 32],
+    opening: Opening,
+}
+
+impl CoinReveal {
+    /// Reconstructs a reveal from wire data.
+    pub fn from_parts(contribution: [u8; 32], opening: Opening) -> CoinReveal {
+        CoinReveal {
+            contribution,
+            opening,
+        }
+    }
+
+    /// The revealed random bytes.
+    pub fn contribution(&self) -> &[u8; 32] {
+        &self.contribution
+    }
+}
+
+impl CoinFlip {
+    /// Creates this party's contribution from private randomness.
+    pub fn contribute(contribution: [u8; 32], nonce: Nonce) -> CoinFlip {
+        let (commitment, opening) = Commitment::commit(&contribution, nonce);
+        CoinFlip {
+            contribution,
+            commitment,
+            opening,
+        }
+    }
+
+    /// The commitment to broadcast in phase 1.
+    pub fn commitment(&self) -> Commitment {
+        self.commitment
+    }
+
+    /// The reveal to broadcast in phase 2.
+    pub fn reveal(&self) -> CoinReveal {
+        CoinReveal {
+            contribution: self.contribution,
+            opening: self.opening,
+        }
+    }
+
+    /// Verifies all reveals against their commitments and combines them into
+    /// one unbiased coin: the XOR of every contribution byte, reduced to a
+    /// boolean by parity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::BadOpening`] if any reveal does not open its
+    /// commitment (that party is cheating) and
+    /// [`CryptoError::BadTranscript`] when no parties are given.
+    pub fn combine(parties: &[(Commitment, CoinReveal)]) -> Result<bool, CryptoError> {
+        if parties.is_empty() {
+            return Err(CryptoError::BadTranscript("no parties"));
+        }
+        let mut acc = 0u8;
+        for (commitment, reveal) in parties {
+            commitment.verify(&reveal.contribution, &reveal.opening)?;
+            acc ^= reveal.contribution.iter().fold(0u8, |x, b| x ^ b);
+        }
+        Ok(acc.count_ones() % 2 == 1)
+    }
+
+    /// Like [`combine`](Self::combine), but yields a full 32-byte shared
+    /// random value (XOR of contributions) — useful as a common seed.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`combine`](Self::combine).
+    pub fn combine_bytes(
+        parties: &[(Commitment, CoinReveal)],
+    ) -> Result<[u8; 32], CryptoError> {
+        if parties.is_empty() {
+            return Err(CryptoError::BadTranscript("no parties"));
+        }
+        let mut acc = [0u8; 32];
+        for (commitment, reveal) in parties {
+            commitment.verify(&reveal.contribution, &reveal.opening)?;
+            for (a, b) in acc.iter_mut().zip(reveal.contribution.iter()) {
+                *a ^= b;
+            }
+        }
+        Ok(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prg::Prg;
+
+    fn party(seed: u8) -> CoinFlip {
+        let mut prg = Prg::new([seed; 32]);
+        let c = prg.next_block();
+        let n = prg.next_block();
+        CoinFlip::contribute(c, n)
+    }
+
+    #[test]
+    fn both_parties_agree_on_coin() {
+        let a = party(1);
+        let b = party(2);
+        let pairs = [(a.commitment(), a.reveal()), (b.commitment(), b.reveal())];
+        let coin1 = CoinFlip::combine(&pairs).unwrap();
+        let reversed = [(b.commitment(), b.reveal()), (a.commitment(), a.reveal())];
+        let coin2 = CoinFlip::combine(&reversed).unwrap();
+        assert_eq!(coin1, coin2, "coin must be order-independent");
+    }
+
+    #[test]
+    fn cheater_substituting_contribution_is_caught() {
+        let a = party(1);
+        let b = party(2);
+        // b tries to swap its contribution after seeing a's reveal.
+        let forged = CoinReveal::from_parts([0xff; 32], *b.reveal().opening_for_test());
+        let pairs = [(a.commitment(), a.reveal()), (b.commitment(), forged)];
+        assert_eq!(
+            CoinFlip::combine(&pairs).unwrap_err(),
+            CryptoError::BadOpening
+        );
+    }
+
+    #[test]
+    fn empty_party_set_rejected() {
+        assert!(matches!(
+            CoinFlip::combine(&[]),
+            Err(CryptoError::BadTranscript(_))
+        ));
+    }
+
+    #[test]
+    fn coin_is_roughly_unbiased_over_seeds() {
+        let mut heads = 0;
+        let n = 400;
+        for s in 0..n {
+            let mut prg = Prg::from_seed_material(b"coin-test", s);
+            let a = CoinFlip::contribute(prg.next_block(), prg.next_block());
+            let b = CoinFlip::contribute(prg.next_block(), prg.next_block());
+            let pairs = [(a.commitment(), a.reveal()), (b.commitment(), b.reveal())];
+            if CoinFlip::combine(&pairs).unwrap() {
+                heads += 1;
+            }
+        }
+        let frac = heads as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.08, "frac={frac}");
+    }
+
+    #[test]
+    fn combine_bytes_is_xor_of_contributions() {
+        let a = party(3);
+        let b = party(4);
+        let pairs = [(a.commitment(), a.reveal()), (b.commitment(), b.reveal())];
+        let bytes = CoinFlip::combine_bytes(&pairs).unwrap();
+        let expect: Vec<u8> = a
+            .reveal()
+            .contribution()
+            .iter()
+            .zip(b.reveal().contribution().iter())
+            .map(|(x, y)| x ^ y)
+            .collect();
+        assert_eq!(bytes.to_vec(), expect);
+    }
+
+    #[test]
+    fn n_party_coin_with_one_honest_contribution_verifies() {
+        let parties: Vec<CoinFlip> = (0..7).map(party).collect();
+        let pairs: Vec<_> = parties
+            .iter()
+            .map(|p| (p.commitment(), p.reveal()))
+            .collect();
+        CoinFlip::combine(&pairs).unwrap();
+    }
+
+    impl CoinReveal {
+        fn opening_for_test(&self) -> &Opening {
+            &self.opening
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Hash-based commitment scheme (Blum-style commit/reveal).
+//!
+//! The judicial service needs every agent's action to be chosen *privately
+//! and simultaneously* (paper §3.2, requirement 2): nobody may see another
+//! agent's action before all have committed. The protocol of §3.3 achieves
+//! this with a commitment scheme; here we provide the standard hash
+//! construction `C = H(domain ‖ value ‖ nonce)` with a 32-byte random nonce.
+//!
+//! * **Hiding** — the nonce blinds low-entropy values (an action index!), so
+//!   observing `C` reveals nothing before the opening is published.
+//! * **Binding** — producing `(value', nonce') ≠ (value, nonce)` with the
+//!   same digest requires a SHA-256 collision.
+//!
+//! ```
+//! use ga_crypto::commitment::Commitment;
+//!
+//! # fn main() -> Result<(), ga_crypto::CryptoError> {
+//! let (c, opening) = Commitment::commit(b"defect", [42u8; 32]);
+//! c.verify(b"defect", &opening)?;          // honest reveal
+//! assert!(c.verify(b"cooperate", &opening).is_err()); // equivocation caught
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::sha256::Sha256;
+use crate::{CryptoError, Digest};
+
+/// Domain-separation prefix: commitments can never collide with other
+/// protocol hashes (audit-log links, MAC inputs, ...).
+const DOMAIN: &[u8] = b"ga-commitment-v1";
+
+/// The blinding nonce an agent must keep secret until reveal time.
+pub type Nonce = [u8; 32];
+
+/// A binding, hiding commitment to a byte string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Commitment {
+    digest: Digest,
+}
+
+/// The secret material needed to open a [`Commitment`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Opening {
+    nonce: Nonce,
+}
+
+impl Opening {
+    /// Constructs an opening from a raw nonce (e.g. received over the wire).
+    pub fn from_nonce(nonce: Nonce) -> Self {
+        Opening { nonce }
+    }
+
+    /// The raw nonce, for serialization into protocol messages.
+    pub fn nonce(&self) -> &Nonce {
+        &self.nonce
+    }
+}
+
+impl Commitment {
+    /// Commits to `value` using the caller-supplied random `nonce`.
+    ///
+    /// The caller must draw `nonce` from its private randomness source; the
+    /// deterministic signature keeps the whole simulation reproducible.
+    /// Returns the public commitment and the secret opening.
+    pub fn commit(value: &[u8], nonce: Nonce) -> (Commitment, Opening) {
+        let digest = Self::digest_of(value, &nonce);
+        (Commitment { digest }, Opening { nonce })
+    }
+
+    /// Reconstructs a commitment received from the network.
+    pub fn from_digest(digest: Digest) -> Commitment {
+        Commitment { digest }
+    }
+
+    /// The public digest, for serialization into protocol messages.
+    pub fn digest(&self) -> &Digest {
+        &self.digest
+    }
+
+    /// Verifies that `(value, opening)` opens this commitment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::BadOpening`] when the value/nonce pair does not
+    /// reproduce the committed digest — the judicial service treats this as a
+    /// foul play.
+    pub fn verify(&self, value: &[u8], opening: &Opening) -> Result<(), CryptoError> {
+        let expected = Self::digest_of(value, &opening.nonce);
+        if crate::hmac::eq_digest(&expected, &self.digest) {
+            Ok(())
+        } else {
+            Err(CryptoError::BadOpening)
+        }
+    }
+
+    fn digest_of(value: &[u8], nonce: &Nonce) -> Digest {
+        Sha256::digest_parts(&[DOMAIN, value, nonce])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nonce(b: u8) -> Nonce {
+        [b; 32]
+    }
+
+    #[test]
+    fn commit_and_verify_round_trip() {
+        let (c, o) = Commitment::commit(b"action-3", nonce(1));
+        assert!(c.verify(b"action-3", &o).is_ok());
+    }
+
+    #[test]
+    fn wrong_value_rejected() {
+        let (c, o) = Commitment::commit(b"action-3", nonce(1));
+        assert_eq!(
+            c.verify(b"action-4", &o).unwrap_err(),
+            CryptoError::BadOpening
+        );
+    }
+
+    #[test]
+    fn wrong_nonce_rejected() {
+        let (c, _) = Commitment::commit(b"action-3", nonce(1));
+        assert!(c
+            .verify(b"action-3", &Opening::from_nonce(nonce(2)))
+            .is_err());
+    }
+
+    #[test]
+    fn hiding_same_value_different_nonce_differs() {
+        let (c1, _) = Commitment::commit(b"heads", nonce(1));
+        let (c2, _) = Commitment::commit(b"heads", nonce(2));
+        assert_ne!(c1, c2, "nonce must blind the committed value");
+    }
+
+    #[test]
+    fn empty_value_supported() {
+        let (c, o) = Commitment::commit(b"", nonce(9));
+        assert!(c.verify(b"", &o).is_ok());
+        assert!(c.verify(b"x", &o).is_err());
+    }
+
+    #[test]
+    fn digest_round_trips_through_wire_form() {
+        let (c, o) = Commitment::commit(b"payload", nonce(7));
+        let wire = *c.digest();
+        let c2 = Commitment::from_digest(wire);
+        assert!(c2.verify(b"payload", &o).is_ok());
+    }
+
+    #[test]
+    fn commitment_is_not_plain_hash_of_value() {
+        // Domain separation: the commitment digest must differ from a bare
+        // SHA-256 of the value, even with an all-zero nonce.
+        let (c, _) = Commitment::commit(b"v", nonce(0));
+        assert_ne!(*c.digest(), crate::sha256::Sha256::digest(b"v"));
+    }
+}

@@ -1,0 +1,124 @@
+//! HMAC-SHA256 (RFC 2104 / FIPS 198-1), built on the from-scratch
+//! [`sha256`](crate::sha256) implementation.
+//!
+//! Used by [`mac`](crate::mac) to authenticate protocol messages in the
+//! authenticated Byzantine agreement variant, and by
+//! [`prg`](crate::prg) as the expansion function of the committed PRG.
+//!
+//! ```
+//! use ga_crypto::hmac::hmac_sha256;
+//!
+//! let tag = hmac_sha256(b"key", b"message");
+//! assert_eq!(tag, hmac_sha256(b"key", b"message"));
+//! assert_ne!(tag, hmac_sha256(b"other key", b"message"));
+//! ```
+
+use crate::sha256::Sha256;
+use crate::Digest;
+
+const BLOCK: usize = 64;
+const IPAD: u8 = 0x36;
+const OPAD: u8 = 0x5c;
+
+/// Computes `HMAC-SHA256(key, message)`.
+///
+/// Keys longer than the 64-byte block are pre-hashed, per RFC 2104.
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> Digest {
+    let mut key_block = [0u8; BLOCK];
+    if key.len() > BLOCK {
+        let kd = Sha256::digest(key);
+        key_block[..32].copy_from_slice(&kd);
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+
+    let mut inner = Sha256::new();
+    let ipad: Vec<u8> = key_block.iter().map(|b| b ^ IPAD).collect();
+    inner.update(&ipad);
+    inner.update(message);
+    let inner_digest = inner.finalize();
+
+    let mut outer = Sha256::new();
+    let opad: Vec<u8> = key_block.iter().map(|b| b ^ OPAD).collect();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+/// Constant-time digest comparison.
+///
+/// Inside the simulation timing attacks are not modelled, but verification
+/// code should still never branch byte-by-byte on secret data.
+pub fn eq_digest(a: &Digest, b: &Digest) -> bool {
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::to_hex;
+
+    // RFC 4231 test vectors for HMAC-SHA-256.
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0bu8; 20];
+        let tag = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            to_hex(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2() {
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            to_hex(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_3() {
+        let key = [0xaau8; 20];
+        let data = [0xddu8; 50];
+        let tag = hmac_sha256(&key, &data);
+        assert_eq!(
+            to_hex(&tag),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_6_long_key() {
+        let key = [0xaau8; 131];
+        let tag = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            to_hex(&tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn different_keys_different_tags() {
+        assert_ne!(hmac_sha256(b"k1", b"m"), hmac_sha256(b"k2", b"m"));
+    }
+
+    #[test]
+    fn different_messages_different_tags() {
+        assert_ne!(hmac_sha256(b"k", b"m1"), hmac_sha256(b"k", b"m2"));
+    }
+
+    #[test]
+    fn eq_digest_agrees_with_eq() {
+        let a = hmac_sha256(b"k", b"m");
+        let mut b = a;
+        assert!(eq_digest(&a, &b));
+        b[31] ^= 1;
+        assert!(!eq_digest(&a, &b));
+    }
+}

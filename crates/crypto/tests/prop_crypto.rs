@@ -1,0 +1,82 @@
+//! Property tests for the cryptographic substrate.
+
+use ga_crypto::audit_log::AuditLog;
+use ga_crypto::hmac::hmac_sha256;
+use ga_crypto::mac::{KeyRing, SignatureChain};
+use ga_crypto::sha256::Sha256;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Incremental hashing over an arbitrary chunking equals one-shot.
+    #[test]
+    fn sha256_chunking_invariance(data in proptest::collection::vec(any::<u8>(), 0..512),
+                                  cuts in proptest::collection::vec(any::<u16>(), 0..8)) {
+        let one_shot = Sha256::digest(&data);
+        let mut h = Sha256::new();
+        let mut offsets: Vec<usize> = cuts.iter().map(|&c| c as usize % (data.len() + 1)).collect();
+        offsets.push(0);
+        offsets.push(data.len());
+        offsets.sort_unstable();
+        for w in offsets.windows(2) {
+            h.update(&data[w[0]..w[1]]);
+        }
+        prop_assert_eq!(h.finalize(), one_shot);
+    }
+
+    /// Distinct messages (virtually) never collide.
+    #[test]
+    fn sha256_distinct_inputs_distinct_digests(a in proptest::collection::vec(any::<u8>(), 0..64),
+                                               b in proptest::collection::vec(any::<u8>(), 0..64)) {
+        prop_assume!(a != b);
+        prop_assert_ne!(Sha256::digest(&a), Sha256::digest(&b));
+    }
+
+    /// HMAC separates by key and by message.
+    #[test]
+    fn hmac_separation(k1 in proptest::collection::vec(any::<u8>(), 1..48),
+                       k2 in proptest::collection::vec(any::<u8>(), 1..48),
+                       m in proptest::collection::vec(any::<u8>(), 0..64)) {
+        prop_assume!(k1 != k2);
+        prop_assert_ne!(hmac_sha256(&k1, &m), hmac_sha256(&k2, &m));
+    }
+
+    /// Any mid-log tamper is detected by chain verification.
+    #[test]
+    fn audit_log_tamper_detection(payloads in proptest::collection::vec(
+                                      proptest::collection::vec(any::<u8>(), 0..16), 2..12),
+                                  victim in any::<usize>(),
+                                  replacement in proptest::collection::vec(any::<u8>(), 0..16)) {
+        let mut log = AuditLog::new();
+        for p in &payloads {
+            log.append(p);
+        }
+        prop_assert!(log.verify().is_ok());
+        // Tamper strictly before the last record so the chain must break.
+        let idx = victim % (payloads.len() - 1);
+        prop_assume!(payloads[idx] != replacement);
+        log.tamper(idx, &replacement);
+        prop_assert!(log.verify().is_err());
+    }
+
+    /// Signature chains: any prefix-respecting extension verifies; value
+    /// tampering never does.
+    #[test]
+    fn signature_chain_soundness(value in proptest::collection::vec(any::<u8>(), 0..32),
+                                 order in proptest::sample::subsequence(vec![0usize,1,2,3,4], 1..5)) {
+        let ring = KeyRing::generate(5, 7);
+        let mut iter = order.iter();
+        let first = *iter.next().expect("nonempty");
+        let mut chain = SignatureChain::originate(&ring.authenticator(first), &value);
+        for &s in iter {
+            chain = chain.extend(&ring.authenticator(s));
+        }
+        prop_assert!(chain.valid(&ring.authenticator(0)));
+        // Tamper the value.
+        let mut bad_value = value.clone();
+        bad_value.push(0xFF);
+        let bad = SignatureChain::from_parts(bad_value, chain.links().to_vec());
+        prop_assert!(!bad.valid(&ring.authenticator(0)));
+    }
+}

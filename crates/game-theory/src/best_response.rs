@@ -1,0 +1,112 @@
+//! Best responses — the judicial service's yardstick.
+//!
+//! The paper defines a *foul play* (§3.2 requirement 3) as an action that is
+//! not the agent's best response to the previous play's profile; the
+//! judicial service instructs punishment for exactly those actions. §2
+//! assumes best responses are computable in polynomial time — here they are
+//! a linear scan over the agent's action set.
+
+use crate::game::Game;
+use crate::profile::PureProfile;
+use crate::EPSILON;
+
+/// The set of best responses of `agent` to `profile`'s other coordinates:
+/// all actions minimizing the agent's cost (ties included).
+///
+/// # Panics
+///
+/// Panics if `profile` does not fit `game` (validate at trust boundaries).
+pub fn best_responses(game: &dyn Game, agent: usize, profile: &PureProfile) -> Vec<usize> {
+    let m = game.num_actions(agent);
+    assert!(m > 0, "agent has no actions");
+    let mut best = f64::INFINITY;
+    let mut arg = Vec::new();
+    for action in 0..m {
+        let cost = game.cost(agent, &profile.with_action(agent, action));
+        if cost < best - EPSILON {
+            best = cost;
+            arg.clear();
+            arg.push(action);
+        } else if (cost - best).abs() <= EPSILON {
+            arg.push(action);
+        }
+    }
+    arg
+}
+
+/// The lowest-index best response (deterministic tie-break).
+pub fn best_response(game: &dyn Game, agent: usize, profile: &PureProfile) -> usize {
+    best_responses(game, agent, profile)[0]
+}
+
+/// Whether `agent`'s action *in* `profile` is a best response to the rest —
+/// i.e. whether the agent played honestly by the paper's criterion.
+pub fn is_best_response(game: &dyn Game, agent: usize, profile: &PureProfile) -> bool {
+    let played = game.cost(agent, profile);
+    let m = game.num_actions(agent);
+    for action in 0..m {
+        if game.cost(agent, &profile.with_action(agent, action)) < played - EPSILON {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::game::MatrixGame;
+
+    fn pd() -> MatrixGame {
+        // Cost form: (C,C)=1, (C,D)=3/0, (D,C)=0/3, (D,D)=2.
+        MatrixGame::from_costs(
+            "pd",
+            vec![
+                vec![(1.0, 1.0), (3.0, 0.0)],
+                vec![(0.0, 3.0), (2.0, 2.0)],
+            ],
+        )
+    }
+
+    #[test]
+    fn defect_dominates_in_pd() {
+        let g = pd();
+        for other in 0..2 {
+            let p = PureProfile::new(vec![0, other]);
+            assert_eq!(best_response(&g, 0, &p), 1, "defect is dominant");
+        }
+    }
+
+    #[test]
+    fn is_best_response_detects_foul() {
+        let g = pd();
+        // Cooperating against a defector is not a best response.
+        assert!(!is_best_response(&g, 0, &PureProfile::new(vec![0, 1])));
+        assert!(is_best_response(&g, 0, &PureProfile::new(vec![1, 1])));
+    }
+
+    #[test]
+    fn ties_are_all_reported() {
+        let g = MatrixGame::from_costs(
+            "tie",
+            vec![
+                vec![(1.0, 0.0), (1.0, 0.0)],
+                vec![(1.0, 0.0), (1.0, 0.0)],
+            ],
+        );
+        let p = PureProfile::new(vec![0, 0]);
+        assert_eq!(best_responses(&g, 0, &p), vec![0, 1]);
+        // Any action is a best response under total indifference.
+        assert!(is_best_response(&g, 0, &p));
+        assert!(is_best_response(&g, 0, &PureProfile::new(vec![1, 0])));
+    }
+
+    #[test]
+    fn best_response_ignores_current_action() {
+        let g = pd();
+        // Same opponent action, different own action: same best response.
+        let a = best_response(&g, 0, &PureProfile::new(vec![0, 1]));
+        let b = best_response(&g, 0, &PureProfile::new(vec![1, 1]));
+        assert_eq!(a, b);
+    }
+}

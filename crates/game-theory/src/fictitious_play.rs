@@ -1,0 +1,130 @@
+//! Fictitious play for bimatrix games.
+//!
+//! A learning dynamic: each round, each player best-responds to the
+//! opponent's *empirical* action frequencies. For zero-sum games (e.g.
+//! matching pennies) the empirical frequencies converge to a mixed
+//! equilibrium — a useful fallback when
+//! [`support_enumeration`](crate::mixed::support_enumeration) meets a
+//! degenerate game, and a reference dynamic for the repeated-game
+//! experiments.
+
+use crate::game::MatrixGame;
+use crate::profile::MixedStrategy;
+
+/// Outcome of a fictitious-play run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FictitiousPlay {
+    /// Row player's empirical mixture.
+    pub row: MixedStrategy,
+    /// Column player's empirical mixture.
+    pub col: MixedStrategy,
+    /// Rounds simulated.
+    pub rounds: usize,
+}
+
+/// Runs fictitious play for `rounds` rounds from uniform priors.
+///
+/// Deterministic: ties in the best response break toward the lower index.
+///
+/// # Panics
+///
+/// Panics if `rounds == 0`.
+pub fn fictitious_play(game: &MatrixGame, rounds: usize) -> FictitiousPlay {
+    assert!(rounds > 0, "need at least one round");
+    let m = game.rows();
+    let n = game.cols();
+    // Laplace-style unit priors keep round 1 well-defined.
+    let mut row_counts = vec![1.0f64; m];
+    let mut col_counts = vec![1.0f64; n];
+    let mut row_plays = vec![0u64; m];
+    let mut col_plays = vec![0u64; n];
+
+    for _ in 0..rounds {
+        let col_total: f64 = col_counts.iter().sum();
+        let row_total: f64 = row_counts.iter().sum();
+
+        // Row best-responds to empirical column mixture (min expected cost).
+        let row_br = (0..m)
+            .min_by(|&a, &b| {
+                let ca: f64 = (0..n).map(|j| game.at(a, j).0 * col_counts[j] / col_total).sum();
+                let cb: f64 = (0..n).map(|j| game.at(b, j).0 * col_counts[j] / col_total).sum();
+                ca.partial_cmp(&cb).expect("finite costs")
+            })
+            .expect("nonempty action set");
+        let col_br = (0..n)
+            .min_by(|&a, &b| {
+                let ca: f64 = (0..m).map(|i| game.at(i, a).1 * row_counts[i] / row_total).sum();
+                let cb: f64 = (0..m).map(|i| game.at(i, b).1 * row_counts[i] / row_total).sum();
+                ca.partial_cmp(&cb).expect("finite costs")
+            })
+            .expect("nonempty action set");
+
+        row_counts[row_br] += 1.0;
+        col_counts[col_br] += 1.0;
+        row_plays[row_br] += 1;
+        col_plays[col_br] += 1;
+    }
+
+    let to_mixture = |plays: &[u64]| {
+        let total: u64 = plays.iter().sum();
+        MixedStrategy::new(plays.iter().map(|&c| c as f64 / total as f64).collect())
+            .expect("play frequencies form a distribution")
+    };
+    FictitiousPlay {
+        row: to_mixture(&row_plays),
+        col: to_mixture(&col_plays),
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_on_matching_pennies() {
+        let mp = MatrixGame::from_payoffs(
+            "mp",
+            vec![
+                vec![(1.0, -1.0), (-1.0, 1.0)],
+                vec![(-1.0, 1.0), (1.0, -1.0)],
+            ],
+        );
+        let fp = fictitious_play(&mp, 20_000);
+        assert!((fp.row.prob(0) - 0.5).abs() < 0.02, "row={:?}", fp.row);
+        assert!((fp.col.prob(0) - 0.5).abs() < 0.02, "col={:?}", fp.col);
+    }
+
+    #[test]
+    fn finds_dominant_strategy_in_pd() {
+        let pd = MatrixGame::from_costs(
+            "pd",
+            vec![
+                vec![(1.0, 1.0), (3.0, 0.0)],
+                vec![(0.0, 3.0), (2.0, 2.0)],
+            ],
+        );
+        let fp = fictitious_play(&pd, 500);
+        assert!(fp.row.prob(1) > 0.95);
+        assert!(fp.col.prob(1) > 0.95);
+    }
+
+    #[test]
+    fn deterministic() {
+        let mp = MatrixGame::from_payoffs(
+            "mp",
+            vec![
+                vec![(1.0, -1.0), (-1.0, 1.0)],
+                vec![(-1.0, 1.0), (1.0, -1.0)],
+            ],
+        );
+        assert_eq!(fictitious_play(&mp, 100), fictitious_play(&mp, 100));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one round")]
+    fn zero_rounds_rejected() {
+        let g = MatrixGame::from_costs("g", vec![vec![(0.0, 0.0)]]);
+        fictitious_play(&g, 0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Minimal dense linear algebra: Gaussian elimination with partial
+//! pivoting.
+//!
+//! Used by [`mixed`](crate::mixed) support enumeration to solve the
+//! indifference equations of candidate equilibria. Small systems only
+//! (supports of bimatrix games), so a dense `O(n³)` solver is exactly
+//! right.
+
+/// Solves `A x = b` for square `A` (row-major), returning `None` when the
+/// system is (numerically) singular.
+///
+/// # Panics
+///
+/// Panics if `a` is not `n × n` for `n = b.len()`.
+pub fn solve(a: &[Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
+    let n = b.len();
+    assert_eq!(a.len(), n, "matrix must be square");
+    assert!(a.iter().all(|row| row.len() == n), "matrix must be square");
+
+    // Augmented matrix.
+    let mut m: Vec<Vec<f64>> = a
+        .iter()
+        .zip(b)
+        .map(|(row, &rhs)| {
+            let mut r = row.clone();
+            r.push(rhs);
+            r
+        })
+        .collect();
+
+    for col in 0..n {
+        // Partial pivot.
+        let pivot = (col..n).max_by(|&i, &j| {
+            m[i][col]
+                .abs()
+                .partial_cmp(&m[j][col].abs())
+                .expect("finite")
+        })?;
+        if m[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        m.swap(col, pivot);
+        // Eliminate below.
+        for row in col + 1..n {
+            let factor = m[row][col] / m[col][col];
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..=n {
+                m[row][k] -= factor * m[col][k];
+            }
+        }
+    }
+
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = m[row][n];
+        for k in row + 1..n {
+            acc -= m[row][k] * x[k];
+        }
+        x[row] = acc / m[row][row];
+        if !x[row].is_finite() {
+            return None;
+        }
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: &[f64], b: &[f64]) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() < 1e-9)
+    }
+
+    #[test]
+    fn solves_identity() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let x = solve(&a, &[3.0, 4.0]).unwrap();
+        assert!(close(&x, &[3.0, 4.0]));
+    }
+
+    #[test]
+    fn solves_general_system() {
+        // 2x + y = 5; x - y = 1  =>  x = 2, y = 1.
+        let a = vec![vec![2.0, 1.0], vec![1.0, -1.0]];
+        let x = solve(&a, &[5.0, 1.0]).unwrap();
+        assert!(close(&x, &[2.0, 1.0]));
+    }
+
+    #[test]
+    fn detects_singular() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(solve(&a, &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn needs_pivoting() {
+        // Zero pivot in the natural order.
+        let a = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let x = solve(&a, &[2.0, 3.0]).unwrap();
+        assert!(close(&x, &[3.0, 2.0]));
+    }
+
+    #[test]
+    fn three_by_three() {
+        let a = vec![
+            vec![2.0, 1.0, -1.0],
+            vec![-3.0, -1.0, 2.0],
+            vec![-2.0, 1.0, 2.0],
+        ];
+        let x = solve(&a, &[8.0, -11.0, -3.0]).unwrap();
+        assert!(close(&x, &[2.0, 3.0, -1.0]));
+    }
+
+    #[test]
+    fn one_by_one() {
+        assert!(close(&solve(&[vec![4.0]], &[8.0]).unwrap(), &[2.0]));
+        assert!(solve(&[vec![0.0]], &[1.0]).is_none());
+    }
+}

@@ -1,0 +1,162 @@
+//! Pure Nash equilibria and best-response dynamics.
+
+use crate::best_response::{best_response, is_best_response};
+use crate::game::Game;
+use crate::profile::{all_profiles, PureProfile};
+
+/// Whether `profile` is a pure Nash equilibrium (PNE): no agent can lower
+/// its cost by a unilateral deviation (§2).
+pub fn is_pure_nash(game: &dyn Game, profile: &PureProfile) -> bool {
+    (0..game.num_agents()).all(|agent| is_best_response(game, agent, profile))
+}
+
+/// Enumerates all PNEs (lexicographic order).
+///
+/// Exhaustive over the profile space — exponential in agents, intended for
+/// the small games the legislative service can put to a vote. "A game may
+/// not possess a PNE at all" (§2): the result may be empty (e.g. matching
+/// pennies).
+pub fn pure_nash_equilibria(game: &dyn Game) -> Vec<PureProfile> {
+    all_profiles(game)
+        .filter(|p| is_pure_nash(game, p))
+        .collect()
+}
+
+/// Result of running best-response dynamics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dynamics {
+    /// The final profile.
+    pub profile: PureProfile,
+    /// Number of improvement steps taken.
+    pub steps: usize,
+    /// Whether the dynamics reached a PNE (vs. hitting the step limit).
+    pub converged: bool,
+}
+
+/// Iterated best-response dynamics: repeatedly let the lowest-index agent
+/// with a profitable deviation switch to its best response.
+///
+/// Converges on potential games (congestion, load balancing); may cycle on
+/// others (matching pennies), in which case `converged` is `false` after
+/// `max_steps`.
+pub fn best_response_dynamics(
+    game: &dyn Game,
+    start: PureProfile,
+    max_steps: usize,
+) -> Dynamics {
+    let mut profile = start;
+    for steps in 0..max_steps {
+        let deviator = (0..game.num_agents()).find(|&a| !is_best_response(game, a, &profile));
+        match deviator {
+            None => {
+                return Dynamics {
+                    profile,
+                    steps,
+                    converged: true,
+                }
+            }
+            Some(agent) => {
+                let br = best_response(game, agent, &profile);
+                profile = profile.with_action(agent, br);
+            }
+        }
+    }
+    let converged = is_pure_nash(game, &profile);
+    Dynamics {
+        profile,
+        steps: max_steps,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::game::{ClosureGame, MatrixGame};
+
+    fn pd() -> MatrixGame {
+        MatrixGame::from_costs(
+            "pd",
+            vec![
+                vec![(1.0, 1.0), (3.0, 0.0)],
+                vec![(0.0, 3.0), (2.0, 2.0)],
+            ],
+        )
+    }
+
+    fn matching_pennies() -> MatrixGame {
+        MatrixGame::from_payoffs(
+            "mp",
+            vec![
+                vec![(1.0, -1.0), (-1.0, 1.0)],
+                vec![(-1.0, 1.0), (1.0, -1.0)],
+            ],
+        )
+    }
+
+    #[test]
+    fn pd_has_unique_pne_defect_defect() {
+        assert_eq!(
+            pure_nash_equilibria(&pd()),
+            vec![PureProfile::new(vec![1, 1])]
+        );
+    }
+
+    #[test]
+    fn matching_pennies_has_no_pne() {
+        assert!(pure_nash_equilibria(&matching_pennies()).is_empty());
+    }
+
+    #[test]
+    fn coordination_game_has_two_pnes() {
+        let g = MatrixGame::from_costs(
+            "coord",
+            vec![
+                vec![(0.0, 0.0), (1.0, 1.0)],
+                vec![(1.0, 1.0), (0.0, 0.0)],
+            ],
+        );
+        let pnes = pure_nash_equilibria(&g);
+        assert_eq!(
+            pnes,
+            vec![PureProfile::new(vec![0, 0]), PureProfile::new(vec![1, 1])]
+        );
+    }
+
+    #[test]
+    fn dynamics_converge_on_pd() {
+        let d = best_response_dynamics(&pd(), PureProfile::new(vec![0, 0]), 100);
+        assert!(d.converged);
+        assert_eq!(d.profile, PureProfile::new(vec![1, 1]));
+        assert!(d.steps <= 2);
+    }
+
+    #[test]
+    fn dynamics_cycle_on_matching_pennies() {
+        let d = best_response_dynamics(&matching_pennies(), PureProfile::new(vec![0, 0]), 50);
+        assert!(!d.converged);
+        assert_eq!(d.steps, 50);
+    }
+
+    #[test]
+    fn dynamics_converge_on_three_player_congestion() {
+        // 3 agents pick one of 2 resources; cost = load on chosen resource.
+        let g = ClosureGame::new("cong", 3, vec![2, 2, 2], |agent, p| {
+            let mine = p.action(agent);
+            p.actions().iter().filter(|&&a| a == mine).count() as f64
+        });
+        let d = best_response_dynamics(&g, PureProfile::new(vec![0, 0, 0]), 100);
+        assert!(d.converged);
+        // Balanced: loads 2 and 1.
+        let ones = d.profile.actions().iter().filter(|&&a| a == 1).count();
+        assert!(ones == 1 || ones == 2);
+        assert!(is_pure_nash(&g, &d.profile));
+    }
+
+    #[test]
+    fn already_at_equilibrium_takes_zero_steps() {
+        let d = best_response_dynamics(&pd(), PureProfile::new(vec![1, 1]), 10);
+        assert!(d.converged);
+        assert_eq!(d.steps, 0);
+    }
+}

@@ -1,0 +1,334 @@
+//! Strategy profiles: pure, mixed, and per-agent mixed strategies.
+
+use crate::game::Game;
+use crate::{GameError, EPSILON};
+
+/// A pure strategy profile (PSP): one action index per agent.
+///
+/// The paper writes `π = (π₁, …, πₙ) ∈ Π ≡ ×ᵢ Πᵢ`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct PureProfile(Vec<usize>);
+
+impl PureProfile {
+    /// Wraps raw action indices.
+    pub fn new(actions: Vec<usize>) -> PureProfile {
+        PureProfile(actions)
+    }
+
+    /// The action of `agent`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `agent` is out of range.
+    pub fn action(&self, agent: usize) -> usize {
+        self.0[agent]
+    }
+
+    /// All actions as a slice.
+    pub fn actions(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of agents covered.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the profile covers no agents.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// A copy with `agent`'s action replaced — the paper's unilateral
+    /// deviation `(π′ᵢ, π₋ᵢ)`.
+    #[must_use]
+    pub fn with_action(&self, agent: usize, action: usize) -> PureProfile {
+        let mut v = self.0.clone();
+        v[agent] = action;
+        PureProfile(v)
+    }
+
+    /// Validates the profile against a game's dimensions.
+    ///
+    /// # Errors
+    ///
+    /// [`GameError::MalformedProfile`] when the agent count or any action
+    /// index does not fit.
+    pub fn validate(&self, game: &dyn Game) -> Result<(), GameError> {
+        if self.0.len() != game.num_agents() {
+            return Err(GameError::MalformedProfile(format!(
+                "profile covers {} agents, game has {}",
+                self.0.len(),
+                game.num_agents()
+            )));
+        }
+        for (agent, &action) in self.0.iter().enumerate() {
+            if action >= game.num_actions(agent) {
+                return Err(GameError::MalformedProfile(format!(
+                    "agent {agent} action {action} out of range (< {})",
+                    game.num_actions(agent)
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl From<Vec<usize>> for PureProfile {
+    fn from(v: Vec<usize>) -> Self {
+        PureProfile(v)
+    }
+}
+
+/// Iterates over every PSP of a game in lexicographic order.
+///
+/// Exponential in the number of agents; intended for the small matrix games
+/// the authority referees and for exact PoA/PoS computation in tests.
+pub fn all_profiles(game: &dyn Game) -> ProfileIter {
+    ProfileIter {
+        dims: (0..game.num_agents()).map(|i| game.num_actions(i)).collect(),
+        next: Some(vec![0; game.num_agents()]),
+    }
+}
+
+/// Iterator over all pure profiles (see [`all_profiles`]).
+#[derive(Debug, Clone)]
+pub struct ProfileIter {
+    dims: Vec<usize>,
+    next: Option<Vec<usize>>,
+}
+
+impl Iterator for ProfileIter {
+    type Item = PureProfile;
+
+    fn next(&mut self) -> Option<PureProfile> {
+        let current = self.next.take()?;
+        if self.dims.iter().any(|&d| d == 0) {
+            return None;
+        }
+        let mut succ = current.clone();
+        // Mixed-radix increment from the last agent.
+        let mut i = succ.len();
+        loop {
+            if i == 0 {
+                self.next = None;
+                break;
+            }
+            i -= 1;
+            succ[i] += 1;
+            if succ[i] < self.dims[i] {
+                self.next = Some(succ);
+                break;
+            }
+            succ[i] = 0;
+        }
+        Some(PureProfile(current))
+    }
+}
+
+/// A mixed strategy for one agent: a probability distribution over actions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixedStrategy(Vec<f64>);
+
+impl MixedStrategy {
+    /// Validates and wraps a probability vector.
+    ///
+    /// # Errors
+    ///
+    /// [`GameError::MalformedStrategy`] if any weight is negative/non-finite
+    /// or the weights do not sum to 1 (tolerance 1e-6).
+    pub fn new(weights: Vec<f64>) -> Result<MixedStrategy, GameError> {
+        if weights.is_empty() {
+            return Err(GameError::MalformedStrategy("empty support".into()));
+        }
+        if weights.iter().any(|w| !w.is_finite() || *w < -EPSILON) {
+            return Err(GameError::MalformedStrategy(
+                "weights must be finite and non-negative".into(),
+            ));
+        }
+        let total: f64 = weights.iter().sum();
+        if (total - 1.0).abs() > 1e-6 {
+            return Err(GameError::MalformedStrategy(format!(
+                "weights sum to {total}, expected 1"
+            )));
+        }
+        Ok(MixedStrategy(weights))
+    }
+
+    /// The pure strategy playing `action` with probability 1 among
+    /// `num_actions` actions.
+    pub fn pure(action: usize, num_actions: usize) -> MixedStrategy {
+        let mut w = vec![0.0; num_actions];
+        w[action] = 1.0;
+        MixedStrategy(w)
+    }
+
+    /// The uniform distribution over `num_actions` actions.
+    pub fn uniform(num_actions: usize) -> MixedStrategy {
+        MixedStrategy(vec![1.0 / num_actions as f64; num_actions])
+    }
+
+    /// Probability of `action` (0 if out of range).
+    pub fn prob(&self, action: usize) -> f64 {
+        self.0.get(action).copied().unwrap_or(0.0)
+    }
+
+    /// The probability vector.
+    pub fn weights(&self) -> &[f64] {
+        &self.0
+    }
+
+    /// Number of actions covered.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the strategy covers no actions (never true — `new` rejects
+    /// empty supports).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Actions with non-negligible probability.
+    pub fn support(&self) -> Vec<usize> {
+        self.0
+            .iter()
+            .enumerate()
+            .filter(|(_, &w)| w > 1e-9)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Whether this strategy is (numerically) pure.
+    pub fn as_pure(&self) -> Option<usize> {
+        let support = self.support();
+        match support.as_slice() {
+            [only] if self.0[*only] > 1.0 - 1e-9 => Some(*only),
+            _ => None,
+        }
+    }
+}
+
+/// A mixed profile: one [`MixedStrategy`] per agent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixedProfile(Vec<MixedStrategy>);
+
+impl MixedProfile {
+    /// Wraps per-agent strategies.
+    pub fn new(strategies: Vec<MixedStrategy>) -> MixedProfile {
+        MixedProfile(strategies)
+    }
+
+    /// The strategy of `agent`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `agent` is out of range.
+    pub fn strategy(&self, agent: usize) -> &MixedStrategy {
+        &self.0[agent]
+    }
+
+    /// All strategies.
+    pub fn strategies(&self) -> &[MixedStrategy] {
+        &self.0
+    }
+
+    /// Number of agents covered.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the profile covers no agents.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Probability this profile assigns to a pure profile.
+    pub fn prob_of(&self, pure: &PureProfile) -> f64 {
+        self.0
+            .iter()
+            .zip(pure.actions())
+            .map(|(s, &a)| s.prob(a))
+            .product()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::game::MatrixGame;
+
+    fn pd() -> MatrixGame {
+        MatrixGame::from_costs(
+            "pd",
+            vec![
+                vec![(1.0, 1.0), (3.0, 0.0)],
+                vec![(0.0, 3.0), (2.0, 2.0)],
+            ],
+        )
+    }
+
+    #[test]
+    fn with_action_is_unilateral() {
+        let p = PureProfile::new(vec![0, 1, 2]);
+        let q = p.with_action(1, 5);
+        assert_eq!(q.actions(), &[0, 5, 2]);
+        assert_eq!(p.actions(), &[0, 1, 2], "original untouched");
+    }
+
+    #[test]
+    fn validate_accepts_good_profile() {
+        let g = pd();
+        assert!(PureProfile::new(vec![0, 1]).validate(&g).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_wrong_arity_and_range() {
+        let g = pd();
+        assert!(PureProfile::new(vec![0]).validate(&g).is_err());
+        assert!(PureProfile::new(vec![0, 2]).validate(&g).is_err());
+    }
+
+    #[test]
+    fn all_profiles_enumerates_cartesian_product() {
+        let g = pd();
+        let all: Vec<PureProfile> = all_profiles(&g).collect();
+        assert_eq!(all.len(), 4);
+        assert_eq!(all[0], PureProfile::new(vec![0, 0]));
+        assert_eq!(all[3], PureProfile::new(vec![1, 1]));
+    }
+
+    #[test]
+    fn mixed_strategy_validation() {
+        assert!(MixedStrategy::new(vec![0.5, 0.5]).is_ok());
+        assert!(MixedStrategy::new(vec![0.6, 0.6]).is_err());
+        assert!(MixedStrategy::new(vec![-0.1, 1.1]).is_err());
+        assert!(MixedStrategy::new(vec![]).is_err());
+        assert!(MixedStrategy::new(vec![f64::NAN, 1.0]).is_err());
+    }
+
+    #[test]
+    fn uniform_and_pure_constructors() {
+        let u = MixedStrategy::uniform(4);
+        assert!((u.prob(2) - 0.25).abs() < 1e-12);
+        let p = MixedStrategy::pure(1, 3);
+        assert_eq!(p.as_pure(), Some(1));
+        assert_eq!(u.as_pure(), None);
+        assert_eq!(p.support(), vec![1]);
+    }
+
+    #[test]
+    fn mixed_profile_prob_of_multiplies() {
+        let mp = MixedProfile::new(vec![MixedStrategy::uniform(2), MixedStrategy::uniform(2)]);
+        assert!((mp.prob_of(&PureProfile::new(vec![0, 1])) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profile_iter_handles_heterogeneous_dims() {
+        use crate::game::ClosureGame;
+        let g = ClosureGame::new("het", 2, vec![2, 3], |_, _| 0.0);
+        let all: Vec<PureProfile> = all_profiles(&g).collect();
+        assert_eq!(all.len(), 6);
+        assert_eq!(all.last().unwrap().actions(), &[1, 2]);
+    }
+}

@@ -1,0 +1,209 @@
+//! Regret matching and correlated equilibria (Hart–Mas-Colell).
+//!
+//! An extension the paper's framework invites: the game authority can
+//! certify not only Nash play but any *auditable learning dynamic*, since
+//! every sampled action is committed and replayable (§5.3). Regret
+//! matching is the canonical such dynamic: each agent plays actions with
+//! probability proportional to positive cumulative regret, and the
+//! empirical joint distribution converges to the set of **correlated
+//! equilibria** — a natural solution concept when a middleware (the
+//! authority!) can act as the correlation device.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+
+use crate::game::Game;
+use crate::profile::PureProfile;
+
+/// Result of a regret-matching run.
+#[derive(Debug, Clone)]
+pub struct RegretOutcome {
+    /// Empirical joint distribution over pure profiles.
+    pub joint: HashMap<PureProfile, f64>,
+    /// Final cumulative regrets per agent and action.
+    pub regrets: Vec<Vec<f64>>,
+    /// Rounds played.
+    pub rounds: u64,
+}
+
+impl RegretOutcome {
+    /// The maximum per-agent average swap regret — ε such that the joint
+    /// distribution is an ε-correlated equilibrium.
+    pub fn epsilon(&self) -> f64 {
+        self.regrets
+            .iter()
+            .flat_map(|r| r.iter())
+            .fold(0.0f64, |m, &r| m.max(r))
+            / self.rounds.max(1) as f64
+    }
+}
+
+/// Runs regret matching for `rounds` rounds.
+///
+/// Each round every agent samples from its positive-regret distribution
+/// (uniform when no regret is positive), then updates the regret of every
+/// alternative action `a`: `regret[a] += cost(played) − cost(a, others)`.
+///
+/// # Panics
+///
+/// Panics if `rounds == 0`.
+pub fn regret_matching(game: &dyn Game, rounds: u64, rng: &mut impl Rng) -> RegretOutcome {
+    assert!(rounds > 0, "need at least one round");
+    let n = game.num_agents();
+    let mut regrets: Vec<Vec<f64>> = (0..n).map(|i| vec![0.0; game.num_actions(i)]).collect();
+    let mut joint: HashMap<PureProfile, f64> = HashMap::new();
+
+    for _ in 0..rounds {
+        // Sample simultaneously from positive-regret mixtures.
+        let actions: Vec<usize> = (0..n)
+            .map(|i| sample_positive_regret(&regrets[i], rng))
+            .collect();
+        let profile = PureProfile::new(actions);
+        *joint.entry(profile.clone()).or_insert(0.0) += 1.0;
+
+        // Regret update.
+        for agent in 0..n {
+            let played_cost = game.cost(agent, &profile);
+            for a in 0..game.num_actions(agent) {
+                let alt_cost = game.cost(agent, &profile.with_action(agent, a));
+                regrets[agent][a] += played_cost - alt_cost;
+            }
+        }
+    }
+
+    for v in joint.values_mut() {
+        *v /= rounds as f64;
+    }
+    RegretOutcome {
+        joint,
+        regrets,
+        rounds,
+    }
+}
+
+fn sample_positive_regret(regrets: &[f64], rng: &mut impl Rng) -> usize {
+    let total: f64 = regrets.iter().map(|&r| r.max(0.0)).sum();
+    if total <= 1e-12 {
+        return rng.gen_range(0..regrets.len());
+    }
+    let mut x = rng.gen_range(0.0..total);
+    for (i, &r) in regrets.iter().enumerate() {
+        let p = r.max(0.0);
+        if x < p {
+            return i;
+        }
+        x -= p;
+    }
+    regrets.len() - 1
+}
+
+/// Checks whether `joint` is an ε-correlated equilibrium of `game`: for
+/// every agent and every swap `a → b`, following the recommendation is
+/// within `eps` of the swap, in expectation over the distribution.
+pub fn is_correlated_equilibrium(
+    game: &dyn Game,
+    joint: &HashMap<PureProfile, f64>,
+    eps: f64,
+) -> bool {
+    for agent in 0..game.num_agents() {
+        for a in 0..game.num_actions(agent) {
+            for b in 0..game.num_actions(agent) {
+                if a == b {
+                    continue;
+                }
+                // Expected gain from swapping a→b whenever recommended a.
+                let mut gain = 0.0;
+                for (profile, &p) in joint {
+                    if profile.action(agent) != a {
+                        continue;
+                    }
+                    gain += p
+                        * (game.cost(agent, profile)
+                            - game.cost(agent, &profile.with_action(agent, b)));
+                }
+                if gain > eps {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::game::MatrixGame;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    fn pd() -> MatrixGame {
+        MatrixGame::from_costs(
+            "pd",
+            vec![
+                vec![(1.0, 1.0), (3.0, 0.0)],
+                vec![(0.0, 3.0), (2.0, 2.0)],
+            ],
+        )
+    }
+
+    #[test]
+    fn pd_converges_to_defection() {
+        let out = regret_matching(&pd(), 3000, &mut rng());
+        let dd = out
+            .joint
+            .get(&PureProfile::new(vec![1, 1]))
+            .copied()
+            .unwrap_or(0.0);
+        assert!(dd > 0.9, "defect/defect mass = {dd}");
+        assert!(out.epsilon() < 0.1, "eps = {}", out.epsilon());
+    }
+
+    #[test]
+    fn matching_pennies_low_regret_and_balanced() {
+        let mp = MatrixGame::from_payoffs(
+            "mp",
+            vec![
+                vec![(1.0, -1.0), (-1.0, 1.0)],
+                vec![(-1.0, 1.0), (1.0, -1.0)],
+            ],
+        );
+        let out = regret_matching(&mp, 20_000, &mut rng());
+        assert!(out.epsilon() < 0.1, "eps = {}", out.epsilon());
+        // Row marginal close to uniform.
+        let row_heads: f64 = out
+            .joint
+            .iter()
+            .filter(|(p, _)| p.action(0) == 0)
+            .map(|(_, &v)| v)
+            .sum();
+        assert!((row_heads - 0.5).abs() < 0.1, "row heads mass {row_heads}");
+    }
+
+    #[test]
+    fn empirical_joint_is_eps_correlated_equilibrium() {
+        let out = regret_matching(&pd(), 3000, &mut rng());
+        assert!(is_correlated_equilibrium(&pd(), &out.joint, out.epsilon() + 1e-9));
+    }
+
+    #[test]
+    fn correlated_equilibrium_checker_rejects_bad_distribution() {
+        // All mass on (C, C) in the PD: defecting gains 1 ⇒ not a CE.
+        let mut joint = HashMap::new();
+        joint.insert(PureProfile::new(vec![0, 0]), 1.0);
+        assert!(!is_correlated_equilibrium(&pd(), &joint, 0.5));
+        assert!(is_correlated_equilibrium(&pd(), &joint, 1.01), "but is a 1.01-CE");
+    }
+
+    #[test]
+    fn joint_distribution_sums_to_one() {
+        let out = regret_matching(&pd(), 500, &mut rng());
+        let total: f64 = out.joint.values().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+}

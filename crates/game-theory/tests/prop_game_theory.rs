@@ -1,0 +1,89 @@
+//! Property tests for the game-theory core: equilibrium and cost
+//! invariants over random games.
+
+use ga_game_theory::best_response::{best_response, best_responses, is_best_response};
+use ga_game_theory::cost::{optimal_social_cost, social_cost};
+use ga_game_theory::game::{Game, MatrixGame};
+use ga_game_theory::mixed::{is_mixed_nash, support_enumeration};
+use ga_game_theory::nash::{best_response_dynamics, is_pure_nash, pure_nash_equilibria};
+use ga_game_theory::profile::{all_profiles, MixedProfile, PureProfile};
+use proptest::prelude::*;
+
+/// Strategy for random 2×2 cost bimatrices with small integer costs
+/// (integers avoid knife-edge numerics in support enumeration).
+fn matrix_2x2() -> impl Strategy<Value = MatrixGame> {
+    proptest::collection::vec(-5i32..=5, 8).prop_map(|v| {
+        MatrixGame::from_costs(
+            "random",
+            vec![
+                vec![(v[0] as f64, v[1] as f64), (v[2] as f64, v[3] as f64)],
+                vec![(v[4] as f64, v[5] as f64), (v[6] as f64, v[7] as f64)],
+            ],
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Everything `pure_nash_equilibria` returns passes `is_pure_nash`,
+    /// and nothing else does.
+    #[test]
+    fn pne_enumeration_is_exact(game in matrix_2x2()) {
+        let pnes = pure_nash_equilibria(&game);
+        for p in all_profiles(&game) {
+            prop_assert_eq!(pnes.contains(&p), is_pure_nash(&game, &p));
+        }
+    }
+
+    /// A best response is never beaten by any alternative.
+    #[test]
+    fn best_response_is_minimal(game in matrix_2x2(), r in 0usize..2, c in 0usize..2) {
+        let profile = PureProfile::new(vec![r, c]);
+        for agent in 0..2 {
+            let br = best_response(&game, agent, &profile);
+            let br_cost = game.cost(agent, &profile.with_action(agent, br));
+            for a in 0..2 {
+                prop_assert!(br_cost <= game.cost(agent, &profile.with_action(agent, a)) + 1e-9);
+            }
+            prop_assert!(is_best_response(&game, agent, &profile.with_action(agent, br)));
+            prop_assert!(best_responses(&game, agent, &profile).contains(&br));
+        }
+    }
+
+    /// Converged best-response dynamics end at a PNE.
+    #[test]
+    fn dynamics_end_at_equilibrium(game in matrix_2x2(), r in 0usize..2, c in 0usize..2) {
+        let d = best_response_dynamics(&game, PureProfile::new(vec![r, c]), 200);
+        if d.converged {
+            prop_assert!(is_pure_nash(&game, &d.profile));
+        }
+    }
+
+    /// The optimum really is minimal over all profiles.
+    #[test]
+    fn optimum_is_minimal(game in matrix_2x2()) {
+        let (opt, profile) = optimal_social_cost(&game);
+        prop_assert!((social_cost(&game, &profile, None) - opt).abs() < 1e-9);
+        for p in all_profiles(&game) {
+            prop_assert!(opt <= social_cost(&game, &p, None) + 1e-9);
+        }
+    }
+
+    /// Support enumeration returns only genuine mixed equilibria, and (for
+    /// 2×2 games, where degeneracy aside an equilibrium always exists)
+    /// finds at least one.
+    #[test]
+    fn support_enumeration_sound(game in matrix_2x2()) {
+        let eqs = support_enumeration(&game).unwrap();
+        for eq in &eqs {
+            let profile = MixedProfile::new(vec![eq.row.clone(), eq.col.clone()]);
+            prop_assert!(is_mixed_nash(&game, &profile, 1e-6), "{:?}", eq);
+        }
+        // Degenerate integer games can defeat equal-support enumeration;
+        // only require existence when a PNE exists (pure = size-1 support).
+        if !pure_nash_equilibria(&game).is_empty() {
+            prop_assert!(!eqs.is_empty());
+        }
+    }
+}

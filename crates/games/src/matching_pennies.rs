@@ -1,0 +1,134 @@
+//! Matching pennies and the Fig. 1 hidden-manipulation variant.
+//!
+//! The honest game has no pure equilibrium; its unique mixed equilibrium is
+//! uniform for both players with value 0. Fig. 1 of the paper gives agent B
+//! a third, *hidden* strategy "Manipulate": indistinguishable from Heads
+//! whenever the pennies would match, but paying B `+9` (and costing A `9`)
+//! on a mismatch:
+//!
+//! ```text
+//! A\B     Heads      Tails      Manipulate
+//! Heads   (+1,−1)    (−1,+1)    (+1,−1)
+//! Tails   (−1,+1)    (+1,−1)    (−9,+9)
+//! ```
+//!
+//! "Since agent B knows that agent A plays each of the two strategies with
+//! probability 1/2, B plays the manipulated heads strategy with probability
+//! 1 … B is able to increase its expected profit from 0 to 4, while A has
+//! decreased its expected profit from 0 to −4." (§5.1) —
+//! [`fig1_expected_payoffs`] reproduces exactly those numbers.
+
+use ga_game_theory::game::{Game, MatrixGame};
+use ga_game_theory::profile::{MixedStrategy, PureProfile};
+
+/// Row/column index of Heads.
+pub const HEADS: usize = 0;
+/// Row/column index of Tails.
+pub const TAILS: usize = 1;
+/// Column index of B's hidden Manipulate strategy (Fig. 1 game only).
+pub const MANIPULATE: usize = 2;
+
+/// The honest 2×2 matching pennies game (payoffs converted to cost form:
+/// agent costs are negated payoffs).
+pub fn matching_pennies() -> MatrixGame {
+    MatrixGame::from_payoffs(
+        "matching-pennies",
+        vec![
+            vec![(1.0, -1.0), (-1.0, 1.0)],
+            vec![(-1.0, 1.0), (1.0, -1.0)],
+        ],
+    )
+}
+
+/// Fig. 1: matching pennies where B hides a manipulative third strategy.
+pub fn manipulated_matching_pennies() -> MatrixGame {
+    MatrixGame::from_payoffs(
+        "matching-pennies-fig1",
+        vec![
+            vec![(1.0, -1.0), (-1.0, 1.0), (1.0, -1.0)],
+            vec![(-1.0, 1.0), (1.0, -1.0), (-9.0, 9.0)],
+        ],
+    )
+}
+
+/// Expected *payoffs* `(A, B)` in the Fig. 1 game when A mixes `a_mix`
+/// over {Heads, Tails} and B plays pure strategy `b_action`.
+///
+/// # Panics
+///
+/// Panics if `b_action ≥ 3` or `a_mix` does not cover two actions.
+pub fn fig1_expected_payoffs(a_mix: &MixedStrategy, b_action: usize) -> (f64, f64) {
+    assert_eq!(a_mix.len(), 2, "A has two actions");
+    let game = manipulated_matching_pennies();
+    assert!(b_action < 3, "B has three actions");
+    let mut ea = 0.0;
+    let mut eb = 0.0;
+    for a_action in 0..2 {
+        let p = a_mix.prob(a_action);
+        let profile = PureProfile::new(vec![a_action, b_action]);
+        // Costs are negated payoffs.
+        ea += p * -game.cost(0, &profile);
+        eb += p * -game.cost(1, &profile);
+    }
+    (ea, eb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ga_game_theory::mixed::support_enumeration;
+    use ga_game_theory::nash::pure_nash_equilibria;
+
+    #[test]
+    fn honest_game_has_no_pne_and_uniform_mixed_equilibrium() {
+        let g = matching_pennies();
+        assert!(pure_nash_equilibria(&g).is_empty());
+        let eqs = support_enumeration(&g).unwrap();
+        assert_eq!(eqs.len(), 1);
+        assert!((eqs[0].row.prob(HEADS) - 0.5).abs() < 1e-9);
+        assert!((eqs[0].col.prob(HEADS) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig1_matrix_matches_the_paper() {
+        let g = manipulated_matching_pennies();
+        // Payoff (A,B) spot checks, remembering cost = -payoff.
+        let at = |r: usize, c: usize| {
+            let p = PureProfile::new(vec![r, c]);
+            (-g.cost(0, &p), -g.cost(1, &p))
+        };
+        assert_eq!(at(HEADS, HEADS), (1.0, -1.0));
+        assert_eq!(at(HEADS, MANIPULATE), (1.0, -1.0), "hidden when matching");
+        assert_eq!(at(TAILS, MANIPULATE), (-9.0, 9.0), "the manipulation");
+        assert_eq!(at(TAILS, TAILS), (1.0, -1.0));
+    }
+
+    #[test]
+    fn section_5_1_profit_numbers() {
+        let uniform = MixedStrategy::uniform(2);
+        // Honest B strategies against uniform A: everyone expects 0.
+        for b in [HEADS, TAILS] {
+            let (ea, eb) = fig1_expected_payoffs(&uniform, b);
+            assert!(ea.abs() < 1e-12 && eb.abs() < 1e-12);
+        }
+        // Manipulation: B +4, A −4 — the paper's exact numbers.
+        let (ea, eb) = fig1_expected_payoffs(&uniform, MANIPULATE);
+        assert!((ea - (-4.0)).abs() < 1e-12, "A falls to {ea}");
+        assert!((eb - 4.0).abs() < 1e-12, "B rises to {eb}");
+    }
+
+    #[test]
+    fn manipulate_dominates_heads_for_b() {
+        // Against every pure A action, Manipulate is at least as good for B
+        // as Heads, strictly better against Tails — why B always plays it.
+        let g = manipulated_matching_pennies();
+        for a in [HEADS, TAILS] {
+            let heads_cost = g.cost(1, &PureProfile::new(vec![a, HEADS]));
+            let manip_cost = g.cost(1, &PureProfile::new(vec![a, MANIPULATE]));
+            assert!(manip_cost <= heads_cost);
+        }
+        let heads_cost = g.cost(1, &PureProfile::new(vec![TAILS, HEADS]));
+        let manip_cost = g.cost(1, &PureProfile::new(vec![TAILS, MANIPULATE]));
+        assert!(manip_cost < heads_cost);
+    }
+}

@@ -1,0 +1,233 @@
+//! The virus inoculation game (Moscibroda, Schmid, Wattenhofer, PODC'06).
+//!
+//! The game the paper cites as the origin of the **price of malice**
+//! (\[21\]): `n` nodes on a `side × side` grid each choose to inoculate
+//! (fixed cost `C`) or not (expected infection cost `L · s/n`, where `s`
+//! is the size of the node's *insecure connected component* — the virus
+//! starts at a uniformly random node and spreads through non-inoculated
+//! neighbors).
+//!
+//! Malicious agents in \[21\] *claim* to be inoculated while staying
+//! insecure, enlarging their neighbors' components beyond what those
+//! neighbors bargained for. Experiment E5 reproduces the resulting social
+//! cost degradation — and its repair once the game authority audits claims
+//! (commit–reveal makes the lie detectable; the executive service then
+//! disconnects the liar).
+
+use ga_game_theory::game::Game;
+use ga_game_theory::profile::PureProfile;
+
+/// Action index: stay insecure.
+pub const RISK: usize = 0;
+/// Action index: inoculate.
+pub const INOCULATE: usize = 1;
+
+/// The grid-structured inoculation game.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VirusGame {
+    side: usize,
+    /// Inoculation cost `C`.
+    pub inoculation_cost: f64,
+    /// Infection loss `L`.
+    pub infection_loss: f64,
+}
+
+impl VirusGame {
+    /// Creates a `side × side` grid game with the given costs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side == 0` or costs are not positive.
+    pub fn new(side: usize, inoculation_cost: f64, infection_loss: f64) -> VirusGame {
+        assert!(side > 0, "grid must be non-empty");
+        assert!(
+            inoculation_cost > 0.0 && infection_loss > 0.0,
+            "costs must be positive"
+        );
+        VirusGame {
+            side,
+            inoculation_cost,
+            infection_loss,
+        }
+    }
+
+    /// Number of agents (`side²`).
+    pub fn n(&self) -> usize {
+        self.side * self.side
+    }
+
+    /// Grid side length.
+    pub fn side(&self) -> usize {
+        self.side
+    }
+
+    /// Grid neighbors of node `i` (4-neighborhood).
+    pub fn neighbors(&self, i: usize) -> Vec<usize> {
+        let (r, c) = (i / self.side, i % self.side);
+        let mut out = Vec::with_capacity(4);
+        if r > 0 {
+            out.push(i - self.side);
+        }
+        if r + 1 < self.side {
+            out.push(i + self.side);
+        }
+        if c > 0 {
+            out.push(i - 1);
+        }
+        if c + 1 < self.side {
+            out.push(i + 1);
+        }
+        out
+    }
+
+    /// Sizes of the insecure components: `component_of[i]` is the size of
+    /// `i`'s non-inoculated component, or 0 if `i` is inoculated.
+    /// `insecure(i)` is read from `profile` (action [`RISK`]).
+    pub fn component_sizes(&self, profile: &PureProfile) -> Vec<usize> {
+        let n = self.n();
+        let mut comp = vec![usize::MAX; n];
+        let mut sizes = Vec::new();
+        for start in 0..n {
+            if profile.action(start) != RISK || comp[start] != usize::MAX {
+                continue;
+            }
+            // BFS over insecure nodes.
+            let id = sizes.len();
+            let mut queue = std::collections::VecDeque::from([start]);
+            comp[start] = id;
+            let mut size = 0usize;
+            while let Some(u) = queue.pop_front() {
+                size += 1;
+                for v in self.neighbors(u) {
+                    if profile.action(v) == RISK && comp[v] == usize::MAX {
+                        comp[v] = id;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            sizes.push(size);
+        }
+        (0..n)
+            .map(|i| {
+                if profile.action(i) == RISK {
+                    sizes[comp[i]]
+                } else {
+                    0
+                }
+            })
+            .collect()
+    }
+
+    /// Social cost of a profile (sum over all agents).
+    pub fn social_cost(&self, profile: &PureProfile) -> f64 {
+        (0..self.n()).map(|i| self.cost(i, profile)).sum()
+    }
+}
+
+impl Game for VirusGame {
+    fn num_agents(&self) -> usize {
+        self.n()
+    }
+
+    fn num_actions(&self, _agent: usize) -> usize {
+        2
+    }
+
+    fn cost(&self, agent: usize, profile: &PureProfile) -> f64 {
+        if profile.action(agent) == INOCULATE {
+            self.inoculation_cost
+        } else {
+            let sizes = self.component_sizes(profile);
+            self.infection_loss * sizes[agent] as f64 / self.n() as f64
+        }
+    }
+
+    fn name(&self) -> &str {
+        "virus-inoculation"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ga_game_theory::nash::{best_response_dynamics, is_pure_nash};
+
+    fn game() -> VirusGame {
+        // Standard-ish parameters: C = 1, L = n (so a component of size s
+        // costs s of expected loss to each member).
+        VirusGame::new(3, 1.0, 9.0)
+    }
+
+    #[test]
+    fn grid_neighbors_shape() {
+        let g = game();
+        assert_eq!(g.neighbors(4), vec![1, 7, 3, 5], "center has 4");
+        assert_eq!(g.neighbors(0).len(), 2, "corner has 2");
+        assert_eq!(g.neighbors(1).len(), 3, "edge has 3");
+    }
+
+    #[test]
+    fn component_sizes_split_by_inoculation() {
+        let g = game();
+        // Inoculate the middle column (1,4,7): splits the grid into two
+        // 3-node insecure columns.
+        let mut actions = vec![RISK; 9];
+        for i in [1, 4, 7] {
+            actions[i] = INOCULATE;
+        }
+        let p = PureProfile::new(actions);
+        let sizes = g.component_sizes(&p);
+        assert_eq!(sizes[0], 3);
+        assert_eq!(sizes[8], 3);
+        assert_eq!(sizes[4], 0, "inoculated nodes have no component");
+    }
+
+    #[test]
+    fn costs_follow_the_model() {
+        let g = game();
+        let mut actions = vec![RISK; 9];
+        actions[4] = INOCULATE;
+        let p = PureProfile::new(actions);
+        assert_eq!(g.cost(4, &p), 1.0, "inoculation cost C");
+        // Node 0's insecure component: all 8 risky nodes stay connected
+        // around the ring (4 only blocks the center).
+        assert!((g.cost(0, &p) - 9.0 * 8.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nobody_inoculated_everyone_pays_full_loss() {
+        let g = game();
+        let p = PureProfile::new(vec![RISK; 9]);
+        for i in 0..9 {
+            assert!((g.cost(i, &p) - 9.0).abs() < 1e-12, "L·n/n = L");
+        }
+        assert!((g.social_cost(&p) - 81.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn best_response_dynamics_reach_equilibrium() {
+        let g = game();
+        let d = best_response_dynamics(&g, PureProfile::new(vec![RISK; 9]), 500);
+        assert!(d.converged, "inoculation game has PNEs");
+        assert!(is_pure_nash(&g, &d.profile));
+        // Equilibrium has some inoculated nodes and a social cost well
+        // below the all-risk profile.
+        let inoculated = d
+            .profile
+            .actions()
+            .iter()
+            .filter(|&&a| a == INOCULATE)
+            .count();
+        assert!(inoculated > 0);
+        assert!(g.social_cost(&d.profile) < 81.0);
+    }
+
+    #[test]
+    fn single_node_grid() {
+        let g = VirusGame::new(1, 1.0, 2.0);
+        let risk = PureProfile::new(vec![RISK]);
+        assert!((g.cost(0, &risk) - 2.0).abs() < 1e-12, "component of 1, L·1/1");
+        let safe = PureProfile::new(vec![INOCULATE]);
+        assert_eq!(g.cost(0, &safe), 1.0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests for the paper's games: Lemma 6 under arbitrary seeds
+//! and sizes, water-filling invariants, grid-game consistency.
+
+use ga_game_theory::game::Game;
+use ga_game_theory::profile::PureProfile;
+use ga_games::resource_allocation::{equilibrium_weights, RraProcess};
+use ga_games::virus_inoculation::{VirusGame, INOCULATE, RISK};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Lemma 6: Δ(k) ≤ 2n−1 under honest Nash play, for random sizes,
+    /// seeds and horizons.
+    #[test]
+    fn lemma_6_holds(n in 2usize..9, b in 2usize..6, k in 1u64..400, seed in any::<u64>()) {
+        let mut rra = RraProcess::new(n, b);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for stats in rra.play(k, &mut rng) {
+            prop_assert!(stats.gap <= 2 * n as u64 - 1,
+                         "Δ({}) = {} with n={n}, b={b}", stats.k, stats.gap);
+        }
+    }
+
+    /// Theorem 5's bound holds at every round for random configurations.
+    #[test]
+    fn theorem_5_bound_holds(n in 2usize..7, b in 2usize..5, seed in any::<u64>()) {
+        let mut rra = RraProcess::new(n, b);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for stats in rra.play(300, &mut rng) {
+            prop_assert!(stats.ratio <= stats.bound + 1e-9,
+                         "R({}) = {} > {}", stats.k, stats.ratio, stats.bound);
+        }
+    }
+
+    /// Water-filling always yields a probability distribution whose
+    /// supported levels are equalized.
+    #[test]
+    fn equilibrium_weights_invariants(n in 2usize..10,
+                                      loads in proptest::collection::vec(0u64..40, 2..8)) {
+        let w = equilibrium_weights(n, &loads);
+        prop_assert_eq!(w.len(), loads.len());
+        prop_assert!(w.iter().all(|&x| (0.0..=1.0 + 1e-9).contains(&x)));
+        prop_assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+        let nm1 = (n.max(2) - 1) as f64;
+        let levels: Vec<f64> = loads
+            .iter()
+            .zip(&w)
+            .filter(|(_, &x)| x > 1e-9)
+            .map(|(&l, &x)| 1.0 + nm1 * x + l as f64)
+            .collect();
+        for pair in levels.windows(2) {
+            prop_assert!((pair[0] - pair[1]).abs() < 1e-5, "{levels:?}");
+        }
+        // Off-support resources must be at least as loaded as the level.
+        if let Some(&level) = levels.first() {
+            for (&l, &x) in loads.iter().zip(&w) {
+                if x <= 1e-9 {
+                    prop_assert!(l as f64 + 1.0 >= level - 1e-6);
+                }
+            }
+        }
+    }
+
+    /// Virus game: component sizes are consistent — each insecure agent's
+    /// size is between 1 and the number of insecure agents; inoculated
+    /// agents always have size 0.
+    #[test]
+    fn virus_components_consistent(side in 1usize..6, mask in any::<u64>()) {
+        let game = VirusGame::new(side, 1.0, side as f64 * side as f64);
+        let n = game.n();
+        let actions: Vec<usize> = (0..n)
+            .map(|i| if mask >> (i % 64) & 1 == 1 { INOCULATE } else { RISK })
+            .collect();
+        let profile = PureProfile::new(actions.clone());
+        let sizes = game.component_sizes(&profile);
+        let insecure = actions.iter().filter(|&&a| a == RISK).count();
+        for (i, &s) in sizes.iter().enumerate() {
+            if actions[i] == INOCULATE {
+                prop_assert_eq!(s, 0);
+            } else {
+                prop_assert!(s >= 1 && s <= insecure);
+            }
+        }
+        // Social cost equals the sum of per-agent costs by definition.
+        let sum: f64 = (0..n).map(|i| game.cost(i, &profile)).sum();
+        prop_assert!((game.social_cost(&profile) - sum).abs() < 1e-9);
+    }
+
+    /// Inoculating a node never increases any other node's component.
+    #[test]
+    fn inoculation_is_monotone(side in 2usize..5, node in any::<usize>()) {
+        let game = VirusGame::new(side, 1.0, 10.0);
+        let n = game.n();
+        let node = node % n;
+        let all_risk = PureProfile::new(vec![RISK; n]);
+        let one_safe = all_risk.with_action(node, INOCULATE);
+        let before = game.component_sizes(&all_risk);
+        let after = game.component_sizes(&one_safe);
+        for i in 0..n {
+            if i != node {
+                prop_assert!(after[i] <= before[i]);
+            }
+        }
+    }
+}

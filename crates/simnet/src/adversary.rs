@@ -1,0 +1,306 @@
+//! Byzantine adversaries.
+//!
+//! "A processor is Byzantine if it does not follow its program" (§4.1). We
+//! model this by *replacing* a processor's program with an [`Adversary`]
+//! strategy wrapped in [`ByzantineProcess`]. The adversary sees everything a
+//! normal process sees (its inbox, the round, its neighborhood) and may send
+//! arbitrary — including *equivocating*, per-neighbor-different — messages.
+//!
+//! The included strategies cover the standard attack repertoire used by the
+//! test-suite and the experiments:
+//!
+//! * [`Silent`] — crash/omission: never sends anything.
+//! * [`RandomNoise`] — fuzzes the protocol with random byte strings.
+//! * [`Equivocator`] — sends different payloads to different neighbors,
+//!   the canonical Byzantine-agreement attack.
+//! * [`Replayer`] — re-sends previously observed messages (stale state).
+//! * [`FlipFlopper`] — alternates between two fixed payloads per round.
+
+use rand::Rng;
+use rand::RngCore;
+
+use crate::ids::ProcessId;
+use crate::process::{Context, Process};
+
+/// A Byzantine strategy: given the pulse context, produce arbitrary
+/// messages.
+pub trait Adversary: Send {
+    /// Emits this round's (possibly equivocating) messages via `ctx`.
+    fn act(&mut self, ctx: &mut Context<'_>);
+
+    /// Diagnostic label.
+    fn name(&self) -> &'static str {
+        "byzantine"
+    }
+}
+
+/// Wraps an [`Adversary`] as a [`Process`] so it can live in a simulation
+/// alongside honest processes.
+pub struct ByzantineProcess {
+    strategy: Box<dyn Adversary>,
+}
+
+impl std::fmt::Debug for ByzantineProcess {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ByzantineProcess")
+            .field("strategy", &self.strategy.name())
+            .finish()
+    }
+}
+
+impl ByzantineProcess {
+    /// Creates a Byzantine process driven by `strategy`.
+    pub fn new(strategy: Box<dyn Adversary>) -> ByzantineProcess {
+        ByzantineProcess { strategy }
+    }
+}
+
+impl Process for ByzantineProcess {
+    fn on_pulse(&mut self, ctx: &mut Context<'_>) {
+        self.strategy.act(ctx);
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn name(&self) -> &'static str {
+        self.strategy.name()
+    }
+}
+
+/// Crash-faulty: sends nothing, ever.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Silent;
+
+impl Adversary for Silent {
+    fn act(&mut self, _ctx: &mut Context<'_>) {}
+
+    fn name(&self) -> &'static str {
+        "silent"
+    }
+}
+
+/// Sends random byte strings of random lengths to every neighbor.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomNoise {
+    /// Maximum payload length (exclusive).
+    pub max_len: usize,
+}
+
+impl Default for RandomNoise {
+    fn default() -> Self {
+        RandomNoise { max_len: 32 }
+    }
+}
+
+impl Adversary for RandomNoise {
+    fn act(&mut self, ctx: &mut Context<'_>) {
+        let neighbors: Vec<usize> = ctx.neighbors().to_vec();
+        for nb in neighbors {
+            let len = ctx.rng().gen_range(0..self.max_len.max(1));
+            let mut payload = vec![0u8; len];
+            ctx.rng().fill_bytes(&mut payload);
+            ctx.send(ProcessId(nb), payload);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "random-noise"
+    }
+}
+
+/// The canonical Byzantine attack: tell different neighbors different
+/// things. Each neighbor with even index receives `payload_a`, odd receives
+/// `payload_b`.
+#[derive(Debug, Clone)]
+pub struct Equivocator {
+    /// Payload for even-indexed neighbors.
+    pub payload_a: Vec<u8>,
+    /// Payload for odd-indexed neighbors.
+    pub payload_b: Vec<u8>,
+}
+
+impl Adversary for Equivocator {
+    fn act(&mut self, ctx: &mut Context<'_>) {
+        let neighbors: Vec<usize> = ctx.neighbors().to_vec();
+        for nb in neighbors {
+            let payload = if nb % 2 == 0 {
+                self.payload_a.clone()
+            } else {
+                self.payload_b.clone()
+            };
+            ctx.send(ProcessId(nb), payload);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "equivocator"
+    }
+}
+
+/// Replays the newest message it has seen back at everyone (stale state /
+/// duplication attack).
+#[derive(Debug, Clone, Default)]
+pub struct Replayer {
+    stash: Option<Vec<u8>>,
+}
+
+impl Adversary for Replayer {
+    fn act(&mut self, ctx: &mut Context<'_>) {
+        if let Some(m) = ctx.inbox().last() {
+            self.stash = Some(m.bytes().to_vec());
+        }
+        if let Some(p) = &self.stash {
+            ctx.broadcast(p.clone());
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "replayer"
+    }
+}
+
+/// Alternates between two payloads on successive rounds — a cheap way to
+/// keep a protocol from ever seeing a *stable* lie.
+#[derive(Debug, Clone)]
+pub struct FlipFlopper {
+    /// Payload on even rounds.
+    pub even: Vec<u8>,
+    /// Payload on odd rounds.
+    pub odd: Vec<u8>,
+}
+
+impl Adversary for FlipFlopper {
+    fn act(&mut self, ctx: &mut Context<'_>) {
+        let p = if ctx.round().value() % 2 == 0 {
+            self.even.clone()
+        } else {
+            self.odd.clone()
+        };
+        ctx.broadcast(p);
+    }
+
+    fn name(&self) -> &'static str {
+        "flip-flopper"
+    }
+}
+
+/// Observes the inbox like an honest process would, then sends `lie` to all
+/// neighbors — a targeted-value attack parameterized by the protocol under
+/// test.
+#[derive(Debug, Clone)]
+pub struct ConstantLiar {
+    /// The fixed payload to broadcast every round.
+    pub lie: Vec<u8>,
+}
+
+impl Adversary for ConstantLiar {
+    fn act(&mut self, ctx: &mut Context<'_>) {
+        ctx.broadcast(self.lie.clone());
+    }
+
+    fn name(&self) -> &'static str {
+        "constant-liar"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Round;
+    use crate::message::Message;
+    use crate::rng::process_rng;
+
+    fn run_one(adv: &mut dyn Adversary, round: u64, inbox: &[Message]) -> Vec<(ProcessId, Vec<u8>)> {
+        let neigh = [0usize, 1, 2, 3];
+        let mut ctx = Context {
+            id: ProcessId(4),
+            round: Round(round),
+            neighbors: &neigh,
+            inbox,
+            outbox: Vec::new(),
+            rng: process_rng(1, ProcessId(4), Round(round)),
+            n: 5,
+        };
+        adv.act(&mut ctx);
+        ctx.outbox
+    }
+
+    #[test]
+    fn silent_sends_nothing() {
+        assert!(run_one(&mut Silent, 0, &[]).is_empty());
+    }
+
+    #[test]
+    fn random_noise_sends_to_every_neighbor() {
+        let out = run_one(&mut RandomNoise::default(), 0, &[]);
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn equivocator_partitions_neighbors() {
+        let mut adv = Equivocator {
+            payload_a: vec![0xA],
+            payload_b: vec![0xB],
+        };
+        let out = run_one(&mut adv, 0, &[]);
+        for (to, payload) in out {
+            let expect = if to.index() % 2 == 0 { vec![0xA] } else { vec![0xB] };
+            assert_eq!(payload, expect);
+        }
+    }
+
+    #[test]
+    fn replayer_echoes_observed_message() {
+        let mut adv = Replayer::default();
+        assert!(run_one(&mut adv, 0, &[]).is_empty(), "nothing seen yet");
+        let seen = [Message::new(ProcessId(0), Round(0), vec![9, 9])];
+        let out = run_one(&mut adv, 1, &seen);
+        assert_eq!(out.len(), 4);
+        assert!(out.iter().all(|(_, p)| p == &vec![9, 9]));
+    }
+
+    #[test]
+    fn flip_flopper_alternates() {
+        let mut adv = FlipFlopper {
+            even: vec![0],
+            odd: vec![1],
+        };
+        assert!(run_one(&mut adv, 0, &[]).iter().all(|(_, p)| p == &vec![0]));
+        assert!(run_one(&mut adv, 1, &[]).iter().all(|(_, p)| p == &vec![1]));
+    }
+
+    #[test]
+    fn constant_liar_repeats_lie() {
+        let mut adv = ConstantLiar { lie: vec![7, 7] };
+        for round in 0..3 {
+            assert!(run_one(&mut adv, round, &[])
+                .iter()
+                .all(|(_, p)| p == &vec![7, 7]));
+        }
+    }
+
+    #[test]
+    fn byzantine_process_delegates() {
+        let mut p = ByzantineProcess::new(Box::new(Silent));
+        assert_eq!(p.name(), "silent");
+        let neigh = [0usize];
+        let inbox: Vec<Message> = Vec::new();
+        let mut ctx = Context {
+            id: ProcessId(1),
+            round: Round(0),
+            neighbors: &neigh,
+            inbox: &inbox,
+            outbox: Vec::new(),
+            rng: process_rng(0, ProcessId(1), Round(0)),
+            n: 2,
+        };
+        p.on_pulse(&mut ctx);
+        assert!(ctx.outbox.is_empty());
+    }
+}

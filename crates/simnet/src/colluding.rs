@@ -1,0 +1,170 @@
+//! Colluding Byzantine adversaries.
+//!
+//! Independent Byzantine processes are weaker than the model allows: the
+//! classical adversary controls *all* faulty processors centrally. The
+//! [`Cabal`] gives a set of [`Colluder`] processes a shared blackboard so
+//! they can coordinate their lies — e.g. all echo the same fabricated
+//! value each round, which is the strongest oral-messages attack shape
+//! (consistent cross-processor lies survive majority filtering longer than
+//! independent noise).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::RngCore;
+
+use crate::ids::ProcessId;
+use crate::process::{Context, Process};
+
+/// The cabal's shared state: one agreed lie per round.
+#[derive(Debug, Default)]
+struct Blackboard {
+    /// The round the current lie was fabricated for.
+    round: u64,
+    /// The lie payload for that round.
+    lie: Vec<u8>,
+}
+
+/// Shared coordination handle for a set of colluders.
+#[derive(Debug, Clone, Default)]
+pub struct Cabal {
+    board: Arc<Mutex<Blackboard>>,
+}
+
+impl Cabal {
+    /// Creates an empty cabal.
+    pub fn new() -> Cabal {
+        Cabal::default()
+    }
+
+    /// Spawns a member process. All members of one cabal broadcast the
+    /// same per-round lie.
+    pub fn member(&self) -> Colluder {
+        Colluder {
+            cabal: self.clone(),
+        }
+    }
+
+    /// The agreed lie for `round`, fabricating one (from the first
+    /// asker's randomness) if this is the round's first query.
+    fn lie_for(&self, round: u64, rng: &mut rand::rngs::StdRng) -> Vec<u8> {
+        let mut board = self.board.lock();
+        if board.round != round || board.lie.is_empty() {
+            let mut lie = vec![0u8; 9];
+            rng.fill_bytes(&mut lie);
+            board.round = round;
+            board.lie = lie;
+        }
+        board.lie.clone()
+    }
+}
+
+/// A cabal member: broadcasts the cabal's coordinated per-round lie.
+#[derive(Debug, Clone)]
+pub struct Colluder {
+    cabal: Cabal,
+}
+
+impl Process for Colluder {
+    fn on_pulse(&mut self, ctx: &mut Context<'_>) {
+        let round = ctx.round().value();
+        let lie = {
+            let rng = ctx.rng();
+            self.cabal.lie_for(round, rng)
+        };
+        let neighbors: Vec<usize> = ctx.neighbors().to_vec();
+        for nb in neighbors {
+            ctx.send(ProcessId(nb), lie.clone());
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn name(&self) -> &'static str {
+        "colluder"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulation;
+    use crate::topology::Topology;
+
+    /// Records every payload received.
+    struct Recorder {
+        seen: Vec<Vec<u8>>,
+    }
+
+    impl Process for Recorder {
+        fn on_pulse(&mut self, ctx: &mut Context<'_>) {
+            for m in ctx.inbox() {
+                self.seen.push(m.bytes().to_vec());
+            }
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    #[test]
+    fn cabal_members_tell_identical_lies() {
+        let cabal = Cabal::new();
+        let mut sim = Simulation::builder(Topology::complete(4)).build_with(|id| {
+            if id.index() >= 2 {
+                Box::new(cabal.member()) as Box<dyn Process>
+            } else {
+                Box::new(Recorder { seen: Vec::new() })
+            }
+        });
+        sim.run(3);
+        let r0 = sim.process_as::<Recorder>(ProcessId(0)).unwrap();
+        // Per round, the two colluders delivered the same payload.
+        assert!(!r0.seen.is_empty());
+        for pair in r0.seen.chunks(2) {
+            if pair.len() == 2 {
+                assert_eq!(pair[0], pair[1], "coordinated lie");
+            }
+        }
+    }
+
+    #[test]
+    fn lies_change_between_rounds() {
+        let cabal = Cabal::new();
+        let mut sim = Simulation::builder(Topology::complete(3)).build_with(|id| {
+            if id.index() == 2 {
+                Box::new(cabal.member()) as Box<dyn Process>
+            } else {
+                Box::new(Recorder { seen: Vec::new() })
+            }
+        });
+        sim.run(4);
+        let r0 = sim.process_as::<Recorder>(ProcessId(0)).unwrap();
+        assert!(r0.seen.len() >= 3);
+        assert_ne!(r0.seen[0], r0.seen[1], "fresh lie per round");
+    }
+
+    #[test]
+    fn separate_cabals_do_not_share_lies() {
+        let a = Cabal::new();
+        let b = Cabal::new();
+        let mut sim = Simulation::builder(Topology::complete(3)).build_with(|id| match id.index() {
+            0 => Box::new(Recorder { seen: Vec::new() }) as Box<dyn Process>,
+            1 => Box::new(a.member()),
+            _ => Box::new(b.member()),
+        });
+        sim.run(2);
+        let r0 = sim.process_as::<Recorder>(ProcessId(0)).unwrap();
+        assert_eq!(r0.seen.len(), 2);
+        assert_ne!(r0.seen[0], r0.seen[1], "independent cabals lie independently");
+    }
+}

@@ -1,0 +1,200 @@
+//! Transient-fault injection.
+//!
+//! Self-stabilization is proved "assuming an arbitrary starting state of the
+//! automaton" (§1.1/§4.1). The [`TransientFault`] descriptor produces such
+//! arbitrary configurations inside a running
+//! [`Simulation`](crate::sim::Simulation): scrambling process states (via
+//! `Process::scramble`) and corrupting,
+//! dropping or fabricating in-flight messages.
+
+use rand::Rng;
+use rand::RngCore;
+
+use crate::ids::{ProcessId, Round};
+use crate::message::Message;
+use crate::process::Process;
+use crate::rng::labeled_rng;
+
+/// What a transient fault does to the system configuration.
+#[derive(Debug, Clone)]
+pub struct TransientFault {
+    /// Scramble the internal state of these processes.
+    pub scramble: Vec<ProcessId>,
+    /// Corrupt each in-flight message with this probability.
+    pub corrupt_messages_p: f64,
+    /// Drop each in-flight message with this probability.
+    pub drop_messages_p: f64,
+    /// Inject this many random garbage messages per process inbox.
+    pub garbage_messages: usize,
+    /// Extra entropy so repeated injections differ.
+    pub salt: u64,
+}
+
+impl Default for TransientFault {
+    fn default() -> Self {
+        TransientFault {
+            scramble: Vec::new(),
+            corrupt_messages_p: 0.0,
+            drop_messages_p: 0.0,
+            garbage_messages: 0,
+            salt: 0,
+        }
+    }
+}
+
+impl TransientFault {
+    /// The classic total fault: scramble *every* process state and wipe all
+    /// channel contents into garbage — the adversarial "arbitrary
+    /// configuration" of the self-stabilization literature.
+    pub fn total(n: usize, salt: u64) -> TransientFault {
+        TransientFault {
+            scramble: (0..n).map(ProcessId).collect(),
+            corrupt_messages_p: 1.0,
+            drop_messages_p: 0.25,
+            garbage_messages: 2,
+            salt,
+        }
+    }
+
+    /// Scramble only the given processes, leave channels alone.
+    pub fn state_only(targets: impl IntoIterator<Item = usize>, salt: u64) -> TransientFault {
+        TransientFault {
+            scramble: targets.into_iter().map(ProcessId).collect(),
+            salt,
+            ..TransientFault::default()
+        }
+    }
+
+    pub(crate) fn apply(
+        &self,
+        seed: u64,
+        round: Round,
+        processes: &mut [Box<dyn Process>],
+        inboxes: &mut [Vec<Message>],
+    ) {
+        let mut rng = labeled_rng(
+            seed ^ self.salt,
+            &format!("transient-fault-{}", round.value()),
+        );
+
+        for id in &self.scramble {
+            if let Some(p) = processes.get_mut(id.index()) {
+                p.scramble(&mut rng);
+            }
+        }
+
+        let n = inboxes.len();
+        for (i, inbox) in inboxes.iter_mut().enumerate() {
+            inbox.retain(|_| !rng.gen_bool(self.drop_messages_p.clamp(0.0, 1.0)));
+            for m in inbox.iter_mut() {
+                if rng.gen_bool(self.corrupt_messages_p.clamp(0.0, 1.0)) {
+                    let mut bytes = m.payload.to_vec();
+                    if bytes.is_empty() {
+                        bytes = vec![0u8; 4];
+                    }
+                    let idx = rng.gen_range(0..bytes.len());
+                    bytes[idx] ^= 1 << rng.gen_range(0..8);
+                    m.payload = bytes.into();
+                }
+            }
+            for _ in 0..self.garbage_messages {
+                let len = rng.gen_range(0..24);
+                let mut payload = vec![0u8; len];
+                rng.fill_bytes(&mut payload);
+                let from = ProcessId(rng.gen_range(0..n));
+                inbox.push(Message::new(from, round, payload));
+            }
+            let _ = i;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::Context;
+    use rand::rngs::StdRng;
+
+    struct Scrambleable {
+        value: u64,
+        scrambled: bool,
+    }
+
+    impl Process for Scrambleable {
+        fn on_pulse(&mut self, _ctx: &mut Context<'_>) {}
+        fn scramble(&mut self, rng: &mut StdRng) {
+            self.value = rng.next_u64();
+            self.scrambled = true;
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    fn fixture() -> (Vec<Box<dyn Process>>, Vec<Vec<Message>>) {
+        let processes: Vec<Box<dyn Process>> = (0..3)
+            .map(|_| {
+                Box::new(Scrambleable {
+                    value: 7,
+                    scrambled: false,
+                }) as Box<dyn Process>
+            })
+            .collect();
+        let inboxes = vec![
+            vec![Message::new(ProcessId(1), Round(0), vec![1, 2, 3])],
+            vec![],
+            vec![Message::new(ProcessId(0), Round(0), vec![4])],
+        ];
+        (processes, inboxes)
+    }
+
+    #[test]
+    fn state_only_scrambles_targets() {
+        let (mut ps, mut inboxes) = fixture();
+        TransientFault::state_only([0, 2], 1).apply(9, Round(0), &mut ps, &mut inboxes);
+        let flags: Vec<bool> = ps
+            .iter()
+            .map(|p| p.as_any().downcast_ref::<Scrambleable>().unwrap().scrambled)
+            .collect();
+        assert_eq!(flags, vec![true, false, true]);
+        // Channels untouched.
+        assert_eq!(inboxes[0].len(), 1);
+        assert_eq!(inboxes[0][0].bytes(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn total_fault_touches_everything() {
+        let (mut ps, mut inboxes) = fixture();
+        TransientFault::total(3, 2).apply(9, Round(0), &mut ps, &mut inboxes);
+        assert!(ps
+            .iter()
+            .all(|p| p.as_any().downcast_ref::<Scrambleable>().unwrap().scrambled));
+        // Garbage injected into every inbox.
+        assert!(inboxes.iter().all(|i| !i.is_empty()));
+    }
+
+    #[test]
+    fn corruption_changes_payload() {
+        let (mut ps, mut inboxes) = fixture();
+        let fault = TransientFault {
+            corrupt_messages_p: 1.0,
+            ..TransientFault::default()
+        };
+        fault.apply(9, Round(0), &mut ps, &mut inboxes);
+        assert_ne!(inboxes[0][0].bytes(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn different_salts_differ() {
+        let (mut ps1, mut in1) = fixture();
+        let (mut ps2, mut in2) = fixture();
+        TransientFault::total(3, 1).apply(9, Round(0), &mut ps1, &mut in1);
+        TransientFault::total(3, 2).apply(9, Round(0), &mut ps2, &mut in2);
+        let v1 = ps1[0].as_any().downcast_ref::<Scrambleable>().unwrap().value;
+        let v2 = ps2[0].as_any().downcast_ref::<Scrambleable>().unwrap().value;
+        assert_ne!(v1, v2);
+    }
+}

@@ -1,0 +1,90 @@
+//! Identifier newtypes: [`ProcessId`] and [`Round`].
+//!
+//! Newtypes keep processor indices, round numbers and other `usize`/`u64`
+//! quantities from being confused at call sites (C-NEWTYPE).
+
+use std::fmt;
+
+/// Unique identifier of a processor, `0..n`.
+///
+/// The paper assumes "every processor has a unique identifier" (§4.1); the
+/// simulator uses dense indices so identifiers double as vector offsets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct ProcessId(pub usize);
+
+impl ProcessId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<usize> for ProcessId {
+    fn from(i: usize) -> Self {
+        ProcessId(i)
+    }
+}
+
+/// A pulse/round number in the synchronous execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Round(pub u64);
+
+impl Round {
+    /// The raw counter value.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// The next round.
+    #[must_use]
+    pub fn next(self) -> Round {
+        Round(self.0 + 1)
+    }
+}
+
+impl fmt::Display for Round {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<u64> for Round {
+    fn from(v: u64) -> Self {
+        Round(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ProcessId(3).to_string(), "p3");
+        assert_eq!(Round(17).to_string(), "r17");
+    }
+
+    #[test]
+    fn round_next_increments() {
+        assert_eq!(Round(0).next(), Round(1));
+        assert_eq!(Round(41).next().value(), 42);
+    }
+
+    #[test]
+    fn ordering_matches_indices() {
+        assert!(ProcessId(1) < ProcessId(2));
+        assert!(Round(5) < Round(6));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(ProcessId::from(7).index(), 7);
+        assert_eq!(Round::from(9).value(), 9);
+    }
+}

@@ -1,0 +1,57 @@
+//! Message envelopes exchanged between processors.
+
+use crate::ids::{ProcessId, Round};
+use bytes::Bytes;
+
+/// A message delivered to a processor at the start of a pulse.
+///
+/// Payloads are opaque bytes; protocol crates define their own encodings.
+/// `Bytes` keeps broadcast fan-out cheap (one allocation, shared by all
+/// recipients).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// The sender. In the synchronous point-to-point model the receiver
+    /// always knows which link a message arrived on, so sender identity is
+    /// *not* forgeable — this matches the paper's oral-message assumptions.
+    pub from: ProcessId,
+    /// The round in which the message was sent (delivered the round after).
+    pub sent_in: Round,
+    /// Opaque protocol payload.
+    pub payload: Bytes,
+}
+
+impl Message {
+    /// Creates a message envelope.
+    pub fn new(from: ProcessId, sent_in: Round, payload: impl Into<Bytes>) -> Message {
+        Message {
+            from,
+            sent_in,
+            payload: payload.into(),
+        }
+    }
+
+    /// Payload as a byte slice.
+    pub fn bytes(&self) -> &[u8] {
+        &self.payload
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let m = Message::new(ProcessId(2), Round(5), vec![1, 2, 3]);
+        assert_eq!(m.from, ProcessId(2));
+        assert_eq!(m.sent_in, Round(5));
+        assert_eq!(m.bytes(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn clone_shares_payload_cheaply() {
+        let m = Message::new(ProcessId(0), Round(0), vec![9u8; 1024]);
+        let m2 = m.clone();
+        assert_eq!(m.payload, m2.payload);
+    }
+}

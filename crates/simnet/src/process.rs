@@ -1,0 +1,149 @@
+//! The [`Process`] trait and per-pulse [`Context`].
+//!
+//! A process is the paper's "program of a processor": a deterministic (up to
+//! its derived randomness) state machine stepped once per common pulse. The
+//! step receives all messages the neighbors sent last pulse, may send
+//! messages for delivery next pulse, and updates local state (§4.1).
+
+use rand::rngs::StdRng;
+
+use crate::ids::{ProcessId, Round};
+use crate::message::Message;
+
+/// A processor's program, stepped once per pulse.
+///
+/// Implementors also expose `as_any`/`as_any_mut` so harnesses can inspect
+/// concrete protocol state after a run (decision values, clocks, ...).
+pub trait Process {
+    /// Executes one synchronous step.
+    fn on_pulse(&mut self, ctx: &mut Context<'_>);
+
+    /// Transient-fault hook: overwrite internal state with arbitrary values.
+    ///
+    /// Self-stabilization proofs quantify over *arbitrary starting
+    /// configurations*; the fault injector calls this to produce them. The
+    /// default is a no-op for stateless processes.
+    fn scramble(&mut self, rng: &mut StdRng) {
+        let _ = rng;
+    }
+
+    /// Concrete-type access for post-run inspection.
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Mutable concrete-type access for harness intervention.
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+
+    /// Diagnostic label used in traces.
+    fn name(&self) -> &'static str {
+        "process"
+    }
+}
+
+/// Everything a process can see and do during one pulse.
+#[derive(Debug)]
+pub struct Context<'a> {
+    pub(crate) id: ProcessId,
+    pub(crate) round: Round,
+    pub(crate) neighbors: &'a [usize],
+    pub(crate) inbox: &'a [Message],
+    pub(crate) outbox: Vec<(ProcessId, Vec<u8>)>,
+    pub(crate) rng: StdRng,
+    pub(crate) n: usize,
+}
+
+impl<'a> Context<'a> {
+    /// This processor's identity.
+    pub fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    /// The current round (pulse) number.
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// Total number of processors in the system.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Sorted neighbor indices.
+    pub fn neighbors(&self) -> &[usize] {
+        self.neighbors
+    }
+
+    /// Messages delivered at this pulse (sent by neighbors last pulse).
+    pub fn inbox(&self) -> &[Message] {
+        self.inbox
+    }
+
+    /// Queues a message for delivery to `to` at the next pulse.
+    ///
+    /// Messages to non-neighbors are silently dropped by the scheduler (and
+    /// counted in the trace), modelling the absence of a link.
+    pub fn send(&mut self, to: ProcessId, payload: Vec<u8>) {
+        self.outbox.push((to, payload));
+    }
+
+    /// Queues the same payload to every neighbor.
+    pub fn broadcast(&mut self, payload: Vec<u8>) {
+        for &nb in self.neighbors {
+            self.outbox.push((ProcessId(nb), payload.clone()));
+        }
+    }
+
+    /// This pulse's private randomness, derived from `(seed, id, round)` —
+    /// reproducible and independent of other processes.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::process_rng;
+
+    fn ctx<'a>(neigh: &'a [usize], inbox: &'a [Message]) -> Context<'a> {
+        Context {
+            id: ProcessId(0),
+            round: Round(0),
+            neighbors: neigh,
+            inbox,
+            outbox: Vec::new(),
+            rng: process_rng(0, ProcessId(0), Round(0)),
+            n: 4,
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_all_neighbors() {
+        let neigh = [1usize, 2, 3];
+        let inbox: Vec<Message> = Vec::new();
+        let mut c = ctx(&neigh, &inbox);
+        c.broadcast(vec![7]);
+        assert_eq!(c.outbox.len(), 3);
+        let targets: Vec<usize> = c.outbox.iter().map(|(t, _)| t.index()).collect();
+        assert_eq!(targets, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn send_queues_single_message() {
+        let neigh = [1usize];
+        let inbox: Vec<Message> = Vec::new();
+        let mut c = ctx(&neigh, &inbox);
+        c.send(ProcessId(1), vec![1, 2]);
+        assert_eq!(c.outbox, vec![(ProcessId(1), vec![1, 2])]);
+    }
+
+    #[test]
+    fn accessors_report_coordinates() {
+        let neigh = [1usize];
+        let inbox: Vec<Message> = Vec::new();
+        let c = ctx(&neigh, &inbox);
+        assert_eq!(c.id(), ProcessId(0));
+        assert_eq!(c.round(), Round(0));
+        assert_eq!(c.n(), 4);
+        assert!(c.inbox().is_empty());
+    }
+}

@@ -1,0 +1,326 @@
+//! Fault-tolerant relay for sparse topologies.
+//!
+//! The paper's resilience condition (footnote 2 / §4.1) — "there are
+//! 2f + 1 vertex disjoint paths between any 2 processes, in the presence
+//! of at most f Byzantine processes" — is exactly what makes *reliable
+//! end-to-end delivery* possible when the communication graph is not
+//! complete: a value relayed over 2f+1 internally disjoint paths arrives
+//! untampered along at least f+1 of them, so the true value is the one
+//! received at least f+1 times.
+//!
+//! [`FloodRelay`] implements the classic realization: source-stamped
+//! flooding with per-path first-hop tracking. A receiver accepts a value
+//! once it has arrived via `f+1` *distinct first hops* (distinct first
+//! hops are a sound proxy for distinct paths in flooding over a
+//! 2f+1-connected graph: a Byzantine interior vertex can corrupt only the
+//! paths through it, and there are at most `f` Byzantine vertices).
+
+use std::collections::{HashMap, HashSet};
+
+use crate::message::Message;
+use crate::process::{Context, Process};
+
+/// Wire format: `[MAGIC, origin u16, hop u16, seq u16, len u16, value…]`.
+const MAGIC: u8 = 0xF1;
+
+/// A flooded value observation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Key {
+    origin: u16,
+    seq: u16,
+}
+
+/// A flooding relay node: forwards everything it sees once, and delivers
+/// a `(origin, seq)` value once `f+1` copies with distinct first hops
+/// carried the *same* bytes.
+pub struct FloodRelay {
+    f: usize,
+    /// Values this node wants to originate: (seq, payload).
+    outbox: Vec<(u16, Vec<u8>)>,
+    /// Everything already forwarded (origin, seq, first_hop) — forward a
+    /// given copy lineage only once.
+    forwarded: HashSet<(u16, u16, u16)>,
+    /// (origin, seq) → value bytes → set of first hops that delivered it.
+    observations: HashMap<Key, HashMap<Vec<u8>, HashSet<u16>>>,
+    /// Accepted deliveries: (origin, seq) → value.
+    delivered: HashMap<(u16, u16), Vec<u8>>,
+    next_seq: u16,
+}
+
+impl std::fmt::Debug for FloodRelay {
+    fn fmt(&self, fmt: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fmt.debug_struct("FloodRelay")
+            .field("f", &self.f)
+            .field("delivered", &self.delivered.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl FloodRelay {
+    /// Creates a relay node tolerating `f` Byzantine interior vertices.
+    pub fn new(f: usize) -> FloodRelay {
+        FloodRelay {
+            f,
+            outbox: Vec::new(),
+            forwarded: HashSet::new(),
+            observations: HashMap::new(),
+            delivered: HashMap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Queues `value` for origination at the next pulse; returns its
+    /// sequence number.
+    pub fn originate(&mut self, value: Vec<u8>) -> u16 {
+        let seq = self.next_seq;
+        self.next_seq = self.next_seq.wrapping_add(1);
+        self.outbox.push((seq, value));
+        seq
+    }
+
+    /// The value accepted from `origin` with sequence `seq`, if the
+    /// disjoint-paths quorum has been reached.
+    pub fn delivered(&self, origin: usize, seq: u16) -> Option<&[u8]> {
+        self.delivered
+            .get(&(origin as u16, seq))
+            .map(Vec::as_slice)
+    }
+
+    /// Number of accepted deliveries so far.
+    pub fn delivered_count(&self) -> usize {
+        self.delivered.len()
+    }
+
+    fn encode(origin: u16, hop: u16, seq: u16, value: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(9 + value.len());
+        out.push(MAGIC);
+        out.extend_from_slice(&origin.to_be_bytes());
+        out.extend_from_slice(&hop.to_be_bytes());
+        out.extend_from_slice(&seq.to_be_bytes());
+        out.extend_from_slice(&(value.len() as u16).to_be_bytes());
+        out.extend_from_slice(value);
+        out
+    }
+
+    fn decode(payload: &[u8]) -> Option<(u16, u16, u16, &[u8])> {
+        if payload.len() < 9 || payload[0] != MAGIC {
+            return None;
+        }
+        let origin = u16::from_be_bytes([payload[1], payload[2]]);
+        let hop = u16::from_be_bytes([payload[3], payload[4]]);
+        let seq = u16::from_be_bytes([payload[5], payload[6]]);
+        let len = u16::from_be_bytes([payload[7], payload[8]]) as usize;
+        let body = &payload[9..];
+        (body.len() == len).then(|| (origin, hop, seq, body))
+    }
+
+    fn observe(&mut self, origin: u16, first_hop: u16, seq: u16, value: &[u8], me: u16) {
+        if origin == me {
+            return; // own floods are not evidence
+        }
+        let key = Key { origin, seq };
+        let hops = self
+            .observations
+            .entry(key.clone())
+            .or_default()
+            .entry(value.to_vec())
+            .or_default();
+        hops.insert(first_hop);
+        if hops.len() >= self.f + 1 {
+            self.delivered
+                .entry((origin, seq))
+                .or_insert_with(|| value.to_vec());
+        }
+    }
+}
+
+impl Process for FloodRelay {
+    fn on_pulse(&mut self, ctx: &mut Context<'_>) {
+        let me = ctx.id().index() as u16;
+
+        // Collect inbound floods first (borrowck: copy what we forward).
+        let inbound: Vec<(u16, u16, u16, Vec<u8>)> = ctx
+            .inbox()
+            .iter()
+            .filter_map(|m: &Message| {
+                Self::decode(m.bytes()).map(|(origin, hop, seq, value)| {
+                    // The first hop is stamped by the origin's direct
+                    // neighbor; afterwards it is carried unchanged.
+                    let first_hop = if origin == m.from.index() as u16 {
+                        me // we are the first hop for this copy
+                    } else {
+                        hop
+                    };
+                    (origin, first_hop, seq, value.to_vec())
+                })
+            })
+            .collect();
+
+        for (origin, first_hop, seq, value) in &inbound {
+            self.observe(*origin, *first_hop, *seq, value, me);
+        }
+
+        // Forward each (origin, seq, first_hop) lineage once.
+        let mut to_send: Vec<Vec<u8>> = Vec::new();
+        for (origin, first_hop, seq, value) in inbound {
+            if origin == me {
+                continue;
+            }
+            if self.forwarded.insert((origin, seq, first_hop)) {
+                to_send.push(Self::encode(origin, first_hop, seq, &value));
+            }
+        }
+        // Originations: hop field unused from the origin itself (receivers
+        // stamp themselves as first hop).
+        for (seq, value) in self.outbox.drain(..) {
+            to_send.push(Self::encode(me, u16::MAX, seq, &value));
+            self.delivered.entry((me, seq)).or_insert(value);
+        }
+        for payload in to_send {
+            ctx.broadcast(payload);
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn name(&self) -> &'static str {
+        "flood-relay"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{Adversary, ByzantineProcess};
+    use crate::ids::ProcessId;
+    use crate::sim::Simulation;
+    use crate::topology::Topology;
+
+    /// Byzantine relay: forwards floods with the value bytes corrupted.
+    struct CorruptingRelay;
+
+    impl Adversary for CorruptingRelay {
+        fn act(&mut self, ctx: &mut Context<'_>) {
+            let inbound: Vec<Vec<u8>> = ctx
+                .inbox()
+                .iter()
+                .map(|m| {
+                    let mut p = m.bytes().to_vec();
+                    if p.len() > 9 {
+                        let last = p.len() - 1;
+                        p[last] ^= 0xFF;
+                    }
+                    p
+                })
+                .collect();
+            for p in inbound {
+                ctx.broadcast(p);
+            }
+        }
+        fn name(&self) -> &'static str {
+            "corrupting-relay"
+        }
+    }
+
+    /// 3-connected 6-vertex graph (wheel-ish): tolerates f=1.
+    fn three_connected_six() -> Topology {
+        Topology::from_edges(
+            6,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 0),
+                (0, 2),
+                (1, 3),
+                (2, 4),
+                (3, 5),
+                (4, 0),
+                (5, 1),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fixture_meets_the_paper_condition() {
+        // f = 1 needs 2f+1 = 3 disjoint paths.
+        assert!(three_connected_six().vertex_connectivity_at_least(3));
+    }
+
+    #[test]
+    fn flood_delivers_across_a_sparse_graph() {
+        let mut sim = Simulation::builder(three_connected_six())
+            .build_with(|_| Box::new(FloodRelay::new(1)) as Box<dyn Process>);
+        let seq = sim
+            .process_as_mut::<FloodRelay>(ProcessId(0))
+            .unwrap()
+            .originate(b"hello".to_vec());
+        sim.run(6);
+        for i in 1..6 {
+            let relay = sim.process_as::<FloodRelay>(ProcessId(i)).unwrap();
+            assert_eq!(
+                relay.delivered(0, seq),
+                Some(b"hello".as_slice()),
+                "p{i} delivered"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupting_interior_vertex_cannot_forge() {
+        // p3 corrupts every flood it forwards; honest nodes must still
+        // accept the true value (≥ f+1 = 2 clean first-hop lineages) and
+        // never accept the corrupted one.
+        let mut sim = Simulation::builder(three_connected_six()).build_with(|id| {
+            if id.index() == 3 {
+                Box::new(ByzantineProcess::new(Box::new(CorruptingRelay))) as Box<dyn Process>
+            } else {
+                Box::new(FloodRelay::new(1))
+            }
+        });
+        let seq = sim
+            .process_as_mut::<FloodRelay>(ProcessId(0))
+            .unwrap()
+            .originate(b"genuine".to_vec());
+        sim.run(8);
+        for i in [1usize, 2, 4, 5] {
+            let relay = sim.process_as::<FloodRelay>(ProcessId(i)).unwrap();
+            assert_eq!(
+                relay.delivered(0, seq),
+                Some(b"genuine".as_slice()),
+                "p{i} got the true value despite the corrupting relay"
+            );
+        }
+    }
+
+    #[test]
+    fn codec_rejects_garbage() {
+        assert!(FloodRelay::decode(b"").is_none());
+        assert!(FloodRelay::decode(&[0xF1, 0, 0]).is_none());
+        assert!(FloodRelay::decode(&[0x00; 16]).is_none());
+        let good = FloodRelay::encode(2, 3, 4, b"xy");
+        let (o, h, s, v) = FloodRelay::decode(&good).unwrap();
+        assert_eq!((o, h, s, v), (2, 3, 4, b"xy".as_slice()));
+        // Length mismatch rejected.
+        let mut bad = good.clone();
+        bad.truncate(bad.len() - 1);
+        assert!(FloodRelay::decode(&bad).is_none());
+    }
+
+    #[test]
+    fn multiple_originations_keep_distinct_sequence_numbers() {
+        let mut relay = FloodRelay::new(1);
+        let a = relay.originate(b"a".to_vec());
+        let b = relay.originate(b"b".to_vec());
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,456 @@
+//! The lock-step scheduler: [`Simulation`] and [`SimulationBuilder`].
+
+use rand::Rng;
+
+use crate::fault::TransientFault;
+use crate::ids::{ProcessId, Round};
+use crate::message::Message;
+use crate::process::{Context, Process};
+use crate::rng::{labeled_rng, process_rng};
+use crate::topology::Topology;
+use crate::trace::Trace;
+use crate::SimError;
+
+/// Message-loss model applied on delivery.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Delivery {
+    /// Every message on an existing link is delivered (the paper's model).
+    Reliable,
+    /// Each message is independently dropped with probability `p` —
+    /// used by robustness tests to confirm protocols degrade, not corrupt.
+    Lossy {
+        /// Per-message drop probability in `[0, 1]`.
+        p: f64,
+    },
+}
+
+/// A synchronous distributed system: processes + topology + in-flight
+/// messages.
+///
+/// Semantics per [`step`](Simulation::step) (one pulse):
+/// 1. every process receives the messages sent to it last round,
+/// 2. every process takes its step (in parallel, modelled by iterating over
+///    an immutable snapshot of inboxes),
+/// 3. outgoing messages are routed along topology edges for delivery next
+///    round.
+pub struct Simulation {
+    topology: Topology,
+    processes: Vec<Box<dyn Process>>,
+    /// inbox[i] = messages to deliver to process i at the next pulse.
+    inboxes: Vec<Vec<Message>>,
+    round: Round,
+    seed: u64,
+    delivery: Delivery,
+    trace: Trace,
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("n", &self.topology.len())
+            .field("round", &self.round)
+            .field("seed", &self.seed)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Configures and constructs a [`Simulation`].
+#[derive(Debug)]
+pub struct SimulationBuilder {
+    topology: Topology,
+    seed: u64,
+    delivery: Delivery,
+}
+
+impl SimulationBuilder {
+    /// Sets the run seed (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the delivery model (default [`Delivery::Reliable`]).
+    pub fn delivery(mut self, delivery: Delivery) -> Self {
+        self.delivery = delivery;
+        self
+    }
+
+    /// Builds the simulation, constructing each process from its id.
+    pub fn build_with(
+        self,
+        mut make: impl FnMut(ProcessId) -> Box<dyn Process>,
+    ) -> Simulation {
+        let n = self.topology.len();
+        let processes = (0..n).map(|i| make(ProcessId(i))).collect();
+        Simulation {
+            inboxes: vec![Vec::new(); n],
+            topology: self.topology,
+            processes,
+            round: Round(0),
+            seed: self.seed,
+            delivery: self.delivery,
+            trace: Trace::new(n),
+        }
+    }
+
+    /// Builds from an explicit process vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `processes.len()` differs from the topology size.
+    pub fn build(self, processes: Vec<Box<dyn Process>>) -> Simulation {
+        assert_eq!(
+            processes.len(),
+            self.topology.len(),
+            "one process per topology vertex"
+        );
+        let n = self.topology.len();
+        Simulation {
+            inboxes: vec![Vec::new(); n],
+            topology: self.topology,
+            processes,
+            round: Round(0),
+            seed: self.seed,
+            delivery: self.delivery,
+            trace: Trace::new(n),
+        }
+    }
+}
+
+impl Simulation {
+    /// Starts configuring a simulation over `topology`.
+    pub fn builder(topology: Topology) -> SimulationBuilder {
+        SimulationBuilder {
+            topology,
+            seed: 0,
+            delivery: Delivery::Reliable,
+        }
+    }
+
+    /// Number of processes.
+    pub fn len(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// Whether the simulation has no processes (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.processes.is_empty()
+    }
+
+    /// The current round number (the next pulse to execute).
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// The topology (immutable; links cannot change mid-run except through
+    /// [`disconnect`](Simulation::disconnect)).
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Accumulated counters.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Resets trace counters (e.g. to measure only steady-state costs).
+    pub fn reset_trace(&mut self) {
+        self.trace.reset();
+    }
+
+    /// Executes one pulse for every process.
+    pub fn step(&mut self) {
+        let n = self.processes.len();
+        // Take this round's inboxes; deliveries go into fresh ones.
+        let inboxes = std::mem::replace(&mut self.inboxes, vec![Vec::new(); n]);
+        let mut outgoing: Vec<(ProcessId, ProcessId, Vec<u8>)> = Vec::new();
+
+        for (i, process) in self.processes.iter_mut().enumerate() {
+            let id = ProcessId(i);
+            let mut ctx = Context {
+                id,
+                round: self.round,
+                neighbors: self.topology.neighbors(id),
+                inbox: &inboxes[i],
+                outbox: Vec::new(),
+                rng: process_rng(self.seed, id, self.round),
+                n,
+            };
+            process.on_pulse(&mut ctx);
+            for (to, payload) in ctx.outbox {
+                outgoing.push((id, to, payload));
+            }
+        }
+
+        // Route: only edges in the topology carry messages.
+        let mut loss_rng = labeled_rng(
+            self.seed ^ 0x1055_1055_1055_1055,
+            &format!("loss-{}", self.round.value()),
+        );
+        for (from, to, payload) in outgoing {
+            if to.index() >= n || !self.topology.connected(from, to) {
+                self.trace.messages_dropped_no_link += 1;
+                continue;
+            }
+            if let Delivery::Lossy { p } = self.delivery {
+                if loss_rng.gen_bool(p.clamp(0.0, 1.0)) {
+                    self.trace.messages_dropped_lossy += 1;
+                    continue;
+                }
+            }
+            self.trace.record_delivery(to, payload.len());
+            self.inboxes[to.index()].push(Message::new(from, self.round, payload));
+        }
+
+        self.trace.record_round(self.round);
+        self.round = self.round.next();
+    }
+
+    /// Runs `rounds` pulses.
+    pub fn run(&mut self, rounds: u64) {
+        for _ in 0..rounds {
+            self.step();
+        }
+    }
+
+    /// Runs until `predicate(self)` holds or `max_rounds` elapse; returns
+    /// the number of rounds executed, or `None` on timeout.
+    pub fn run_until(
+        &mut self,
+        max_rounds: u64,
+        mut predicate: impl FnMut(&Simulation) -> bool,
+    ) -> Option<u64> {
+        for executed in 0..max_rounds {
+            if predicate(self) {
+                return Some(executed);
+            }
+            self.step();
+        }
+        if predicate(self) {
+            Some(max_rounds)
+        } else {
+            None
+        }
+    }
+
+    /// Immutable access to process `id` as its concrete type.
+    pub fn process_as<T: 'static>(&self, id: ProcessId) -> Option<&T> {
+        self.processes
+            .get(id.index())
+            .and_then(|p| p.as_any().downcast_ref())
+    }
+
+    /// Mutable access to process `id` as its concrete type.
+    pub fn process_as_mut<T: 'static>(&mut self, id: ProcessId) -> Option<&mut T> {
+        self.processes
+            .get_mut(id.index())
+            .and_then(|p| p.as_any_mut().downcast_mut())
+    }
+
+    /// Replaces the program of processor `id` (e.g. corrupting an honest
+    /// processor into a Byzantine one mid-run).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownProcess`] for out-of-range ids.
+    pub fn replace_process(
+        &mut self,
+        id: ProcessId,
+        process: Box<dyn Process>,
+    ) -> Result<(), SimError> {
+        match self.processes.get_mut(id.index()) {
+            Some(slot) => {
+                *slot = process;
+                Ok(())
+            }
+            None => Err(SimError::UnknownProcess(id)),
+        }
+    }
+
+    /// Applies a transient fault (see [`fault`](crate::fault)).
+    pub fn inject(&mut self, fault: &TransientFault) {
+        fault.apply(
+            self.seed,
+            self.round,
+            &mut self.processes,
+            &mut self.inboxes,
+        );
+    }
+
+    /// Punitive disconnection: removes every link of `id` (the executive
+    /// service's strongest punishment, per §3.4 "disconnect Byzantine agents
+    /// from the network").
+    pub fn disconnect(&mut self, id: ProcessId) {
+        let victim = id.index();
+        let peers: Vec<usize> = self.topology.neighbors(id).to_vec();
+        let n = self.topology.len();
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for &v in self.topology.neighbors(ProcessId(u)) {
+                if u < v && u != victim && v != victim {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let _ = peers;
+        self.topology = Topology::from_edges(n, &edges).expect("filtered edges stay valid");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Counts received messages; broadcasts one message per round.
+    struct Counter {
+        received: usize,
+    }
+
+    impl Process for Counter {
+        fn on_pulse(&mut self, ctx: &mut Context<'_>) {
+            self.received += ctx.inbox().len();
+            ctx.broadcast(vec![1]);
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    fn counters(topology: Topology, seed: u64) -> Simulation {
+        Simulation::builder(topology)
+            .seed(seed)
+            .build_with(|_| Box::new(Counter { received: 0 }))
+    }
+
+    #[test]
+    fn messages_delivered_next_round() {
+        let mut sim = counters(Topology::complete(3), 0);
+        sim.step();
+        assert_eq!(sim.process_as::<Counter>(ProcessId(0)).unwrap().received, 0);
+        sim.step();
+        assert_eq!(sim.process_as::<Counter>(ProcessId(0)).unwrap().received, 2);
+    }
+
+    #[test]
+    fn ring_delivers_only_to_neighbors() {
+        let mut sim = counters(Topology::ring(5), 0);
+        sim.run(2);
+        for i in 0..5 {
+            assert_eq!(
+                sim.process_as::<Counter>(ProcessId(i)).unwrap().received,
+                2,
+                "ring degree is 2"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_counts_messages() {
+        let mut sim = counters(Topology::complete(4), 0);
+        sim.run(3);
+        // Each step routes the 4*3 broadcasts sent during that step (they
+        // are *read* by recipients at the following pulse).
+        assert_eq!(sim.trace().rounds, 3);
+        assert_eq!(sim.trace().messages_delivered, 36);
+    }
+
+    #[test]
+    fn run_until_stops_on_predicate() {
+        let mut sim = counters(Topology::complete(3), 0);
+        let rounds = sim
+            .run_until(100, |s| {
+                s.process_as::<Counter>(ProcessId(0)).map(|c| c.received >= 4) == Some(true)
+            })
+            .unwrap();
+        assert!(rounds >= 3 && rounds <= 4, "rounds={rounds}");
+    }
+
+    #[test]
+    fn run_until_times_out() {
+        let mut sim = counters(Topology::complete(3), 0);
+        assert_eq!(sim.run_until(5, |_| false), None);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_history() {
+        let mut a = counters(Topology::complete(5), 42);
+        let mut b = counters(Topology::complete(5), 42);
+        a.run(10);
+        b.run(10);
+        assert_eq!(a.trace(), b.trace());
+    }
+
+    #[test]
+    fn lossy_delivery_drops_some() {
+        let mut sim = Simulation::builder(Topology::complete(4))
+            .seed(3)
+            .delivery(Delivery::Lossy { p: 0.5 })
+            .build_with(|_| Box::new(Counter { received: 0 }) as Box<dyn Process>);
+        sim.run(20);
+        assert!(sim.trace().messages_dropped_lossy > 0);
+        assert!(sim.trace().messages_delivered > 0);
+    }
+
+    #[test]
+    fn disconnect_cuts_all_links() {
+        let mut sim = counters(Topology::complete(4), 0);
+        sim.disconnect(ProcessId(2));
+        sim.run(3);
+        assert_eq!(sim.process_as::<Counter>(ProcessId(2)).unwrap().received, 0);
+        // Others still talk among the remaining 3.
+        assert!(sim.process_as::<Counter>(ProcessId(0)).unwrap().received > 0);
+    }
+
+    /// Sends to a fixed non-neighbor target to exercise the link check.
+    struct Stubborn;
+
+    impl Process for Stubborn {
+        fn on_pulse(&mut self, ctx: &mut Context<'_>) {
+            ctx.send(ProcessId(2), vec![1]);
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    #[test]
+    fn sends_without_link_are_dropped_and_counted() {
+        // Path 0-1, 1-2: p0 keeps sending to p2 without a direct link.
+        let topo = Topology::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let mut sim = Simulation::builder(topo).build_with(|id| {
+            if id == ProcessId(0) {
+                Box::new(Stubborn) as Box<dyn Process>
+            } else {
+                Box::new(Counter { received: 0 })
+            }
+        });
+        sim.run(4);
+        assert_eq!(sim.trace().messages_dropped_no_link, 4);
+        // p2 only hears from p1.
+        assert_eq!(sim.process_as::<Counter>(ProcessId(2)).unwrap().received, 3);
+    }
+
+    #[test]
+    fn replace_process_swaps_program() {
+        let mut sim = counters(Topology::complete(3), 0);
+        sim.replace_process(
+            ProcessId(1),
+            Box::new(crate::adversary::ByzantineProcess::new(Box::new(
+                crate::adversary::Silent,
+            ))),
+        )
+        .unwrap();
+        sim.run(3);
+        // p0 now only hears from p2.
+        assert_eq!(sim.process_as::<Counter>(ProcessId(0)).unwrap().received, 2);
+        assert!(sim
+            .replace_process(ProcessId(9), Box::new(Counter { received: 0 }))
+            .is_err());
+    }
+}

@@ -1,0 +1,349 @@
+//! Communication graphs.
+//!
+//! The paper requires the communication graph to remain well connected in
+//! spite of Byzantine processors: "there are 2f + 1 vertex disjoint paths
+//! between any 2 processes, in the presence of at most f Byzantine
+//! processes" (footnote 2 / §4.1). [`Topology`] models the graph and
+//! provides a max-flow based [vertex-connectivity
+//! check](Topology::vertex_connectivity_at_least) so harnesses can validate
+//! that assumption before running a protocol.
+
+use crate::ids::ProcessId;
+use crate::SimError;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// An undirected communication graph over processors `0..n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    n: usize,
+    /// Sorted adjacency lists.
+    adj: Vec<Vec<usize>>,
+}
+
+impl Topology {
+    /// The complete graph on `n` processors — the paper's default setting
+    /// (every BA activation is a broadcast to everyone).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn complete(n: usize) -> Topology {
+        assert!(n > 0, "topology needs at least one processor");
+        let adj = (0..n)
+            .map(|i| (0..n).filter(|&j| j != i).collect())
+            .collect();
+        Topology { n, adj }
+    }
+
+    /// A ring on `n` processors (useful for worst-case connectivity tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3`.
+    pub fn ring(n: usize) -> Topology {
+        assert!(n >= 3, "a ring needs at least 3 processors");
+        let adj = (0..n)
+            .map(|i| {
+                let mut v = vec![(i + n - 1) % n, (i + 1) % n];
+                v.sort_unstable();
+                v.dedup();
+                v
+            })
+            .collect();
+        Topology { n, adj }
+    }
+
+    /// Builds a topology from explicit undirected edges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadTopology`] for self-loops or out-of-range
+    /// endpoints.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Result<Topology, SimError> {
+        if n == 0 {
+            return Err(SimError::BadTopology("zero processors".into()));
+        }
+        let mut adj = vec![Vec::new(); n];
+        for &(a, b) in edges {
+            if a == b {
+                return Err(SimError::BadTopology(format!("self loop at {a}")));
+            }
+            if a >= n || b >= n {
+                return Err(SimError::BadTopology(format!(
+                    "edge ({a},{b}) out of range for n={n}"
+                )));
+            }
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+        }
+        Ok(Topology { n, adj })
+    }
+
+    /// A random graph where every vertex gets at least `k` neighbors:
+    /// a Harary-style `k`-connected backbone (each vertex linked to its `k/2`
+    /// successors around a ring) plus random extra edges at `extra_p`
+    /// probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= n` or `k < 2`.
+    pub fn random_k_connected(n: usize, k: usize, extra_p: f64, rng: &mut impl Rng) -> Topology {
+        assert!(k >= 2 && k < n, "need 2 <= k < n");
+        let half = k.div_ceil(2);
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for d in 1..=half {
+                edges.push((i, (i + d) % n));
+            }
+        }
+        for i in 0..n {
+            for j in i + 1..n {
+                if rng.gen_bool(extra_p) {
+                    edges.push((i, j));
+                }
+            }
+        }
+        edges.shuffle(rng);
+        Topology::from_edges(n, &edges).expect("generated edges are valid")
+    }
+
+    /// Number of processors.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the topology has no processors (never true — constructors
+    /// require `n > 0`).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Neighbor ids of processor `id` (sorted).
+    pub fn neighbors(&self, id: ProcessId) -> &[usize] {
+        &self.adj[id.index()]
+    }
+
+    /// Whether `a` and `b` share an edge.
+    pub fn connected(&self, a: ProcessId, b: ProcessId) -> bool {
+        self.adj[a.index()].binary_search(&b.index()).is_ok()
+    }
+
+    /// Minimum degree over all vertices — an upper bound on connectivity.
+    pub fn min_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).min().unwrap_or(0)
+    }
+
+    /// Total number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Whether the graph is connected (BFS reachability).
+    pub fn is_connected(&self) -> bool {
+        if self.n == 0 {
+            return false;
+        }
+        let mut seen = vec![false; self.n];
+        let mut queue = VecDeque::from([0usize]);
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.adj[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    count += 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        count == self.n
+    }
+
+    /// Checks that every pair of distinct vertices has at least `k` vertex
+    /// disjoint paths (Menger / max-flow with vertex splitting).
+    ///
+    /// For the paper's resilience condition use `k = 2f + 1`.
+    /// Runs `O(n² · k · E)` — fine for the simulator's scales.
+    pub fn vertex_connectivity_at_least(&self, k: usize) -> bool {
+        if k == 0 {
+            return true;
+        }
+        if self.n < 2 {
+            return false;
+        }
+        for s in 0..self.n {
+            for t in s + 1..self.n {
+                if !self.pair_connectivity_at_least(s, t, k) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Max-flow check for a single (s, t) pair.
+    ///
+    /// Adjacent pairs: an edge is itself a path that no vertex cut can
+    /// remove, so we count the direct edge plus the connectivity of the graph
+    /// without it (standard Menger adjustment via flow on the split graph,
+    /// where the direct arc bypasses interior capacities).
+    fn pair_connectivity_at_least(&self, s: usize, t: usize, k: usize) -> bool {
+        // Vertex splitting: vertex v becomes v_in (2v) -> v_out (2v+1) with
+        // capacity 1, except s and t which have infinite self-capacity.
+        // Edge (u,v) becomes u_out -> v_in and v_out -> u_in with capacity 1:
+        // vertex-disjoint paths never share an edge, and unit capacity keeps
+        // a direct (s,t) edge from being counted as more than one path.
+        let inf = (k + 1) as i64;
+        let nodes = 2 * self.n;
+        let mut graph: Vec<Vec<(usize, usize)>> = vec![Vec::new(); nodes]; // (to, edge index)
+        let mut cap: Vec<i64> = Vec::new();
+        let add_edge = |graph: &mut Vec<Vec<(usize, usize)>>,
+                            cap: &mut Vec<i64>,
+                            u: usize,
+                            v: usize,
+                            c: i64| {
+            graph[u].push((v, cap.len()));
+            cap.push(c);
+            graph[v].push((u, cap.len()));
+            cap.push(0);
+        };
+        for v in 0..self.n {
+            let c = if v == s || v == t { inf } else { 1 };
+            add_edge(&mut graph, &mut cap, 2 * v, 2 * v + 1, c);
+        }
+        for u in 0..self.n {
+            for &v in &self.adj[u] {
+                // Each undirected edge appears twice (u->v and v->u); add
+                // the directed arc each time.
+                add_edge(&mut graph, &mut cap, 2 * u + 1, 2 * v, 1);
+            }
+        }
+        let source = 2 * s + 1; // s_out
+        let sink = 2 * t; // t_in
+        let mut flow = 0i64;
+        while flow < k as i64 {
+            // BFS for an augmenting path.
+            let mut parent: Vec<Option<(usize, usize)>> = vec![None; nodes];
+            let mut queue = VecDeque::from([source]);
+            while let Some(u) = queue.pop_front() {
+                if u == sink {
+                    break;
+                }
+                for &(v, e) in &graph[u] {
+                    if cap[e] > 0 && parent[v].is_none() && v != source {
+                        parent[v] = Some((u, e));
+                        queue.push_back(v);
+                    }
+                }
+            }
+            if parent[sink].is_none() {
+                break;
+            }
+            // Unit augmentation (all path bottlenecks are 1 or inf).
+            let mut v = sink;
+            while v != source {
+                let (u, e) = parent[v].expect("path exists");
+                cap[e] -= 1;
+                cap[e ^ 1] += 1;
+                v = u;
+            }
+            flow += 1;
+        }
+        flow >= k as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn complete_graph_structure() {
+        let t = Topology::complete(5);
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.edge_count(), 10);
+        assert_eq!(t.min_degree(), 4);
+        assert!(t.connected(ProcessId(0), ProcessId(4)));
+        assert!(!t.connected(ProcessId(2), ProcessId(2)));
+    }
+
+    #[test]
+    fn ring_structure() {
+        let t = Topology::ring(6);
+        assert_eq!(t.edge_count(), 6);
+        assert_eq!(t.min_degree(), 2);
+        assert!(t.connected(ProcessId(0), ProcessId(5)));
+        assert!(!t.connected(ProcessId(0), ProcessId(3)));
+    }
+
+    #[test]
+    fn from_edges_rejects_bad_input() {
+        assert!(Topology::from_edges(3, &[(0, 0)]).is_err());
+        assert!(Topology::from_edges(3, &[(0, 3)]).is_err());
+        assert!(Topology::from_edges(0, &[]).is_err());
+    }
+
+    #[test]
+    fn from_edges_dedups() {
+        let t = Topology::from_edges(3, &[(0, 1), (1, 0), (0, 1)]).unwrap();
+        assert_eq!(t.edge_count(), 1);
+    }
+
+    #[test]
+    fn connectivity_of_complete_graph() {
+        let t = Topology::complete(6);
+        assert!(t.vertex_connectivity_at_least(5));
+        assert!(!t.vertex_connectivity_at_least(6));
+    }
+
+    #[test]
+    fn connectivity_of_ring_is_two() {
+        let t = Topology::ring(7);
+        assert!(t.vertex_connectivity_at_least(2));
+        assert!(!t.vertex_connectivity_at_least(3));
+    }
+
+    #[test]
+    fn path_graph_has_connectivity_one() {
+        let t = Topology::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert!(t.is_connected());
+        assert!(t.vertex_connectivity_at_least(1));
+        assert!(!t.vertex_connectivity_at_least(2));
+    }
+
+    #[test]
+    fn disconnected_graph_detected() {
+        let t = Topology::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(!t.is_connected());
+        assert!(!t.vertex_connectivity_at_least(1));
+    }
+
+    #[test]
+    fn paper_condition_2f_plus_1_on_complete_graph() {
+        // With n = 7, f = 2: need 2f+1 = 5 disjoint paths; K7 offers 6.
+        let t = Topology::complete(7);
+        assert!(t.vertex_connectivity_at_least(5));
+    }
+
+    #[test]
+    fn random_k_connected_meets_min_degree() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let t = Topology::random_k_connected(12, 4, 0.1, &mut rng);
+        assert!(t.min_degree() >= 4);
+        assert!(t.is_connected());
+        assert!(t.vertex_connectivity_at_least(3));
+    }
+
+    #[test]
+    fn neighbors_sorted_and_correct() {
+        let t = Topology::from_edges(4, &[(2, 0), (2, 3), (2, 1)]).unwrap();
+        assert_eq!(t.neighbors(ProcessId(2)), &[0, 1, 3]);
+    }
+}

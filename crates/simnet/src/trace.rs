@@ -1,0 +1,99 @@
+//! Execution tracing: message and round accounting.
+//!
+//! Experiment E6 (authority overhead) reports rounds and message counts per
+//! play; the [`Trace`] collects them without protocols having to
+//! instrument themselves.
+
+use crate::ids::{ProcessId, Round};
+
+/// Counters accumulated over a simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    /// Total messages delivered.
+    pub messages_delivered: u64,
+    /// Total payload bytes delivered.
+    pub bytes_delivered: u64,
+    /// Messages dropped because the destination was not a neighbor.
+    pub messages_dropped_no_link: u64,
+    /// Messages dropped by the loss model.
+    pub messages_dropped_lossy: u64,
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Per-process delivered-message counts.
+    per_process: Vec<u64>,
+}
+
+impl Trace {
+    /// Creates counters for `n` processes.
+    pub fn new(n: usize) -> Trace {
+        Trace {
+            per_process: vec![0; n],
+            ..Trace::default()
+        }
+    }
+
+    pub(crate) fn record_delivery(&mut self, to: ProcessId, bytes: usize) {
+        self.messages_delivered += 1;
+        self.bytes_delivered += bytes as u64;
+        if let Some(c) = self.per_process.get_mut(to.index()) {
+            *c += 1;
+        }
+    }
+
+    pub(crate) fn record_round(&mut self, _round: Round) {
+        self.rounds += 1;
+    }
+
+    /// Messages delivered to a specific process over the whole run.
+    pub fn delivered_to(&self, id: ProcessId) -> u64 {
+        self.per_process.get(id.index()).copied().unwrap_or(0)
+    }
+
+    /// Average messages per round (0 if no rounds ran).
+    pub fn messages_per_round(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.messages_delivered as f64 / self.rounds as f64
+        }
+    }
+
+    /// Resets all counters (used between experiment phases).
+    pub fn reset(&mut self) {
+        let n = self.per_process.len();
+        *self = Trace::new(n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut t = Trace::new(3);
+        t.record_delivery(ProcessId(1), 10);
+        t.record_delivery(ProcessId(1), 5);
+        t.record_delivery(ProcessId(2), 1);
+        t.record_round(Round(0));
+        assert_eq!(t.messages_delivered, 3);
+        assert_eq!(t.bytes_delivered, 16);
+        assert_eq!(t.delivered_to(ProcessId(1)), 2);
+        assert_eq!(t.delivered_to(ProcessId(0)), 0);
+        assert!((t.messages_per_round() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_but_keeps_size() {
+        let mut t = Trace::new(2);
+        t.record_delivery(ProcessId(0), 1);
+        t.reset();
+        assert_eq!(t.messages_delivered, 0);
+        assert_eq!(t.delivered_to(ProcessId(0)), 0);
+    }
+
+    #[test]
+    fn messages_per_round_zero_when_empty() {
+        assert_eq!(Trace::new(1).messages_per_round(), 0.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests for the simulator substrate.
+
+use ga_simnet::prelude::*;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+/// A process that broadcasts a constant and counts receipts.
+struct Beacon {
+    received: usize,
+}
+
+impl Process for Beacon {
+    fn on_pulse(&mut self, ctx: &mut Context<'_>) {
+        self.received += ctx.inbox().len();
+        ctx.broadcast(vec![0xBE]);
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Simulation histories are a pure function of the seed.
+    #[test]
+    fn determinism(seed in any::<u64>(), n in 3usize..8, rounds in 1u64..20) {
+        let build = || Simulation::builder(Topology::complete(n))
+            .seed(seed)
+            .build_with(|_| Box::new(Beacon { received: 0 }) as Box<dyn Process>);
+        let mut a = build();
+        let mut b = build();
+        a.run(rounds);
+        b.run(rounds);
+        prop_assert_eq!(a.trace(), b.trace());
+    }
+
+    /// On a complete graph, every broadcast reaches everyone: counts are
+    /// exactly n(n−1) per routed round.
+    #[test]
+    fn conservation_of_messages(n in 2usize..8, rounds in 1u64..10) {
+        let mut sim = Simulation::builder(Topology::complete(n))
+            .build_with(|_| Box::new(Beacon { received: 0 }) as Box<dyn Process>);
+        sim.run(rounds);
+        prop_assert_eq!(
+            sim.trace().messages_delivered,
+            rounds * (n * (n - 1)) as u64
+        );
+        prop_assert_eq!(sim.trace().messages_dropped_no_link, 0);
+    }
+
+    /// Ring topologies always have vertex connectivity exactly 2.
+    #[test]
+    fn ring_connectivity(n in 3usize..10) {
+        let t = Topology::ring(n);
+        prop_assert!(t.is_connected());
+        prop_assert!(t.vertex_connectivity_at_least(2));
+        prop_assert!(!t.vertex_connectivity_at_least(3));
+    }
+
+    /// Complete graphs on n vertices are exactly (n−1)-connected — the
+    /// paper's 2f+1 disjoint-paths condition holds for all f < n/2 there.
+    #[test]
+    fn complete_graph_connectivity(n in 2usize..8) {
+        let t = Topology::complete(n);
+        prop_assert!(t.vertex_connectivity_at_least(n - 1));
+        if n > 2 {
+            prop_assert!(!t.vertex_connectivity_at_least(n));
+        }
+    }
+
+    /// Random k-connected constructions meet their minimum degree and stay
+    /// connected.
+    #[test]
+    fn random_k_connected_sane(seed in any::<u64>(), n in 6usize..14, k in 2usize..5) {
+        prop_assume!(k < n);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let t = Topology::random_k_connected(n, k, 0.05, &mut rng);
+        prop_assert!(t.min_degree() >= k);
+        prop_assert!(t.is_connected());
+    }
+
+    /// Disconnecting a vertex removes all its deliveries and only its own.
+    #[test]
+    fn disconnect_isolates(n in 3usize..7, victim in 0usize..7, rounds in 1u64..8) {
+        let victim = victim % n;
+        let mut sim = Simulation::builder(Topology::complete(n))
+            .build_with(|_| Box::new(Beacon { received: 0 }) as Box<dyn Process>);
+        sim.disconnect(ProcessId(victim));
+        sim.run(rounds);
+        prop_assert_eq!(sim.trace().delivered_to(ProcessId(victim)), 0);
+        for i in 0..n {
+            if i != victim && rounds > 1 {
+                prop_assert!(sim.trace().delivered_to(ProcessId(i)) > 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! The legislative service: the society elects the rules of the game.
+//!
+//! Seven agents rank three candidate games — prisoner's dilemma, matching
+//! pennies, and a resource allocation game — and the legislative service
+//! tallies the same agreed ballot set under all three voting rules,
+//! showing how the rule itself changes the winner (why the paper defers to
+//! manipulation-resistant voting \[14\]).
+//!
+//! ```text
+//! cargo run --example election_night
+//! ```
+
+use game_authority_suite::authority::legislative::{tally, Ballot, VotingRule};
+
+fn main() {
+    let candidates = ["prisoners-dilemma", "matching-pennies", "resource-allocation"];
+    println!("candidates: {candidates:?}\n");
+
+    // A profile with a Condorcet-style tension: RA has broad second-choice
+    // support, PD and MP have zealous first-choice blocs.
+    let ballots = vec![
+        Ballot::new(vec![0, 2, 1]),
+        Ballot::new(vec![0, 2, 1]),
+        Ballot::new(vec![0, 2, 1]),
+        Ballot::new(vec![1, 2, 0]),
+        Ballot::new(vec![1, 2, 0]),
+        Ballot::new(vec![2, 1, 0]),
+        Ballot::new(vec![2, 0, 1]),
+    ];
+    for (i, b) in ballots.iter().enumerate() {
+        let names: Vec<&str> = b.ranking().iter().map(|&c| candidates[c]).collect();
+        println!("agent {i} ranks: {names:?}");
+    }
+    println!();
+
+    for rule in [
+        VotingRule::Plurality,
+        VotingRule::Borda,
+        VotingRule::InstantRunoff,
+    ] {
+        let winner = tally(rule, &ballots, candidates.len()).expect("valid election");
+        println!("{rule:?} elects: {}", candidates[winner]);
+    }
+    println!();
+    println!("once elected, the judicial service enforces the winner's rules");
+    println!("(in the distributed stack, the ballot set first passes Byzantine agreement,");
+    println!(" so every honest agent tallies the exact same ballots)");
+}

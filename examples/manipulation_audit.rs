@@ -1,0 +1,59 @@
+//! Fig. 1 end-to-end: the hidden manipulative strategy and its audit.
+//!
+//! Agent B secretly plays the "Manipulate" strategy from the paper's
+//! Fig. 1 while claiming a fair coin. Without the authority, A bleeds an
+//! expected 4 per play; with the authority, the §5.3 audit exposes B in
+//! the first play.
+//!
+//! ```text
+//! cargo run --example manipulation_audit
+//! ```
+
+use game_authority_suite::authority::agent::Behavior;
+use game_authority_suite::authority::authority::{Authority, AuthorityConfig};
+use game_authority_suite::games::matching_pennies::{manipulated_matching_pennies, MANIPULATE};
+
+fn behaviors() -> Vec<Behavior> {
+    vec![
+        Behavior::honest_mixed(vec![0.5, 0.5]),
+        Behavior::hidden_manipulator(vec![0.5, 0.5, 0.0], MANIPULATE),
+    ]
+}
+
+fn main() {
+    let game = manipulated_matching_pennies();
+    let rounds = 100;
+
+    // Regime 1: nobody watching.
+    let mut unsupervised = Authority::new(
+        &game,
+        behaviors(),
+        AuthorityConfig {
+            audits_enabled: false,
+            ..AuthorityConfig::default()
+        },
+    );
+    let a_loss: f64 = unsupervised.play(rounds).iter().map(|r| r.costs[0]).sum();
+    println!("without the authority, over {rounds} plays:");
+    println!("  A's total loss: {a_loss:.1} (≈4/play — the §5.1 prediction)\n");
+
+    // Regime 2: the game authority audits every play.
+    let mut supervised = Authority::new(&game, behaviors(), AuthorityConfig::default());
+    let reports = supervised.play(rounds);
+    let a_loss_supervised: f64 = reports.iter().map(|r| r.costs[0]).sum();
+    let caught = reports
+        .iter()
+        .find(|r| r.punished.contains(&1))
+        .map(|r| r.round);
+    println!("with the authority:");
+    println!(
+        "  B caught in play {:?} with verdict {:?}",
+        caught.expect("manipulation detected"),
+        reports[0].verdicts[1]
+    );
+    println!("  A's total loss: {a_loss_supervised:.1}");
+    println!(
+        "  malice damage reduced {:.0}x",
+        a_loss / a_loss_supervised.max(1.0)
+    );
+}

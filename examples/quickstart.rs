@@ -1,0 +1,54 @@
+//! Quickstart: referee a prisoner's dilemma with the game authority.
+//!
+//! Two honest-but-selfish agents play the repeated prisoner's dilemma
+//! under the authority's commit–reveal–audit loop; a third run adds an
+//! equivocating cheat and shows it being caught and punished.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use game_authority_suite::authority::agent::Behavior;
+use game_authority_suite::authority::authority::{Authority, AuthorityConfig};
+use game_authority_suite::games::prisoners_dilemma;
+
+fn main() {
+    let game = prisoners_dilemma();
+
+    println!("=== honest repeated prisoner's dilemma under the authority ===");
+    let mut authority = Authority::new(
+        &game,
+        vec![Behavior::honest_pure(0), Behavior::honest_pure(0)],
+        AuthorityConfig::default(),
+    );
+    for report in authority.play(5) {
+        let outcome = report
+            .outcome
+            .as_ref()
+            .map(|p| format!("{:?}", p.actions()))
+            .unwrap_or_else(|| "void".into());
+        println!(
+            "play {}: outcome {:>8}  costs {:?}  fouls {:?}",
+            report.round, outcome, report.costs, report.punished
+        );
+    }
+    println!("(best responders lock into mutual defection — the PNE — after play 0)\n");
+
+    println!("=== same game, but agent 1 equivocates on its commitment ===");
+    let mut authority = Authority::new(
+        &game,
+        vec![Behavior::honest_pure(0), Behavior::equivocator(0, 1)],
+        AuthorityConfig::default(),
+    );
+    for report in authority.play(3) {
+        println!(
+            "play {}: verdicts {:?}  newly punished {:?}",
+            report.round, report.verdicts, report.punished
+        );
+    }
+    println!(
+        "agent 1 active afterwards? {}",
+        authority.executive().is_active(1)
+    );
+    println!("the judicial service catches the bad opening in play 0; the executive disconnects");
+}

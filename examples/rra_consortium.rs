@@ -1,0 +1,49 @@
+//! The paper's §6 motivating scenario: "a consortium of Internet companies
+//! shares licenses for advertisement clips on video Web sites".
+//!
+//! Every play, each company places one unit demand on a host; everyone
+//! learns the loads afterwards. Under authority supervision the repeated
+//! Nash play keeps the multi-round anarchy cost R(k) inside the proven
+//! 1 + 2b/k bound and drives it to 1 — the consortium loses (asymptotically)
+//! nothing to decentralization.
+//!
+//! ```text
+//! cargo run --example rra_consortium
+//! ```
+
+use game_authority_suite::games::resource_allocation::RraProcess;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let (companies, hosts) = (8usize, 4usize);
+    println!("consortium: {companies} companies sharing {hosts} hosts\n");
+    println!("{:>6}  {:>8}  {:>8}  {:>6}  {:>6}", "k", "R(k)", "1+2b/k", "Δ(k)", "2n−1");
+
+    let mut rra = RraProcess::new(companies, hosts);
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    let checkpoints = [1u64, 5, 10, 50, 100, 500, 1000, 5000];
+    for stats in rra.play(5000, &mut rng) {
+        if checkpoints.contains(&stats.k) {
+            println!(
+                "{:>6}  {:>8.4}  {:>8.4}  {:>6}  {:>6}",
+                stats.k,
+                stats.ratio,
+                stats.bound,
+                stats.gap,
+                2 * companies - 1
+            );
+        }
+    }
+
+    let final_stats = rra.stats();
+    println!(
+        "\nfinal loads: {:?} (max−min = {})",
+        rra.loads(),
+        final_stats.gap
+    );
+    println!(
+        "Theorem 5 verdict: R(5000) = {:.4} ≤ {:.4} — supervised RRA is asymptotically optimal",
+        final_stats.ratio, final_stats.bound
+    );
+}

@@ -1,0 +1,108 @@
+//! Property-based tests of the Byzantine agreement substrate and the
+//! cryptographic primitives — the invariants everything above relies on.
+
+use ga_agreement::consensus::OmConsensus;
+use ga_agreement::executor::{honest_agreement, run_pure};
+use ga_agreement::harness::{run_consensus_with, Backend, Misbehavior};
+use ga_agreement::king::PhaseKing;
+use game_authority_suite::crypto::commitment::{Commitment, Opening};
+use game_authority_suite::crypto::prg::{CommittedPrg, Prg};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Commitments bind: any differing value/nonce fails verification.
+    #[test]
+    fn commitment_binding(value in proptest::collection::vec(any::<u8>(), 0..64),
+                          other in proptest::collection::vec(any::<u8>(), 0..64),
+                          nonce in any::<[u8; 32]>(),
+                          other_nonce in any::<[u8; 32]>()) {
+        let (c, o) = Commitment::commit(&value, nonce);
+        prop_assert!(c.verify(&value, &o).is_ok());
+        if other != value {
+            prop_assert!(c.verify(&other, &o).is_err());
+        }
+        if other_nonce != nonce {
+            prop_assert!(c.verify(&value, &Opening::from_nonce(other_nonce)).is_err());
+        }
+    }
+
+    /// The committed PRG audit accepts exactly the honest transcript.
+    #[test]
+    fn committed_prg_audit(seed in any::<[u8; 32]>(),
+                           nonce in any::<[u8; 32]>(),
+                           rounds in 1usize..24,
+                           flip in 0usize..24) {
+        let mut cp = CommittedPrg::new(seed, nonce);
+        let w = vec![0.5, 0.5];
+        let mut transcript: Vec<(Vec<f64>, usize)> =
+            (0..rounds).map(|_| (w.clone(), cp.sample(&w))).collect();
+        prop_assert!(CommittedPrg::verify_samples(cp.commitment(), cp.reveal(), &transcript).is_ok());
+        let i = flip % rounds;
+        transcript[i].1 = 1 - transcript[i].1;
+        prop_assert!(CommittedPrg::verify_samples(cp.commitment(), cp.reveal(), &transcript).is_err());
+    }
+
+    /// OM consensus: agreement + validity under an arbitrary garbling
+    /// single Byzantine processor, for n in 4..=7.
+    #[test]
+    fn om_agreement_under_garbling(n in 4usize..8,
+                                   byz_seed in any::<u64>(),
+                                   common in 1u64..100) {
+        let byz = n - 1;
+        let instances: Vec<OmConsensus> = (0..n).map(|me| OmConsensus::new(me, n, 1)).collect();
+        let inputs: Vec<u64> = (0..n).map(|_| common).collect();
+        let mut salt = byz_seed;
+        let decided = run_pure(instances, &inputs, move |from: usize, r: u64, to: usize, _p: &[u8]| {
+            if from == byz {
+                salt = salt.wrapping_mul(6364136223846793005).wrapping_add(r ^ to as u64);
+                Some(salt.to_be_bytes().to_vec())
+            } else {
+                None
+            }
+        });
+        prop_assert!(honest_agreement(&decided, &[byz], Some(common)));
+    }
+
+    /// Phase-king: agreement under a garbling minority for n in 5..=9.
+    #[test]
+    fn phase_king_agreement(n in 5usize..10, inputs_seed in any::<u64>()) {
+        let byz = n - 1;
+        let instances: Vec<PhaseKing> = (0..n).map(|me| PhaseKing::new(me, n, 1)).collect();
+        let mut x = inputs_seed;
+        let inputs: Vec<u64> = (0..n).map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            x % 3
+        }).collect();
+        let decided = run_pure(instances, &inputs, move |from: usize, r: u64, to: usize, _p: &[u8]| {
+            (from == byz).then(|| vec![(r as u8) ^ to as u8; 3])
+        });
+        prop_assert!(honest_agreement(&decided, &[byz], None));
+    }
+
+    /// Deterministic PRG streams never collide across seeds (sanity over
+    /// random pairs).
+    #[test]
+    fn prg_streams_distinct(a in any::<[u8; 32]>(), b in any::<[u8; 32]>()) {
+        prop_assume!(a != b);
+        prop_assert_ne!(Prg::new(a).next_block(), Prg::new(b).next_block());
+    }
+}
+
+#[test]
+fn every_backend_tolerates_its_threshold_with_crashes() {
+    for backend in Backend::ALL {
+        for n in [7usize, 9] {
+            let f = backend.max_faults(n).min(2);
+            if f == 0 {
+                continue;
+            }
+            let byz: Vec<usize> = (n - f..n).collect();
+            let report =
+                run_consensus_with(backend, n, f, &byz, Misbehavior::Crash, |_| 3, 99);
+            assert!(report.agreement(), "{backend:?} n={n} f={f}");
+            assert_eq!(report.decision(), Some(3), "{backend:?} validity");
+        }
+    }
+}

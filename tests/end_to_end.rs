@@ -1,0 +1,104 @@
+//! Cross-crate integration: the complete middleware pipeline.
+//!
+//! Election → supervised play → manipulation → audit → punishment, across
+//! `ga-game-theory`, `ga-games`, `ga-crypto` and `game-authority`.
+
+use game_authority_suite::authority::agent::Behavior;
+use game_authority_suite::authority::authority::{Authority, AuthorityConfig};
+use game_authority_suite::authority::executive::Punishment;
+use game_authority_suite::authority::judicial::Verdict;
+use game_authority_suite::authority::legislative::{tally, Ballot, VotingRule};
+use game_authority_suite::games::matching_pennies::{manipulated_matching_pennies, MANIPULATE};
+use game_authority_suite::games::prisoners_dilemma;
+use game_authority_suite::game_theory::profile::PureProfile;
+
+#[test]
+fn elect_then_play_then_punish() {
+    // 1. The society elects which game to play.
+    let ballots = vec![
+        Ballot::new(vec![0, 1]),
+        Ballot::new(vec![0, 1]),
+        Ballot::new(vec![1, 0]),
+    ];
+    let winner = tally(VotingRule::Plurality, &ballots, 2).unwrap();
+    assert_eq!(winner, 0, "prisoner's dilemma elected");
+
+    // 2. The elected game runs under the authority.
+    let game = prisoners_dilemma();
+    let mut authority = Authority::new(
+        &game,
+        vec![Behavior::honest_pure(0), Behavior::honest_pure(0)],
+        AuthorityConfig::default(),
+    );
+    let reports = authority.play(6);
+    assert!(reports
+        .iter()
+        .all(|r| r.verdicts.iter().all(|v| v.is_honest())));
+    // Locked into the unique PNE from play 1 on.
+    assert_eq!(
+        reports[5].outcome.as_ref().unwrap(),
+        &PureProfile::new(vec![1, 1])
+    );
+
+    // 3. The outcome log is tamper-evident and complete.
+    assert_eq!(authority.executive().log().len(), 6);
+    assert!(authority.executive().log().verify().is_ok());
+}
+
+#[test]
+fn fig1_manipulation_full_pipeline() {
+    let game = manipulated_matching_pennies();
+    let mut authority = Authority::new(
+        &game,
+        vec![
+            Behavior::honest_mixed(vec![0.5, 0.5]),
+            Behavior::hidden_manipulator(vec![0.5, 0.5, 0.0], MANIPULATE),
+        ],
+        AuthorityConfig::default(),
+    );
+    let r = authority.play_round();
+    assert_eq!(r.verdicts[1], Verdict::OutsideClaimedSupport);
+    assert!(!authority.executive().is_active(1));
+    // The honest agent is never punished across many rounds.
+    for r in authority.play(20) {
+        assert!(r.verdicts[0].is_honest() || r.verdicts[0] == Verdict::AlreadyPunished);
+        assert!(!r.punished.contains(&0));
+    }
+}
+
+#[test]
+fn fines_deter_while_keeping_agents_in_the_game() {
+    let game = prisoners_dilemma();
+    let mut authority = Authority::new(
+        &game,
+        vec![Behavior::honest_pure(1), Behavior::equivocator(0, 1)],
+        AuthorityConfig {
+            punishment: Punishment::Fine(10.0),
+            ..AuthorityConfig::default()
+        },
+    );
+    authority.play(5);
+    assert!(authority.executive().is_active(1));
+    assert_eq!(authority.executive().fine(1), 50.0);
+    assert_eq!(authority.executive().offenses(1), 5);
+}
+
+#[test]
+fn reputation_scheme_eventually_shuns() {
+    let game = prisoners_dilemma();
+    let mut authority = Authority::new(
+        &game,
+        vec![Behavior::honest_pure(1), Behavior::no_reveal(0)],
+        AuthorityConfig {
+            punishment: Punishment::Reputation {
+                penalty: 3,
+                threshold: 0,
+                initial: 7,
+            },
+            ..AuthorityConfig::default()
+        },
+    );
+    authority.play(4);
+    assert!(!authority.executive().is_active(1), "shunned after 3 offenses");
+    assert_eq!(authority.executive().reputation(1), -2);
+}
