@@ -9,6 +9,7 @@
 //! — each agent broadcasts its commitment digest, everyone agrees on the
 //! whole vector.
 
+use bytes::Bytes;
 use ga_crypto::mac::Authenticator;
 
 use crate::dolev_strong::DolevStrongBroadcast;
@@ -90,9 +91,9 @@ impl<B: BaInstance> BaInstance for VectorConsensus<B> {
 
         // Step every instance, capturing sends; then re-multiplex per
         // destination into a single wire message.
-        let mut outgoing: Vec<Vec<(u16, Vec<u8>)>> = vec![Vec::new(); self.n];
+        let mut outgoing: Vec<Vec<(u16, Bytes)>> = vec![Vec::new(); self.n];
         for (idx, inst) in self.instances.iter_mut().enumerate() {
-            let mut capture = |to: usize, payload: Vec<u8>| {
+            let mut capture = |to: usize, payload: Bytes| {
                 if let Some(bucket) = outgoing.get_mut(to) {
                     bucket.push((idx as u16, payload));
                 }
@@ -108,14 +109,11 @@ impl<B: BaInstance> BaInstance for VectorConsensus<B> {
                 w.put_u16(idx);
                 w.put_bytes(&inner);
             }
-            send(to, w.finish());
+            send(to, w.finish().into());
         }
 
         if rel_round == self.rounds() - 1 {
-            self.decided = Some(majority(
-                self.vector().into_iter().flatten(),
-                self.n,
-            ));
+            self.decided = Some(majority(self.vector().into_iter().flatten(), self.n));
         }
     }
 
@@ -195,9 +193,11 @@ mod tests {
     fn om_consensus_with_silent_byzantine_agrees() {
         let n = 4;
         let instances: Vec<OmConsensus> = (0..n).map(|me| OmConsensus::new(me, n, 1)).collect();
-        let decided = run_pure(instances, &[5, 5, 5, 5], |from: usize, _: u64, _: usize, _: &[u8]| {
-            (from == 1).then(Vec::new)
-        });
+        let decided = run_pure(
+            instances,
+            &[5, 5, 5, 5],
+            |from: usize, _: u64, _: usize, _: &[u8]| (from == 1).then(Vec::new),
+        );
         for me in [0usize, 2, 3] {
             assert_eq!(decided[me], Some(5), "honest p{me}");
         }
@@ -214,8 +214,8 @@ mod tests {
                 (from >= 5).then(|| vec![from as u8, to as u8, 0xff])
             },
         );
-        for me in 0..5 {
-            assert_eq!(decided[me], Some(7), "honest p{me}");
+        for (me, d) in decided.iter().enumerate().take(5) {
+            assert_eq!(*d, Some(7), "honest p{me}");
         }
     }
 
@@ -227,11 +227,13 @@ mod tests {
         let instances: Vec<DolevStrongConsensus> = (0..n)
             .map(|me| DolevStrongConsensus::new(me, n, 2, r.authenticator(me)))
             .collect();
-        let decided = run_pure(instances, &[4, 4, 4, 9, 9], |from: usize, _: u64, _: usize, _: &[u8]| {
-            (from >= 3).then(|| vec![0u8; 3])
-        });
-        for me in 0..3 {
-            assert_eq!(decided[me], Some(4), "honest p{me}");
+        let decided = run_pure(
+            instances,
+            &[4, 4, 4, 9, 9],
+            |from: usize, _: u64, _: usize, _: &[u8]| (from >= 3).then(|| vec![0u8; 3]),
+        );
+        for (me, d) in decided.iter().enumerate().take(3) {
+            assert_eq!(*d, Some(4), "honest p{me}");
         }
     }
 
@@ -245,7 +247,7 @@ mod tests {
             inst.begin([10, 20, 30, 40][i]);
         }
         let rounds = instances[0].rounds();
-        let mut pending: Vec<Vec<(usize, Vec<u8>)>> = vec![Vec::new(); n];
+        let mut pending: Vec<Vec<(usize, Bytes)>> = vec![Vec::new(); n];
         for round in 0..rounds {
             let inboxes = std::mem::replace(&mut pending, vec![Vec::new(); n]);
             for (i, inst) in instances.iter_mut().enumerate() {
@@ -253,7 +255,7 @@ mod tests {
                     inboxes[i].iter().map(|(s, p)| (*s, p.as_slice())).collect();
                 let mut outgoing = Vec::new();
                 {
-                    let mut send = |to: usize, p: Vec<u8>| outgoing.push((to, p));
+                    let mut send = |to: usize, p: Bytes| outgoing.push((to, p));
                     inst.step(round, &inbox, &mut send);
                 }
                 for (to, p) in outgoing {

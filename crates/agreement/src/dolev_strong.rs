@@ -107,12 +107,7 @@ impl DolevStrongBroadcast {
         chain.value().try_into().ok().map(u64::from_be_bytes)
     }
 
-    fn accept_and_relay(
-        &mut self,
-        step: u64,
-        inbox: &[(usize, &[u8])],
-        send: &mut Send<'_>,
-    ) {
+    fn accept_and_relay(&mut self, step: u64, inbox: &[(usize, &[u8])], send: &mut Send<'_>) {
         for &(_, payload) in inbox {
             let Some(chain) = Self::decode_chain(payload) else {
                 continue;
@@ -136,10 +131,13 @@ impl DolevStrongBroadcast {
             };
             let newly = self.accepted.insert(value);
             // Track at most two values — enough to detect equivocation.
-            if newly && self.accepted.len() <= 2 && step <= self.f as u64 && self.relayed.insert(value)
+            if newly
+                && self.accepted.len() <= 2
+                && step <= self.f as u64
+                && self.relayed.insert(value)
             {
                 let extended = chain.extend(&self.auth);
-                broadcast_others(self.n, self.me, &Self::encode_chain(&extended), send);
+                broadcast_others(self.n, self.me, Self::encode_chain(&extended), send);
             }
         }
     }
@@ -168,13 +166,18 @@ impl BaInstance for DolevStrongBroadcast {
     fn step(&mut self, rel_round: u64, inbox: &[(usize, &[u8])], send: &mut Send<'_>) {
         let f = self.f as u64;
         match rel_round {
+            // Step 0: only the source signs and sends; everyone else stays
+            // silent and ignores its round-0 inbox (stale cross-period
+            // chains must not be accepted — the self-stabilizing wrap
+            // relies on it, and the `chain.len() < step` staleness guard
+            // is vacuous at step 0).
             0 => {
-                if self.me == self.source {
-                    let chain =
-                        SignatureChain::originate(&self.auth, &self.input.to_be_bytes());
-                    self.accepted.insert(self.input);
-                    broadcast_others(self.n, self.me, &Self::encode_chain(&chain), send);
+                if self.me != self.source {
+                    return;
                 }
+                let chain = SignatureChain::originate(&self.auth, &self.input.to_be_bytes());
+                self.accepted.insert(self.input);
+                broadcast_others(self.n, self.me, Self::encode_chain(&chain), send);
             }
             t if t <= f + 1 => {
                 self.accept_and_relay(t, inbox, send);
@@ -235,15 +238,19 @@ mod tests {
         let instances: Vec<DolevStrongBroadcast> = (0..n)
             .map(|me| DolevStrongBroadcast::new(me, n, 1, 0, r.authenticator(me)))
             .collect();
-        let decided = run_pure(instances, &[7, 0, 0, 0], |from: usize, round: u64, to: usize, _p: &[u8]| {
-            if from == 0 && round == 0 {
-                let v: u64 = if to % 2 == 0 { 7 } else { 8 };
-                let chain = SignatureChain::originate(&auth0, &v.to_be_bytes());
-                Some(DolevStrongBroadcast::encode_chain(&chain))
-            } else {
-                None
-            }
-        });
+        let decided = run_pure(
+            instances,
+            &[7, 0, 0, 0],
+            |from: usize, round: u64, to: usize, _p: &[u8]| {
+                if from == 0 && round == 0 {
+                    let v: u64 = if to.is_multiple_of(2) { 7 } else { 8 };
+                    let chain = SignatureChain::originate(&auth0, &v.to_be_bytes());
+                    Some(DolevStrongBroadcast::encode_chain(&chain))
+                } else {
+                    None
+                }
+            },
+        );
         let honest_decisions: Vec<_> = (1..4).map(|i| decided[i]).collect();
         assert!(honest_decisions.iter().all(|d| *d == honest_decisions[0]));
         assert_eq!(honest_decisions[0], Some(DEFAULT_VALUE));
@@ -258,21 +265,50 @@ mod tests {
         let instances: Vec<DolevStrongBroadcast> = (0..n)
             .map(|me| DolevStrongBroadcast::new(me, n, 1, 0, r.authenticator(me)))
             .collect();
-        let decided = run_pure(instances, &[50, 0, 0, 0], |from: usize, round: u64, _to: usize, p: &[u8]| {
-            if from == 3 && round > 0 {
-                // Flip a byte mid-payload.
-                let mut bad = p.to_vec();
-                if bad.len() > 4 {
-                    bad[4] ^= 0xff;
+        let decided = run_pure(
+            instances,
+            &[50, 0, 0, 0],
+            |from: usize, round: u64, _to: usize, p: &[u8]| {
+                if from == 3 && round > 0 {
+                    // Flip a byte mid-payload.
+                    let mut bad = p.to_vec();
+                    if bad.len() > 4 {
+                        bad[4] ^= 0xff;
+                    }
+                    Some(bad)
+                } else {
+                    None
                 }
-                Some(bad)
-            } else {
-                None
-            }
-        });
-        for me in 0..3 {
-            assert_eq!(decided[me], Some(50), "honest p{me}");
+            },
+        );
+        for (me, d) in decided.iter().enumerate().take(3) {
+            assert_eq!(*d, Some(50), "honest p{me}");
         }
+    }
+
+    #[test]
+    fn non_source_is_silent_and_deaf_at_round_zero() {
+        // Regression: a validly-signed stale chain landing at round 0
+        // (e.g. re-sent across an SSBA period wrap) must be ignored — the
+        // `chain.len() < step` staleness guard is vacuous at step 0.
+        let r = ring(4);
+        let stale_chain = SignatureChain::originate(&r.authenticator(0), &7u64.to_be_bytes());
+        let encoded = DolevStrongBroadcast::encode_chain(&stale_chain);
+        let mut inst = DolevStrongBroadcast::new(1, 4, 1, 0, r.authenticator(1));
+        inst.begin(0);
+        let inbox: Vec<(usize, &[u8])> = vec![(3, encoded.as_slice())];
+        let sent = std::cell::Cell::new(0usize);
+        let mut send = |_to: usize, _p: bytes::Bytes| sent.set(sent.get() + 1);
+        inst.step(0, &inbox, &mut send);
+        assert_eq!(sent.get(), 0, "non-source stays silent at round 0");
+        for rel in 1..inst.rounds() {
+            inst.step(rel, &[], &mut send);
+        }
+        assert_eq!(
+            inst.decided(),
+            Some(DEFAULT_VALUE),
+            "stale round-0 chain was not accepted"
+        );
     }
 
     #[test]
@@ -283,10 +319,7 @@ mod tests {
         let encoded = DolevStrongBroadcast::encode_chain(&chain);
         let decoded = DolevStrongBroadcast::decode_chain(&encoded).unwrap();
         assert!(decoded.valid(&r.authenticator(2)));
-        assert_eq!(
-            DolevStrongBroadcast::value_of(&decoded),
-            Some(42),
-        );
+        assert_eq!(DolevStrongBroadcast::value_of(&decoded), Some(42),);
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! For system-level runs (mixed protocols, faults mid-run, punishment by
 //! disconnection) use [`harness`](crate::harness) / `ga-simnet` instead.
 
+use bytes::Bytes;
+
 use crate::traits::BaInstance;
 use crate::Value;
 
@@ -84,26 +86,34 @@ pub fn run_pure_instances<I: BaInstance>(
         "instances must agree on round count"
     );
     let mut stats = ExecStats::default();
-    let mut pending: Vec<Vec<(usize, Vec<u8>)>> = vec![Vec::new(); n];
+    // Double-buffered mailboxes, recycled (swap + clear) across rounds —
+    // mirrors the allocation-free steady state of `Simulation::step`.
+    let mut pending: Vec<Vec<(usize, Bytes)>> = vec![Vec::new(); n];
+    let mut consumed: Vec<Vec<(usize, Bytes)>> = vec![Vec::new(); n];
+    let mut outgoing: Vec<(usize, Bytes)> = Vec::new();
     for round in 0..rounds {
-        let inboxes = std::mem::replace(&mut pending, vec![Vec::new(); n]);
+        std::mem::swap(&mut pending, &mut consumed);
+        for mailbox in &mut pending {
+            mailbox.clear();
+        }
         for (i, inst) in instances.iter_mut().enumerate() {
-            let inbox: Vec<(usize, &[u8])> = inboxes[i]
+            let inbox: Vec<(usize, &[u8])> = consumed[i]
                 .iter()
                 .map(|(s, p)| (*s, p.as_slice()))
                 .collect();
-            let mut outgoing: Vec<(usize, Vec<u8>)> = Vec::new();
             {
-                let mut send = |to: usize, payload: Vec<u8>| outgoing.push((to, payload));
+                let mut send = |to: usize, payload: Bytes| outgoing.push((to, payload));
                 inst.step(round, &inbox, &mut send);
             }
-            for (to, payload) in outgoing {
+            drop(inbox);
+            for (to, payload) in outgoing.drain(..) {
                 if to >= n {
                     continue;
                 }
-                let payload = tamper
-                    .tamper(i, round, to, &payload)
-                    .unwrap_or(payload);
+                let payload = match tamper.tamper(i, round, to, &payload) {
+                    Some(replacement) => replacement.into(),
+                    None => payload,
+                };
                 stats.messages += 1;
                 stats.bytes += payload.len() as u64;
                 pending[to].push((i, payload));

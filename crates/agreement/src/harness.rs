@@ -145,7 +145,10 @@ pub fn run_consensus_with(
     seed: u64,
 ) -> ConsensusReport {
     assert!(byzantine.len() <= f, "more Byzantine processors than f");
-    assert!(byzantine.iter().all(|&b| b < n), "byzantine id out of range");
+    assert!(
+        byzantine.iter().all(|&b| b < n),
+        "byzantine id out of range"
+    );
     let ring = KeyRing::generate(n, seed ^ 0x5ec5_ec5e);
     let mut sim = Simulation::builder(Topology::complete(n))
         .seed(seed)
@@ -156,9 +159,9 @@ pub fn run_consensus_with(
                     Misbehavior::Crash => {
                         Box::new(ByzantineProcess::new(Box::new(Silent))) as Box<dyn Process>
                     }
-                    Misbehavior::Noise => Box::new(ByzantineProcess::new(Box::new(
-                        RandomNoise { max_len: 48 },
-                    ))),
+                    Misbehavior::Noise => {
+                        Box::new(ByzantineProcess::new(Box::new(RandomNoise { max_len: 48 })))
+                    }
                 }
             } else {
                 Box::new(BaProcess::new(
@@ -220,8 +223,7 @@ mod tests {
             let n = 9;
             let f = backend.max_faults(n).min(2);
             let byz: Vec<usize> = (n - f..n).collect();
-            let report =
-                run_consensus_with(backend, n, f, &byz, Misbehavior::Crash, |_| 5, 4);
+            let report = run_consensus_with(backend, n, f, &byz, Misbehavior::Crash, |_| 5, 4);
             assert!(report.agreement(), "{backend:?}");
             assert_eq!(report.decision(), Some(5), "{backend:?} validity");
         }

@@ -105,11 +105,10 @@ impl PhaseKing {
                 _ => None,
             })
             .unwrap_or(DEFAULT_VALUE);
-        // Keep own majority only when it is unassailable.
-        self.value = if self.mult > self.n / 2 + self.f {
+        // Keep own majority when it is unassailable, or when we are the
+        // king (the king trusts its own broadcast); otherwise adopt.
+        self.value = if self.mult > self.n / 2 + self.f || king == self.me {
             self.maj
-        } else if king == self.me {
-            self.maj // the king trusts its own broadcast
         } else {
             king_value
         };
@@ -133,7 +132,7 @@ impl BaInstance for PhaseKing {
             return;
         }
         if rel_round == 0 {
-            broadcast_others(self.n, self.me, &Self::encode(TAG_VALUE, self.value), send);
+            broadcast_others(self.n, self.me, Self::encode(TAG_VALUE, self.value), send);
             return;
         }
         if rel_round % 2 == 1 {
@@ -141,7 +140,7 @@ impl BaInstance for PhaseKing {
             let phase = ((rel_round - 1) / 2) as usize;
             self.tally(inbox);
             if self.me == phase % self.n {
-                broadcast_others(self.n, self.me, &Self::encode(TAG_KING, self.maj), send);
+                broadcast_others(self.n, self.me, Self::encode(TAG_KING, self.maj), send);
             }
         } else {
             // Adopt phase (rel_round/2 - 1)'s outcome.
@@ -150,7 +149,7 @@ impl BaInstance for PhaseKing {
             if rel_round == 2 * phases {
                 self.decided = Some(self.value);
             } else {
-                broadcast_others(self.n, self.me, &Self::encode(TAG_VALUE, self.value), send);
+                broadcast_others(self.n, self.me, Self::encode(TAG_VALUE, self.value), send);
             }
         }
     }
@@ -194,11 +193,15 @@ mod tests {
     fn byzantine_garbler_cannot_break_agreement() {
         let n = 5;
         let instances: Vec<PhaseKing> = (0..n).map(|me| PhaseKing::new(me, n, 1)).collect();
-        let decided = run_pure(instances, &[3, 3, 3, 3, 0], |from: usize, _r: u64, to: usize, _p: &[u8]| {
-            (from == 4).then(|| vec![to as u8, 0xba, 0xd0])
-        });
-        for me in 0..4 {
-            assert_eq!(decided[me], Some(3), "validity for honest p{me}");
+        let decided = run_pure(
+            instances,
+            &[3, 3, 3, 3, 0],
+            |from: usize, _r: u64, to: usize, _p: &[u8]| {
+                (from == 4).then(|| vec![to as u8, 0xba, 0xd0])
+            },
+        );
+        for (me, d) in decided.iter().enumerate().take(4) {
+            assert_eq!(*d, Some(3), "validity for honest p{me}");
         }
     }
 
@@ -207,9 +210,13 @@ mod tests {
         // p0 is the first king and lies differently to each peer.
         let n = 5;
         let instances: Vec<PhaseKing> = (0..n).map(|me| PhaseKing::new(me, n, 1)).collect();
-        let decided = run_pure(instances, &[0, 1, 2, 1, 2], |from: usize, _r: u64, to: usize, _p: &[u8]| {
-            (from == 0).then(|| PhaseKing::encode(TAG_KING, to as u64))
-        });
+        let decided = run_pure(
+            instances,
+            &[0, 1, 2, 1, 2],
+            |from: usize, _r: u64, to: usize, _p: &[u8]| {
+                (from == 0).then(|| PhaseKing::encode(TAG_KING, to as u64))
+            },
+        );
         let honest: Vec<_> = (1..5).map(|i| decided[i]).collect();
         assert!(honest.iter().all(|d| d.is_some()));
         assert!(honest.iter().all(|d| *d == honest[0]), "{honest:?}");
@@ -220,11 +227,15 @@ mod tests {
         let n = 9;
         let instances: Vec<PhaseKing> = (0..n).map(|me| PhaseKing::new(me, n, 2)).collect();
         let inputs = vec![5, 5, 5, 5, 5, 5, 5, 0, 0];
-        let decided = run_pure(instances, &inputs, |from: usize, _r: u64, to: usize, _p: &[u8]| {
-            (from >= 7).then(|| PhaseKing::encode(TAG_VALUE, (to * 31) as u64))
-        });
-        for me in 0..7 {
-            assert_eq!(decided[me], Some(5), "honest p{me}");
+        let decided = run_pure(
+            instances,
+            &inputs,
+            |from: usize, _r: u64, to: usize, _p: &[u8]| {
+                (from >= 7).then(|| PhaseKing::encode(TAG_VALUE, (to * 31) as u64))
+            },
+        );
+        for (me, d) in decided.iter().enumerate().take(7) {
+            assert_eq!(*d, Some(5), "honest p{me}");
         }
     }
 
@@ -239,8 +250,11 @@ mod tests {
         let mut pk = PhaseKing::new(0, 5, 1);
         pk.begin(1);
         let spam = PhaseKing::encode(TAG_VALUE, 9);
-        let inbox: Vec<(usize, &[u8])> =
-            vec![(1, spam.as_slice()), (1, spam.as_slice()), (1, spam.as_slice())];
+        let inbox: Vec<(usize, &[u8])> = vec![
+            (1, spam.as_slice()),
+            (1, spam.as_slice()),
+            (1, spam.as_slice()),
+        ];
         pk.tally(&inbox);
         // Own vote for 1 plus one vote for 9 → maj has mult 1 (tie broken
         // toward the smaller value 1).

@@ -116,17 +116,20 @@ impl BaInstance for OmBroadcast {
     fn step(&mut self, rel_round: u64, inbox: &[(usize, &[u8])], send: &mut Send<'_>) {
         let f = self.f as u64;
         match rel_round {
-            // Step 0: the source announces; everyone else is silent.
+            // Step 0: the source announces; everyone else is silent and
+            // ignores its round-0 inbox (stale cross-period traffic must
+            // not enter the tree — the self-stabilizing wrap relies on it).
             0 => {
-                if self.me == self.source {
-                    self.tree.store(vec![self.source as u16], self.input);
-                    let mut w = Writer::new();
-                    w.put_u32(1);
-                    w.put_u8(1);
-                    w.put_u16(self.source as u16);
-                    w.put_u64(self.input);
-                    broadcast_others(self.n, self.me, &w.finish(), send);
+                if self.me != self.source {
+                    return;
                 }
+                self.tree.store(vec![self.source as u16], self.input);
+                let mut w = Writer::new();
+                w.put_u32(1);
+                w.put_u8(1);
+                w.put_u16(self.source as u16);
+                w.put_u64(self.input);
+                broadcast_others(self.n, self.me, w.finish(), send);
             }
             // Steps 1..=f: store level-t nodes, relay as level-(t+1).
             t if t <= f => {
@@ -134,7 +137,7 @@ impl BaInstance for OmBroadcast {
                     self.decode_and_store(sender, payload, t as usize);
                 }
                 let relay = self.relay_level(t as usize);
-                broadcast_others(self.n, self.me, &relay, send);
+                broadcast_others(self.n, self.me, relay, send);
             }
             // Step f+1: store the leaves and resolve.
             t if t == f + 1 => {
@@ -180,11 +183,13 @@ mod tests {
         let n = 4;
         let instances: Vec<OmBroadcast> = (0..n).map(|me| OmBroadcast::new(me, n, 1, 0)).collect();
         let inputs = vec![42, 0, 0, 0];
-        let decided = run_pure(instances, &inputs, |from: usize, _r: u64, _to: usize, _p: &[u8]| {
-            (from == 3).then(|| vec![0xde, 0xad])
-        });
-        for me in 0..3 {
-            assert_eq!(decided[me], Some(42), "honest p{me}");
+        let decided = run_pure(
+            instances,
+            &inputs,
+            |from: usize, _r: u64, _to: usize, _p: &[u8]| (from == 3).then(|| vec![0xde, 0xad]),
+        );
+        for (me, d) in decided.iter().enumerate().take(3) {
+            assert_eq!(*d, Some(42), "honest p{me}");
         }
     }
 
@@ -195,20 +200,24 @@ mod tests {
         let n = 4;
         let instances: Vec<OmBroadcast> = (0..n).map(|me| OmBroadcast::new(me, n, 1, 0)).collect();
         let inputs = vec![7, 0, 0, 0];
-        let decided = run_pure(instances, &inputs, |from: usize, round: u64, to: usize, p: &[u8]| {
-            if from == 0 && round == 0 {
-                let mut w = Writer::new();
-                w.put_u32(1);
-                w.put_u8(1);
-                w.put_u16(0);
-                w.put_u64(if to % 2 == 0 { 7 } else { 8 });
-                Some(w.finish())
-            } else if from == 0 {
-                Some(p.to_vec())
-            } else {
-                None
-            }
-        });
+        let decided = run_pure(
+            instances,
+            &inputs,
+            |from: usize, round: u64, to: usize, p: &[u8]| {
+                if from == 0 && round == 0 {
+                    let mut w = Writer::new();
+                    w.put_u32(1);
+                    w.put_u8(1);
+                    w.put_u16(0);
+                    w.put_u64(if to.is_multiple_of(2) { 7 } else { 8 });
+                    Some(w.finish())
+                } else if from == 0 {
+                    Some(p.to_vec())
+                } else {
+                    None
+                }
+            },
+        );
         let honest_decisions: Vec<_> = (1..4).map(|i| decided[i]).collect();
         assert!(honest_decisions.iter().all(|d| *d == honest_decisions[0]));
     }
@@ -217,6 +226,32 @@ mod tests {
     #[should_panic(expected = "n > 3f")]
     fn rejects_insufficient_n() {
         OmBroadcast::new(0, 3, 1, 0);
+    }
+
+    #[test]
+    fn non_source_is_silent_and_deaf_at_round_zero() {
+        // Regression: round 0 must neither send nor decode for non-source
+        // processes — stale cross-period traffic arriving at a restarted
+        // instance's round 0 must not enter the EIG tree.
+        let mut inst = OmBroadcast::new(1, 4, 1, 0);
+        inst.begin(0);
+        let mut w = Writer::new();
+        w.put_u32(1);
+        w.put_u8(1);
+        w.put_u16(0);
+        w.put_u64(99); // forged "source said 99"
+        let stale = w.finish();
+        let inbox: Vec<(usize, &[u8])> = vec![(3, stale.as_slice())];
+        let sent = std::cell::Cell::new(0usize);
+        let mut send = |_to: usize, _p: bytes::Bytes| sent.set(sent.get() + 1);
+        inst.step(0, &inbox, &mut send);
+        assert_eq!(sent.get(), 0, "non-source stays silent at round 0");
+        // Run the remaining rounds with no traffic at all: the forged
+        // round-0 message must not have seeded the tree with 99.
+        for r in 1..inst.rounds() {
+            inst.step(r, &[], &mut send);
+        }
+        assert_eq!(inst.decided(), Some(DEFAULT_VALUE));
     }
 
     #[test]

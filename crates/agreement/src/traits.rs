@@ -7,12 +7,17 @@
 //! system self-stabilizing — stale BA state from before a transient fault is
 //! discarded at the next wrap).
 
+use bytes::Bytes;
 use ga_simnet::prelude::*;
 
 use crate::Value;
 
 /// A send callback: `(destination process, payload)`.
-pub type Send<'a> = dyn FnMut(usize, Vec<u8>) + 'a;
+///
+/// Payloads are refcounted [`Bytes`]: a broadcast hands every destination a
+/// clone of one shared buffer, so fan-out costs no per-recipient copies all
+/// the way down to the simulator's inboxes.
+pub type Send<'a> = dyn FnMut(usize, Bytes) + 'a;
 
 /// A synchronous-round Byzantine agreement state machine.
 ///
@@ -92,9 +97,9 @@ impl Process for BaProcess {
             .collect();
         // Collect sends first: ctx and the inbox borrow ctx disjointly only
         // if we buffer.
-        let mut outgoing: Vec<(usize, Vec<u8>)> = Vec::new();
+        let mut outgoing: Vec<(usize, Bytes)> = Vec::new();
         {
-            let mut send = |to: usize, payload: Vec<u8>| outgoing.push((to, payload));
+            let mut send = |to: usize, payload: Bytes| outgoing.push((to, payload));
             self.instance.step(rel, &inbox, &mut send);
         }
         drop(inbox);
@@ -118,10 +123,14 @@ impl Process for BaProcess {
 
 /// Broadcast helper for instances: send `payload` to every process except
 /// `me` (the instance also processes its own contribution locally).
-pub fn broadcast_others(n: usize, me: usize, payload: &[u8], send: &mut Send<'_>) {
+///
+/// The payload is converted to [`Bytes`] once; all `n - 1` destinations
+/// share the single refcounted buffer.
+pub fn broadcast_others(n: usize, me: usize, payload: impl Into<Bytes>, send: &mut Send<'_>) {
+    let payload = payload.into();
     for to in 0..n {
         if to != me {
-            send(to, payload.to_vec());
+            send(to, payload.clone());
         }
     }
 }
@@ -147,7 +156,7 @@ mod tests {
         }
         fn step(&mut self, rel_round: u64, inbox: &[(usize, &[u8])], send: &mut Send<'_>) {
             match rel_round {
-                0 => broadcast_others(self.n, self.me, &self.value.to_be_bytes(), send),
+                0 => broadcast_others(self.n, self.me, self.value.to_be_bytes(), send),
                 1 => {
                     self.seen = self.value
                         + inbox
@@ -170,19 +179,18 @@ mod tests {
     #[test]
     fn ba_process_drives_instance_over_simnet() {
         let n = 4;
-        let mut sim = Simulation::builder(Topology::complete(n))
-            .build_with(|id| {
-                Box::new(BaProcess::new(
-                    Box::new(Echo {
-                        me: id.index(),
-                        n,
-                        value: 0,
-                        seen: 0,
-                        decided: None,
-                    }),
-                    id.index() as u64 + 1,
-                )) as Box<dyn Process>
-            });
+        let mut sim = Simulation::builder(Topology::complete(n)).build_with(|id| {
+            Box::new(BaProcess::new(
+                Box::new(Echo {
+                    me: id.index(),
+                    n,
+                    value: 0,
+                    seen: 0,
+                    decided: None,
+                }),
+                id.index() as u64 + 1,
+            )) as Box<dyn Process>
+        });
         sim.run(2);
         for i in 0..n {
             let p = sim.process_as::<BaProcess>(ProcessId(i)).unwrap();
@@ -193,8 +201,17 @@ mod tests {
     #[test]
     fn broadcast_others_skips_self() {
         let mut got = Vec::new();
-        let mut send = |to: usize, _p: Vec<u8>| got.push(to);
+        let mut send = |to: usize, _p: Bytes| got.push(to);
         broadcast_others(4, 2, b"x", &mut send);
         assert_eq!(got, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn broadcast_others_shares_one_buffer() {
+        let mut ptrs = Vec::new();
+        let mut send = |_to: usize, p: Bytes| ptrs.push(p.as_ptr());
+        broadcast_others(4, 0, vec![1u8, 2, 3], &mut send);
+        assert_eq!(ptrs.len(), 3);
+        assert!(ptrs.iter().all(|&p| p == ptrs[0]), "one allocation, shared");
     }
 }

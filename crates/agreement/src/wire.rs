@@ -109,9 +109,8 @@ impl<'a> Reader<'a> {
 
     /// Reads a big-endian u64.
     pub fn get_u64(&mut self) -> Option<u64> {
-        self.take(8).map(|s| {
-            u64::from_be_bytes([s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]])
-        })
+        self.take(8)
+            .map(|s| u64::from_be_bytes([s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]]))
     }
 
     /// Reads a u16-length-prefixed byte string.

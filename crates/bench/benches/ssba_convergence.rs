@@ -11,9 +11,7 @@ fn bench(c: &mut Criterion) {
             BenchmarkId::from_parameter(format!("n{n}_f{f}")),
             &(n, f),
             |b, &(n, f)| {
-                b.iter(|| {
-                    std::hint::black_box(e4_ssba::run_convergence(&[(n, f)], 2, 300_000, 5))
-                })
+                b.iter(|| std::hint::black_box(e4_ssba::run_convergence(&[(n, f)], 2, 300_000, 5)))
             },
         );
     }

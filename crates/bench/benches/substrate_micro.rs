@@ -1,7 +1,13 @@
 //! Micro-benchmarks of the substrates the authority's per-play cost is
-//! built from: hashing, commitments, committed-PRG audits, and one
+//! built from: the simnet message substrate (zero-copy broadcast fan-out
+//! and the steady-state step loop, against a naive `Vec<u8>`-clone
+//! baseline), hashing, commitments, committed-PRG audits, and one
 //! consensus of each backend via the pure executor.
+//!
+//! Run `scripts/bench_substrate.sh` to capture the substrate numbers as a
+//! `BENCH_substrate.json` perf snapshot.
 
+use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ga_agreement::consensus::{DolevStrongConsensus, OmConsensus};
 use ga_agreement::executor::{no_tamper, run_pure};
@@ -11,6 +17,157 @@ use ga_crypto::commitment::Commitment;
 use ga_crypto::mac::KeyRing;
 use ga_crypto::prg::CommittedPrg;
 use ga_crypto::sha256::Sha256;
+use ga_simnet::prelude::*;
+
+/// Fan-out size used by the substrate benches (the paper's default
+/// complete graph on 64 processors has 63 recipients per broadcast).
+const FANOUT: usize = 63;
+
+/// Broadcasts a pre-built shared [`Bytes`] payload every pulse — the
+/// zero-copy path: one refcount bump per recipient.
+struct BytesBroadcaster {
+    payload: Bytes,
+}
+
+impl Process for BytesBroadcaster {
+    fn on_pulse(&mut self, ctx: &mut Context<'_>) {
+        ctx.broadcast(self.payload.clone());
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Faithful re-implementation of the pre-zero-copy scheduler round — the
+/// "before" side of the before/after comparison, kept here so future PRs
+/// can still measure against it. Per round it: deep-clones the `Vec<u8>`
+/// payload once per recipient, stages the whole round in one flat
+/// `(from, to, payload)` vector, re-copies each payload into its `Bytes`
+/// envelope on delivery, tears down and reallocates every inbox, checks
+/// links by binary search, and derives the loss RNG unconditionally from a
+/// `format!`ted label.
+struct NaiveSubstrate {
+    n: usize,
+    adj: Vec<Vec<usize>>,
+    inboxes: Vec<Vec<(usize, u64, Bytes)>>,
+    payload: Vec<u8>,
+    seed: u64,
+    round: u64,
+    delivered: u64,
+}
+
+impl NaiveSubstrate {
+    fn new(n: usize, payload: Vec<u8>) -> NaiveSubstrate {
+        NaiveSubstrate {
+            n,
+            adj: (0..n)
+                .map(|i| (0..n).filter(|&j| j != i).collect())
+                .collect(),
+            inboxes: vec![Vec::new(); n],
+            payload,
+            seed: 0,
+            round: 0,
+            delivered: 0,
+        }
+    }
+
+    fn step(&mut self) {
+        let n = self.n;
+        let inboxes = std::mem::replace(&mut self.inboxes, vec![Vec::new(); n]);
+        let mut outgoing: Vec<(usize, usize, Vec<u8>)> = Vec::new();
+        for (i, inbox) in inboxes.iter().enumerate() {
+            std::hint::black_box(inbox);
+            for &nb in &self.adj[i] {
+                outgoing.push((i, nb, self.payload.clone()));
+            }
+        }
+        let mut _loss_rng = ga_simnet::rng::labeled_rng(self.seed, &format!("loss-{}", self.round));
+        for (from, to, payload) in outgoing {
+            if to >= n || self.adj[from].binary_search(&to).is_err() {
+                continue;
+            }
+            self.delivered += 1;
+            self.inboxes[to].push((from, self.round, payload.into()));
+        }
+        self.round += 1;
+    }
+}
+
+fn bench_substrate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate");
+
+    // Pure fan-out cost: queueing one payload for 63 recipients, shared
+    // `Bytes` vs a deep `Vec<u8>` clone per recipient, across payload
+    // sizes. The refcount path is size-independent; the clone path
+    // degrades with payload size.
+    for size in [8usize, 256, 4096] {
+        g.throughput(Throughput::Elements(FANOUT as u64));
+        g.bench_with_input(
+            BenchmarkId::new("fanout63_bytes", size),
+            &size,
+            |b, &size| {
+                let payload = Bytes::from(vec![0x5Au8; size]);
+                let mut queue: Vec<Bytes> = Vec::with_capacity(FANOUT);
+                b.iter(|| {
+                    queue.clear();
+                    for _ in 0..FANOUT {
+                        queue.push(payload.clone());
+                    }
+                    std::hint::black_box(queue.len())
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("fanout63_naive_vec_clone", size),
+            &size,
+            |b, &size| {
+                let payload = vec![0x5Au8; size];
+                let mut queue: Vec<Vec<u8>> = Vec::with_capacity(FANOUT);
+                b.iter(|| {
+                    queue.clear();
+                    for _ in 0..FANOUT {
+                        queue.push(payload.clone());
+                    }
+                    std::hint::black_box(queue.len())
+                })
+            },
+        );
+    }
+
+    // Steady-state step loop: complete(64), every process broadcasts 8
+    // bytes per pulse — 64 × 63 routed messages per step — on the
+    // zero-copy substrate vs the faithful old-substrate baseline.
+    let n = 64;
+    g.throughput(Throughput::Elements((n * (n - 1)) as u64));
+    g.bench_function(BenchmarkId::new("step_loop_bytes", format!("n{n}")), |b| {
+        let mut sim = Simulation::builder(Topology::complete(n)).build_with(|_| {
+            Box::new(BytesBroadcaster {
+                payload: Bytes::from(vec![0xEEu8; 8]),
+            }) as Box<dyn Process>
+        });
+        sim.run(2); // warm the recycled buffers into steady state
+        b.iter(|| {
+            sim.step();
+            std::hint::black_box(sim.round())
+        })
+    });
+    g.bench_function(
+        BenchmarkId::new("step_loop_naive_substrate", format!("n{n}")),
+        |b| {
+            let mut naive = NaiveSubstrate::new(n, vec![0xEEu8; 8]);
+            naive.step();
+            naive.step();
+            b.iter(|| {
+                naive.step();
+                std::hint::black_box(naive.delivered)
+            })
+        },
+    );
+    g.finish();
+}
 
 fn bench_crypto(c: &mut Criterion) {
     let mut g = c.benchmark_group("micro/crypto");
@@ -69,5 +226,5 @@ fn bench_consensus(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_crypto, bench_consensus);
+criterion_group!(benches, bench_substrate, bench_crypto, bench_consensus);
 criterion_main!(benches);

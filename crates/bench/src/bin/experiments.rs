@@ -8,8 +8,7 @@
 //! ```
 
 use ga_bench::{
-    e1_fig1, e2_pom_pennies, e3_rra, e4_ssba, e5_virus, e6_overhead, e7_dynamics,
-    e8_audit_cadence,
+    e1_fig1, e2_pom_pennies, e3_rra, e4_ssba, e5_virus, e6_overhead, e7_dynamics, e8_audit_cadence,
 };
 
 fn main() {
@@ -38,7 +37,7 @@ fn main() {
         }
     }
 
-    let want = |name: &str| exp.as_deref().map_or(true, |e| e == name);
+    let want = |name: &str| exp.as_deref().is_none_or(|e| e == name);
 
     println!("game-authority experiment suite (seed {seed})");
     println!("paper: Dolev, Schiller, Spirakis, Tsigas — TCS 411 (2010) 2459–2466");

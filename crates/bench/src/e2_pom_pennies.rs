@@ -14,10 +14,10 @@
 //! authority's benefit is the ratio between regimes (the paper's "reducing
 //! the price of malice").
 
+use ga_games::matching_pennies::{manipulated_matching_pennies, MANIPULATE};
 use game_authority::agent::Behavior;
 use game_authority::authority::{Authority, AuthorityConfig};
 use game_authority::executive::Punishment;
-use ga_games::matching_pennies::{manipulated_matching_pennies, MANIPULATE};
 
 use crate::table::{f3, Table};
 
@@ -110,7 +110,13 @@ pub fn run(rounds: u64, seed: u64) -> PomPenniesResult {
             true,
             Punishment::Disconnect,
         ),
-        run_regime("authority+fine(6)", rounds, seed, true, Punishment::Fine(6.0)),
+        run_regime(
+            "authority+fine(6)",
+            rounds,
+            seed,
+            true,
+            Punishment::Fine(6.0),
+        ),
     ];
     PomPenniesResult {
         baseline_honest_payoff,
@@ -128,7 +134,13 @@ pub fn tables(rounds: u64, seed: u64) -> Vec<Table> {
             r.rounds,
             f3(r.baseline_honest_payoff)
         ),
-        &["regime", "A payoff", "B payoff", "A loss/round", "detected at"],
+        &[
+            "regime",
+            "A payoff",
+            "B payoff",
+            "A loss/round",
+            "detected at",
+        ],
     );
     for reg in &r.regimes {
         t.row(vec![

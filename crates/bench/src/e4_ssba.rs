@@ -97,7 +97,13 @@ pub fn tables(seed: u64) -> Vec<Table> {
     let (recovered, plays) = run_closure(4, 1, seed);
     let mut t2 = Table::new(
         "E4 / Lemma 3 + Theorem 1 — closure after a total transient fault",
-        &["n", "f", "fault at pulse", "recovered", "completed agreements"],
+        &[
+            "n",
+            "f",
+            "fault at pulse",
+            "recovered",
+            "completed agreements",
+        ],
     );
     t2.row(vec![
         "4".into(),

@@ -7,9 +7,9 @@
 //! detection latency (and the honest agents' interim losses) versus audit
 //! work, on the Fig. 1 manipulation.
 
+use ga_games::matching_pennies::{manipulated_matching_pennies, MANIPULATE};
 use game_authority::agent::Behavior;
 use game_authority::authority::{Authority, AuthorityConfig};
-use ga_games::matching_pennies::{manipulated_matching_pennies, MANIPULATE};
 
 use crate::table::{f3, Table};
 

@@ -108,7 +108,11 @@ mod tests {
         // drives everything.
         sim.run(10);
         let values: Vec<u64> = (0..n)
-            .map(|i| sim.process_as::<ClockProcess>(ProcessId(i)).unwrap().value())
+            .map(|i| {
+                sim.process_as::<ClockProcess>(ProcessId(i))
+                    .unwrap()
+                    .value()
+            })
             .collect();
         assert!(values.windows(2).all(|w| w[0] == w[1]), "{values:?}");
     }
@@ -120,9 +124,15 @@ mod tests {
             .seed(2)
             .build_with(|_| Box::new(ClockProcess::new(n, 1, 100, 0)) as Box<dyn Process>);
         sim.run(5);
-        let v5 = sim.process_as::<ClockProcess>(ProcessId(0)).unwrap().value();
+        let v5 = sim
+            .process_as::<ClockProcess>(ProcessId(0))
+            .unwrap()
+            .value();
         sim.run(3);
-        let v8 = sim.process_as::<ClockProcess>(ProcessId(0)).unwrap().value();
+        let v8 = sim
+            .process_as::<ClockProcess>(ProcessId(0))
+            .unwrap()
+            .value();
         assert_eq!(v8, v5 + 3, "one tick per pulse in the synchronized regime");
     }
 

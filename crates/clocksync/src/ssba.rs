@@ -17,6 +17,7 @@
 //! * **Closure (Lemma 3)** — once synchronized, every period of `M` pulses
 //!   contains exactly one complete agreement, forever.
 
+use bytes::Bytes;
 use ga_agreement::traits::BaInstance;
 use ga_agreement::wire::{Reader, Writer};
 use ga_agreement::Value;
@@ -67,7 +68,7 @@ impl SsbaProcess {
         input: Value,
     ) -> SsbaProcess {
         assert!(
-            modulus >= instance.rounds() + 1,
+            modulus > instance.rounds(),
             "clock modulus must fit one full agreement (need ≥ {})",
             instance.rounds() + 1
         );
@@ -141,17 +142,17 @@ impl Process for SsbaProcess {
         // BA schedule, driven purely by the clock value. The relative round
         // is *derived* from the clock (value 1 ⇒ round 0), so a scrambled
         // `ba_round` from a transient fault cannot outlive one wrap.
-        let mut outgoing: Vec<(usize, Vec<u8>)> = Vec::new();
+        let mut outgoing: Vec<(usize, Bytes)> = Vec::new();
         if clock_value == 1 {
             self.instance.begin(self.input);
             self.ba_round = Some(0);
-            let mut send = |to: usize, payload: Vec<u8>| outgoing.push((to, payload));
+            let mut send = |to: usize, payload: Bytes| outgoing.push((to, payload));
             self.instance.step(0, &ba_inbox, &mut send);
         } else if let Some(prev) = self.ba_round {
             let r = prev + 1;
             if r < self.instance.rounds() {
                 {
-                    let mut send = |to: usize, payload: Vec<u8>| outgoing.push((to, payload));
+                    let mut send = |to: usize, payload: Bytes| outgoing.push((to, payload));
                     self.instance.step(r, &ba_inbox, &mut send);
                 }
                 self.ba_round = Some(r);
@@ -233,11 +234,7 @@ mod tests {
         let mut sim = build(n, 1, 5);
         sim.run(60);
         let logs = agreement_logs(&sim, n);
-        assert!(
-            logs[0].len() >= 2,
-            "several periods elapsed: {:?}",
-            logs[0]
-        );
+        assert!(logs[0].len() >= 2, "several periods elapsed: {:?}", logs[0]);
         // All processes hold identical agreement logs (agreement property,
         // repeatedly).
         assert!(logs.windows(2).all(|w| w[0] == w[1]), "{logs:?}");
@@ -263,7 +260,10 @@ mod tests {
         }
         // The post-recovery suffix must again be identical everywhere.
         let min_len = logs.iter().map(Vec::len).min().unwrap();
-        let tails: Vec<&[Value]> = logs.iter().map(|l| &l[l.len() - min_len.min(2)..]).collect();
+        let tails: Vec<&[Value]> = logs
+            .iter()
+            .map(|l| &l[l.len() - min_len.min(2)..])
+            .collect();
         assert!(tails.windows(2).all(|w| w[0] == w[1]), "{tails:?}");
     }
 

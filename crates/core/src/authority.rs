@@ -128,11 +128,7 @@ impl<'g> Authority<'g> {
     ///
     /// Panics if the behaviour count differs from the game's agent count.
     pub fn new(game: &'g dyn Game, behaviors: Vec<Behavior>, config: AuthorityConfig) -> Self {
-        assert_eq!(
-            behaviors.len(),
-            game.num_agents(),
-            "one behavior per agent"
-        );
+        assert_eq!(behaviors.len(), game.num_agents(), "one behavior per agent");
         let n = behaviors.len();
         let mut prgs = Vec::with_capacity(n);
         let mut seed_commitments = Vec::with_capacity(n);
@@ -228,7 +224,7 @@ impl<'g> Authority<'g> {
         };
 
         // Epoch-end mixed audit (§5.3).
-        if self.config.audits_enabled && (self.round + 1) % self.config.epoch_len == 0 {
+        if self.config.audits_enabled && (self.round + 1).is_multiple_of(self.config.epoch_len) {
             for i in 0..n {
                 if !active[i] || !verdicts[i].is_honest() {
                     continue;
@@ -251,7 +247,8 @@ impl<'g> Authority<'g> {
 
         // A play is valid when every agent active at its start revealed a
         // legal action.
-        let outcome = if (0..n).all(|i| !active[i] || matches!(actions[i], Some(a) if a < self.game.num_actions(i)))
+        let outcome = if (0..n)
+            .all(|i| !active[i] || matches!(actions[i], Some(a) if a < self.game.num_actions(i)))
             && active.iter().all(|&a| a)
         {
             Some(PureProfile::new(
@@ -321,7 +318,10 @@ impl<'g> Authority<'g> {
                     Some(manipulation),
                 )
             }
-            BehaviorKind::SubtleManipulator { claimed: c, preferred } => {
+            BehaviorKind::SubtleManipulator {
+                claimed: c,
+                preferred,
+            } => {
                 let sampled = self.prgs[i].sample(&pad(&c, self.game.num_actions(i)));
                 let action = preferred.min(self.game.num_actions(i) - 1);
                 // Claims the sample was `action` — the seed replay will say
@@ -447,8 +447,10 @@ mod tests {
     #[test]
     fn subtle_manipulator_caught_at_epoch_end() {
         let g = manipulated_matching_pennies();
-        let mut config = AuthorityConfig::default();
-        config.epoch_len = 8;
+        let config = AuthorityConfig {
+            epoch_len: 8,
+            ..AuthorityConfig::default()
+        };
         let mut auth = Authority::new(
             &g,
             vec![
@@ -474,8 +476,10 @@ mod tests {
     #[test]
     fn unsupervised_baseline_never_punishes() {
         let g = manipulated_matching_pennies();
-        let mut config = AuthorityConfig::default();
-        config.audits_enabled = false;
+        let config = AuthorityConfig {
+            audits_enabled: false,
+            ..AuthorityConfig::default()
+        };
         let mut auth = Authority::new(
             &g,
             vec![
@@ -509,8 +513,10 @@ mod tests {
     #[test]
     fn fine_scheme_keeps_agents_playing() {
         let g = prisoners_dilemma();
-        let mut config = AuthorityConfig::default();
-        config.punishment = Punishment::Fine(5.0);
+        let config = AuthorityConfig {
+            punishment: Punishment::Fine(5.0),
+            ..AuthorityConfig::default()
+        };
         let mut auth = Authority::new(
             &g,
             vec![Behavior::honest_pure(1), Behavior::equivocator(0, 1)],

@@ -29,6 +29,8 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use bytes::Bytes;
+
 use ga_agreement::consensus::OmConsensus;
 use ga_agreement::traits::BaInstance;
 use ga_agreement::wire::{Reader, Writer};
@@ -231,9 +233,9 @@ impl AuthorityProcess {
                 self.play.reveals.get(&agent),
             ) {
                 (Some(c), Some((action, opening))) => {
-                    if c.verify(&action_bytes(*action), opening).is_err() {
-                        true
-                    } else if *action >= self.game.num_actions(agent) {
+                    if c.verify(&action_bytes(*action), opening).is_err()
+                        || *action >= self.game.num_actions(agent)
+                    {
                         true
                     } else if let Some(prev) = &self.prev_outcome {
                         !best_responses(self.game.as_ref(), agent, prev).contains(action)
@@ -277,7 +279,7 @@ impl AuthorityProcess {
         idx: usize,
         rel: u64,
         inbox: &[(usize, Vec<u8>)],
-        out: &mut Vec<(usize, Vec<u8>)>,
+        out: &mut Vec<(usize, Bytes)>,
     ) {
         let t = [tag::BA1, tag::BA2, tag::BA3][idx];
         let filtered: Vec<(usize, Vec<u8>)> = inbox
@@ -291,16 +293,16 @@ impl AuthorityProcess {
             })
             .collect();
         let view: Vec<(usize, &[u8])> = filtered.iter().map(|(s, p)| (*s, p.as_slice())).collect();
-        let mut outgoing: Vec<(usize, Vec<u8>)> = Vec::new();
+        let mut outgoing: Vec<(usize, Bytes)> = Vec::new();
         {
-            let mut send = |to: usize, payload: Vec<u8>| outgoing.push((to, payload));
+            let mut send = |to: usize, payload: Bytes| outgoing.push((to, payload));
             self.ba[idx].step(rel, &view, &mut send);
         }
         for (to, inner) in outgoing {
             let mut w = Writer::new();
             w.put_u8(t);
             w.put_bytes(&inner);
-            out.push((to, w.finish()));
+            out.push((to, w.finish().into()));
         }
     }
 }
@@ -331,7 +333,7 @@ impl Process for AuthorityProcess {
         ctx.broadcast(ClockProcess::encode(v));
 
         let r = self.ba_rounds;
-        let mut out: Vec<(usize, Vec<u8>)> = Vec::new();
+        let mut out: Vec<(usize, Bytes)> = Vec::new();
 
         // Harvest commitments/reveals whenever they arrive (they are sent
         // in their phase, delivered one pulse later).
@@ -392,7 +394,8 @@ impl Process for AuthorityProcess {
                 let mut w = Writer::new();
                 w.put_u8(tag::COMMIT);
                 w.put_bytes(c.digest());
-                let payload = w.finish();
+                // One allocation; every recipient shares the buffer.
+                let payload: Bytes = w.finish().into();
                 for to in 0..self.n {
                     if to != self.me {
                         out.push((to, payload.clone()));
@@ -429,7 +432,8 @@ impl Process for AuthorityProcess {
                 w.put_u8(tag::REVEAL);
                 w.put_u64(revealed_action as u64);
                 w.put_bytes(opening.nonce());
-                let payload = w.finish();
+                // One allocation; every recipient shares the buffer.
+                let payload: Bytes = w.finish().into();
                 for to in 0..self.n {
                     if to != self.me {
                         out.push((to, payload.clone()));
@@ -534,10 +538,15 @@ mod tests {
 
     /// A 4-agent, 2-action congestion game: cost = #agents on my resource.
     fn congestion() -> Arc<dyn Game + Send + Sync> {
-        Arc::new(ClosureGame::new("cong4", 4, vec![2, 2, 2, 2], |agent, p| {
-            let mine = p.action(agent);
-            p.actions().iter().filter(|&&a| a == mine).count() as f64
-        }))
+        Arc::new(ClosureGame::new(
+            "cong4",
+            4,
+            vec![2, 2, 2, 2],
+            |agent, p| {
+                let mine = p.action(agent);
+                p.actions().iter().filter(|&&a| a == mine).count() as f64
+            },
+        ))
     }
 
     fn run_plays(modes: Vec<AgentMode>, pulses: u64, seed: u64) -> Simulation {
@@ -640,11 +649,8 @@ mod tests {
         sim.run(modulus * 60);
         let len_before: Vec<usize> = (0..n).map(|i| records(&sim, i).len()).collect();
         sim.run(modulus * 3);
-        for i in 0..n {
-            assert!(
-                records(&sim, i).len() > len_before[i],
-                "plays resumed at p{i}"
-            );
+        for (i, &before) in len_before.iter().enumerate() {
+            assert!(records(&sim, i).len() > before, "plays resumed at p{i}");
         }
         // Post-recovery records agree on the last 2 entries.
         let tails: Vec<Vec<PlayRecord>> = (0..n)

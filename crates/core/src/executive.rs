@@ -21,9 +21,10 @@ use ga_game_theory::profile::PureProfile;
 use crate::judicial::Verdict;
 
 /// The punishment scheme in force (elected alongside the game).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum Punishment {
     /// Permanently remove the offender from the game.
+    #[default]
     Disconnect,
     /// Charge the offender this much per offense.
     Fine(f64),
@@ -46,12 +47,6 @@ pub enum Punishment {
         /// Amount forfeited per offense.
         forfeit: f64,
     },
-}
-
-impl Default for Punishment {
-    fn default() -> Self {
-        Punishment::Disconnect
-    }
 }
 
 /// The executive service's ledger for one game instance.
@@ -220,11 +215,14 @@ mod tests {
 
     #[test]
     fn reputation_scheme_shuns_below_threshold() {
-        let mut e = Executive::new(2, Punishment::Reputation {
-            penalty: 4,
-            threshold: 0,
-            initial: 10,
-        });
+        let mut e = Executive::new(
+            2,
+            Punishment::Reputation {
+                penalty: 4,
+                threshold: 0,
+                initial: 10,
+            },
+        );
         e.apply_verdicts(&verdicts(&[1], 2));
         assert!(e.is_active(1), "reputation 6 > 0");
         e.apply_verdicts(&verdicts(&[1], 2));
@@ -236,10 +234,13 @@ mod tests {
 
     #[test]
     fn deposit_scheme_forfeits_then_disconnects() {
-        let mut e = Executive::new(2, Punishment::Deposit {
-            stake: 10.0,
-            forfeit: 4.0,
-        });
+        let mut e = Executive::new(
+            2,
+            Punishment::Deposit {
+                stake: 10.0,
+                forfeit: 4.0,
+            },
+        );
         assert_eq!(e.deposit(1), 10.0);
         e.apply_verdicts(&verdicts(&[1], 2));
         assert!(e.is_active(1), "6 left ≥ one more forfeit");

@@ -185,7 +185,9 @@ impl SealedBallot {
 
     /// Verifies a revealed ballot against the seal.
     pub fn verify(&self, ballot: &Ballot, opening: &Opening) -> bool {
-        self.commitment.verify(&ballot_bytes(ballot), opening).is_ok()
+        self.commitment
+            .verify(&ballot_bytes(ballot), opening)
+            .is_ok()
     }
 }
 
@@ -367,7 +369,10 @@ mod tests {
         let ballot = b(&[2, 0, 1]);
         let (seal, opening) = SealedBallot::seal(&ballot, [7u8; 32]);
         assert!(seal.verify(&ballot, &opening));
-        assert!(!seal.verify(&b(&[0, 2, 1]), &opening), "swapped ranking rejected");
+        assert!(
+            !seal.verify(&b(&[0, 2, 1]), &opening),
+            "swapped ranking rejected"
+        );
     }
 
     #[test]
@@ -379,14 +384,8 @@ mod tests {
     #[test]
     fn distributed_election_elects_and_discards() {
         // 4 voters (n > 3f with f = 1); voter 3 never reveals.
-        let reveals = vec![
-            Some(b(&[1, 0])),
-            Some(b(&[1, 0])),
-            Some(b(&[0, 1])),
-            None,
-        ];
-        let outcome =
-            distributed_election(VotingRule::Plurality, &reveals, 2, 4, 1).unwrap();
+        let reveals = vec![Some(b(&[1, 0])), Some(b(&[1, 0])), Some(b(&[0, 1])), None];
+        let outcome = distributed_election(VotingRule::Plurality, &reveals, 2, 4, 1).unwrap();
         assert_eq!(outcome.winner, 1);
         assert_eq!(outcome.discarded_voters, vec![3]);
     }
@@ -399,8 +398,7 @@ mod tests {
             Some(b(&[1])),
             Some(b(&[1])),
         ];
-        let outcome =
-            distributed_election(VotingRule::Plurality, &reveals, 2, 4, 1).unwrap();
+        let outcome = distributed_election(VotingRule::Plurality, &reveals, 2, 4, 1).unwrap();
         assert_eq!(outcome.winner, 1);
         assert_eq!(outcome.discarded_voters, vec![1]);
     }

@@ -185,10 +185,7 @@ impl SupervisedRra {
                 }
                 let demand = demands[i].expect("active agents demanded");
                 let (commitment, opening) = commitments[i].as_ref().expect("committed");
-                if commitment
-                    .verify(&demand_bytes(demand), opening)
-                    .is_err()
-                {
+                if commitment.verify(&demand_bytes(demand), opening).is_err() {
                     return Verdict::BadOpening;
                 }
                 if demand.units != 1 || demand.resource >= self.loads.len() {
@@ -241,7 +238,7 @@ mod tests {
         let mut rra = SupervisedRra::new(vec![RraAgent::Honest; n], 3, true, 1);
         for r in rra.play(300) {
             assert!(r.punished.is_empty(), "no honest fouls: {:?}", r.verdicts);
-            assert!(r.gap <= 2 * n as u64 - 1, "Δ({}) = {}", r.k, r.gap);
+            assert!(r.gap < 2 * n as u64, "Δ({}) = {}", r.k, r.gap);
         }
     }
 
@@ -259,7 +256,7 @@ mod tests {
         // the skew back into the envelope.
         let last = rounds.last().unwrap();
         assert!(
-            last.gap <= 2 * n as u64 - 1,
+            last.gap < 2 * n as u64,
             "Δ recovered: {} (loads {:?})",
             last.gap,
             last.loads

@@ -66,11 +66,7 @@ impl AuditLog {
     /// Appends a record, returning its chaining hash (the value to gossip or
     /// agree upon so peers can cross-check logs cheaply).
     pub fn append(&mut self, payload: &[u8]) -> Digest {
-        let prev = self
-            .records
-            .last()
-            .map(|r| r.link())
-            .unwrap_or(GENESIS);
+        let prev = self.records.last().map(|r| r.link()).unwrap_or(GENESIS);
         let record = AuditRecord {
             index: self.records.len() as u64,
             prev,
@@ -165,7 +161,10 @@ mod tests {
         log.tamper(2, b"rewritten history");
         // Record 2's payload change alters its link; record 3's `prev` no
         // longer matches, so the break is reported at index 3.
-        assert_eq!(log.verify().unwrap_err(), CryptoError::BrokenChain { index: 3 });
+        assert_eq!(
+            log.verify().unwrap_err(),
+            CryptoError::BrokenChain { index: 3 }
+        );
     }
 
     #[test]
@@ -178,7 +177,11 @@ mod tests {
         let honest_head = log.head().unwrap();
         log.tamper(1, b"b'");
         assert!(log.verify().is_ok());
-        assert_ne!(log.head().unwrap(), honest_head, "head hash still exposes the edit");
+        assert_ne!(
+            log.head().unwrap(),
+            honest_head,
+            "head hash still exposes the edit"
+        );
     }
 
     #[test]

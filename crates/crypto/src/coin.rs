@@ -113,9 +113,7 @@ impl CoinFlip {
     /// # Errors
     ///
     /// Same conditions as [`combine`](Self::combine).
-    pub fn combine_bytes(
-        parties: &[(Commitment, CoinReveal)],
-    ) -> Result<[u8; 32], CryptoError> {
+    pub fn combine_bytes(parties: &[(Commitment, CoinReveal)]) -> Result<[u8; 32], CryptoError> {
         if parties.is_empty() {
             return Err(CryptoError::BadTranscript("no parties"));
         }

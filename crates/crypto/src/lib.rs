@@ -114,7 +114,7 @@ pub fn to_hex(bytes: &[u8]) -> String {
 /// assert_eq!(ga_crypto::from_hex("xyz"), None);
 /// ```
 pub fn from_hex(s: &str) -> Option<Vec<u8>> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return None;
     }
     let nib = |c: u8| -> Option<u8> {

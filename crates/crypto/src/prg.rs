@@ -259,7 +259,9 @@ mod tests {
     fn fair_coin_is_fair() {
         let mut p = Prg::new([7u8; 32]);
         let n = 10_000;
-        let heads = (0..n).filter(|_| sample_index(&mut p, &[1.0, 1.0]) == 0).count();
+        let heads = (0..n)
+            .filter(|_| sample_index(&mut p, &[1.0, 1.0]) == 0)
+            .count();
         let frac = heads as f64 / n as f64;
         assert!((frac - 0.5).abs() < 0.03, "frac={frac}");
     }

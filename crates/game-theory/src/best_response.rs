@@ -61,10 +61,7 @@ mod tests {
         // Cost form: (C,C)=1, (C,D)=3/0, (D,C)=0/3, (D,D)=2.
         MatrixGame::from_costs(
             "pd",
-            vec![
-                vec![(1.0, 1.0), (3.0, 0.0)],
-                vec![(0.0, 3.0), (2.0, 2.0)],
-            ],
+            vec![vec![(1.0, 1.0), (3.0, 0.0)], vec![(0.0, 3.0), (2.0, 2.0)]],
         )
     }
 
@@ -89,10 +86,7 @@ mod tests {
     fn ties_are_all_reported() {
         let g = MatrixGame::from_costs(
             "tie",
-            vec![
-                vec![(1.0, 0.0), (1.0, 0.0)],
-                vec![(1.0, 0.0), (1.0, 0.0)],
-            ],
+            vec![vec![(1.0, 0.0), (1.0, 0.0)], vec![(1.0, 0.0), (1.0, 0.0)]],
         );
         let p = PureProfile::new(vec![0, 0]);
         assert_eq!(best_responses(&g, 0, &p), vec![0, 1]);

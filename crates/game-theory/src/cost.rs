@@ -21,7 +21,7 @@ use crate::profile::{all_profiles, PureProfile};
 /// agents"). Pass `None` to treat every agent as honest.
 pub fn social_cost(game: &dyn Game, profile: &PureProfile, honest: Option<&[bool]>) -> f64 {
     (0..game.num_agents())
-        .filter(|&i| honest.map_or(true, |h| h.get(i).copied().unwrap_or(true)))
+        .filter(|&i| honest.is_none_or(|h| h.get(i).copied().unwrap_or(true)))
         .map(|i| game.cost(i, profile))
         .sum()
 }
@@ -138,10 +138,7 @@ mod tests {
     fn pd() -> MatrixGame {
         MatrixGame::from_costs(
             "pd",
-            vec![
-                vec![(1.0, 1.0), (3.0, 0.0)],
-                vec![(0.0, 3.0), (2.0, 2.0)],
-            ],
+            vec![vec![(1.0, 1.0), (3.0, 0.0)], vec![(0.0, 3.0), (2.0, 2.0)]],
         )
     }
 
@@ -194,10 +191,7 @@ mod tests {
         // Coordination game with one good and one bad equilibrium.
         let g = MatrixGame::from_costs(
             "coord",
-            vec![
-                vec![(1.0, 1.0), (5.0, 5.0)],
-                vec![(5.0, 5.0), (3.0, 3.0)],
-            ],
+            vec![vec![(1.0, 1.0), (5.0, 5.0)], vec![(5.0, 5.0), (3.0, 3.0)]],
         );
         assert_eq!(price_of_anarchy(&g), Some(3.0));
         assert_eq!(price_of_stability(&g), Some(1.0));

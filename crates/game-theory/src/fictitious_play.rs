@@ -46,15 +46,23 @@ pub fn fictitious_play(game: &MatrixGame, rounds: usize) -> FictitiousPlay {
         // Row best-responds to empirical column mixture (min expected cost).
         let row_br = (0..m)
             .min_by(|&a, &b| {
-                let ca: f64 = (0..n).map(|j| game.at(a, j).0 * col_counts[j] / col_total).sum();
-                let cb: f64 = (0..n).map(|j| game.at(b, j).0 * col_counts[j] / col_total).sum();
+                let ca: f64 = (0..n)
+                    .map(|j| game.at(a, j).0 * col_counts[j] / col_total)
+                    .sum();
+                let cb: f64 = (0..n)
+                    .map(|j| game.at(b, j).0 * col_counts[j] / col_total)
+                    .sum();
                 ca.partial_cmp(&cb).expect("finite costs")
             })
             .expect("nonempty action set");
         let col_br = (0..n)
             .min_by(|&a, &b| {
-                let ca: f64 = (0..m).map(|i| game.at(i, a).1 * row_counts[i] / row_total).sum();
-                let cb: f64 = (0..m).map(|i| game.at(i, b).1 * row_counts[i] / row_total).sum();
+                let ca: f64 = (0..m)
+                    .map(|i| game.at(i, a).1 * row_counts[i] / row_total)
+                    .sum();
+                let cb: f64 = (0..m)
+                    .map(|i| game.at(i, b).1 * row_counts[i] / row_total)
+                    .sum();
                 ca.partial_cmp(&cb).expect("finite costs")
             })
             .expect("nonempty action set");
@@ -99,10 +107,7 @@ mod tests {
     fn finds_dominant_strategy_in_pd() {
         let pd = MatrixGame::from_costs(
             "pd",
-            vec![
-                vec![(1.0, 1.0), (3.0, 0.0)],
-                vec![(0.0, 3.0), (2.0, 2.0)],
-            ],
+            vec![vec![(1.0, 1.0), (3.0, 0.0)], vec![(0.0, 3.0), (2.0, 2.0)]],
         );
         let fp = fictitious_play(&pd, 500);
         assert!(fp.row.prob(1) > 0.95);

@@ -314,7 +314,11 @@ mod tests {
     #[test]
     fn closure_game_evaluates() {
         let g = ClosureGame::new("c", 3, vec![2, 2, 2], |agent, p| {
-            if p.action(agent) == 0 { 1.0 } else { 0.0 }
+            if p.action(agent) == 0 {
+                1.0
+            } else {
+                0.0
+            }
         });
         assert_eq!(g.cost(1, &PureProfile::new(vec![0, 0, 1])), 1.0);
         assert_eq!(g.cost(2, &PureProfile::new(vec![0, 0, 1])), 0.0);

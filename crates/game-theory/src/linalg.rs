@@ -46,8 +46,13 @@ pub fn solve(a: &[Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
             if factor == 0.0 {
                 continue;
             }
-            for k in col..=n {
-                m[row][k] -= factor * m[col][k];
+            // Split borrow: the pivot row is read while `row` is written.
+            let (pivot_row, target_row) = {
+                let (head, tail) = m.split_at_mut(row);
+                (&head[col], &mut tail[0])
+            };
+            for (t, p) in target_row[col..=n].iter_mut().zip(&pivot_row[col..=n]) {
+                *t -= factor * p;
             }
         }
     }

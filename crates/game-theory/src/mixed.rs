@@ -102,7 +102,13 @@ pub fn support_enumeration(game: &MatrixGame) -> Result<Vec<BimatrixEquilibrium>
 fn subsets_of_size(n: usize, size: usize) -> Vec<Vec<usize>> {
     let mut out = Vec::new();
     let mut current = Vec::new();
-    fn rec(start: usize, n: usize, size: usize, current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+    fn rec(
+        start: usize,
+        n: usize,
+        size: usize,
+        current: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
         if current.len() == size {
             out.push(current.clone());
             return;
@@ -145,8 +151,8 @@ fn try_support(
         }
         a[eq][k] = -1.0; // −v
     }
-    for col_idx in 0..k {
-        a[k][col_idx] = 1.0;
+    for cell in &mut a[k][..k] {
+        *cell = 1.0;
     }
     b[k] = 1.0;
     let sol_y = solve(&a, &b)?;
@@ -162,8 +168,8 @@ fn try_support(
         }
         a2[eq][k] = -1.0;
     }
-    for row_idx in 0..k {
-        a2[k][row_idx] = 1.0;
+    for cell in &mut a2[k][..k] {
+        *cell = 1.0;
     }
     b2[k] = 1.0;
     let sol_x = solve(&a2, &b2)?;
@@ -247,10 +253,7 @@ mod tests {
     fn pd_equilibrium_is_pure_defect() {
         let pd = MatrixGame::from_costs(
             "pd",
-            vec![
-                vec![(1.0, 1.0), (3.0, 0.0)],
-                vec![(0.0, 3.0), (2.0, 2.0)],
-            ],
+            vec![vec![(1.0, 1.0), (3.0, 0.0)], vec![(0.0, 3.0), (2.0, 2.0)]],
         );
         let eqs = support_enumeration(&pd).unwrap();
         assert_eq!(eqs.len(), 1);
@@ -263,10 +266,7 @@ mod tests {
         // Cost form of battle of the sexes.
         let bos = MatrixGame::from_payoffs(
             "bos",
-            vec![
-                vec![(2.0, 1.0), (0.0, 0.0)],
-                vec![(0.0, 0.0), (1.0, 2.0)],
-            ],
+            vec![vec![(2.0, 1.0), (0.0, 0.0)], vec![(0.0, 0.0), (1.0, 2.0)]],
         );
         let eqs = support_enumeration(&bos).unwrap();
         assert_eq!(eqs.len(), 3, "two pure + one mixed");

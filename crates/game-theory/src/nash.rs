@@ -39,11 +39,7 @@ pub struct Dynamics {
 /// Converges on potential games (congestion, load balancing); may cycle on
 /// others (matching pennies), in which case `converged` is `false` after
 /// `max_steps`.
-pub fn best_response_dynamics(
-    game: &dyn Game,
-    start: PureProfile,
-    max_steps: usize,
-) -> Dynamics {
+pub fn best_response_dynamics(game: &dyn Game, start: PureProfile, max_steps: usize) -> Dynamics {
     let mut profile = start;
     for steps in 0..max_steps {
         let deviator = (0..game.num_agents()).find(|&a| !is_best_response(game, a, &profile));
@@ -77,10 +73,7 @@ mod tests {
     fn pd() -> MatrixGame {
         MatrixGame::from_costs(
             "pd",
-            vec![
-                vec![(1.0, 1.0), (3.0, 0.0)],
-                vec![(0.0, 3.0), (2.0, 2.0)],
-            ],
+            vec![vec![(1.0, 1.0), (3.0, 0.0)], vec![(0.0, 3.0), (2.0, 2.0)]],
         )
     }
 
@@ -111,10 +104,7 @@ mod tests {
     fn coordination_game_has_two_pnes() {
         let g = MatrixGame::from_costs(
             "coord",
-            vec![
-                vec![(0.0, 0.0), (1.0, 1.0)],
-                vec![(1.0, 1.0), (0.0, 0.0)],
-            ],
+            vec![vec![(0.0, 0.0), (1.0, 1.0)], vec![(1.0, 1.0), (0.0, 0.0)]],
         );
         let pnes = pure_nash_equilibria(&g);
         assert_eq!(

@@ -86,7 +86,9 @@ impl From<Vec<usize>> for PureProfile {
 /// the authority referees and for exact PoA/PoS computation in tests.
 pub fn all_profiles(game: &dyn Game) -> ProfileIter {
     ProfileIter {
-        dims: (0..game.num_agents()).map(|i| game.num_actions(i)).collect(),
+        dims: (0..game.num_agents())
+            .map(|i| game.num_actions(i))
+            .collect(),
         next: Some(vec![0; game.num_agents()]),
     }
 }
@@ -103,7 +105,7 @@ impl Iterator for ProfileIter {
 
     fn next(&mut self) -> Option<PureProfile> {
         let current = self.next.take()?;
-        if self.dims.iter().any(|&d| d == 0) {
+        if self.dims.contains(&0) {
             return None;
         }
         let mut succ = current.clone();
@@ -261,10 +263,7 @@ mod tests {
     fn pd() -> MatrixGame {
         MatrixGame::from_costs(
             "pd",
-            vec![
-                vec![(1.0, 1.0), (3.0, 0.0)],
-                vec![(0.0, 3.0), (2.0, 2.0)],
-            ],
+            vec![vec![(1.0, 1.0), (3.0, 0.0)], vec![(0.0, 3.0), (2.0, 2.0)]],
         )
     }
 

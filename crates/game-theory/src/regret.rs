@@ -63,11 +63,11 @@ pub fn regret_matching(game: &dyn Game, rounds: u64, rng: &mut impl Rng) -> Regr
         *joint.entry(profile.clone()).or_insert(0.0) += 1.0;
 
         // Regret update.
-        for agent in 0..n {
+        for (agent, agent_regrets) in regrets.iter_mut().enumerate() {
             let played_cost = game.cost(agent, &profile);
-            for a in 0..game.num_actions(agent) {
+            for (a, regret) in agent_regrets.iter_mut().enumerate() {
                 let alt_cost = game.cost(agent, &profile.with_action(agent, a));
-                regrets[agent][a] += played_cost - alt_cost;
+                *regret += played_cost - alt_cost;
             }
         }
     }
@@ -145,10 +145,7 @@ mod tests {
     fn pd() -> MatrixGame {
         MatrixGame::from_costs(
             "pd",
-            vec![
-                vec![(1.0, 1.0), (3.0, 0.0)],
-                vec![(0.0, 3.0), (2.0, 2.0)],
-            ],
+            vec![vec![(1.0, 1.0), (3.0, 0.0)], vec![(0.0, 3.0), (2.0, 2.0)]],
         )
     }
 
@@ -188,7 +185,11 @@ mod tests {
     #[test]
     fn empirical_joint_is_eps_correlated_equilibrium() {
         let out = regret_matching(&pd(), 3000, &mut rng());
-        assert!(is_correlated_equilibrium(&pd(), &out.joint, out.epsilon() + 1e-9));
+        assert!(is_correlated_equilibrium(
+            &pd(),
+            &out.joint,
+            out.epsilon() + 1e-9
+        ));
     }
 
     #[test]
@@ -197,7 +198,10 @@ mod tests {
         let mut joint = HashMap::new();
         joint.insert(PureProfile::new(vec![0, 0]), 1.0);
         assert!(!is_correlated_equilibrium(&pd(), &joint, 0.5));
-        assert!(is_correlated_equilibrium(&pd(), &joint, 1.01), "but is a 1.01-CE");
+        assert!(
+            is_correlated_equilibrium(&pd(), &joint, 1.01),
+            "but is a 1.01-CE"
+        );
     }
 
     #[test]

@@ -29,8 +29,13 @@ pub struct RoundRecord {
 /// that exists on the resources").
 pub trait Policy {
     /// Chooses `agent`'s action for round `round` given the history so far.
-    fn choose(&mut self, game: &dyn Game, agent: usize, round: u64, history: &[RoundRecord])
-        -> usize;
+    fn choose(
+        &mut self,
+        game: &dyn Game,
+        agent: usize,
+        round: u64,
+        history: &[RoundRecord],
+    ) -> usize;
 
     /// Diagnostic label.
     fn name(&self) -> &'static str {
@@ -246,11 +251,7 @@ impl<'g> RepeatedGame<'g> {
     ///
     /// Panics if the policy count differs from the agent count.
     pub fn new(game: &'g dyn Game, policies: Vec<Box<dyn Policy>>) -> RepeatedGame<'g> {
-        assert_eq!(
-            policies.len(),
-            game.num_agents(),
-            "one policy per agent"
-        );
+        assert_eq!(policies.len(), game.num_agents(), "one policy per agent");
         RepeatedGame {
             game,
             policies,
@@ -316,10 +317,7 @@ mod tests {
     fn pd() -> MatrixGame {
         MatrixGame::from_costs(
             "pd",
-            vec![
-                vec![(1.0, 1.0), (3.0, 0.0)],
-                vec![(0.0, 3.0), (2.0, 2.0)],
-            ],
+            vec![vec![(1.0, 1.0), (3.0, 0.0)], vec![(0.0, 3.0), (2.0, 2.0)]],
         )
     }
 
@@ -344,7 +342,8 @@ mod tests {
     #[test]
     fn round_records_carry_costs() {
         let g = pd();
-        let mut rg = RepeatedGame::new(&g, vec![Box::new(FixedAction(0)), Box::new(FixedAction(1))]);
+        let mut rg =
+            RepeatedGame::new(&g, vec![Box::new(FixedAction(0)), Box::new(FixedAction(1))]);
         let rec = rg.play_round();
         assert_eq!(rec.costs, vec![3.0, 0.0]);
         assert_eq!(rec.round, 0);
@@ -381,7 +380,11 @@ mod tests {
         );
         rg.play(10);
         for r in rg.history() {
-            assert_eq!(r.profile, PureProfile::new(vec![0, 0]), "mutual cooperation");
+            assert_eq!(
+                r.profile,
+                PureProfile::new(vec![0, 0]),
+                "mutual cooperation"
+            );
         }
     }
 

@@ -44,9 +44,7 @@ impl LoadBalancingGame {
 
     /// The makespan (social objective).
     pub fn makespan(&self, profile: &PureProfile) -> f64 {
-        self.machine_loads(profile)
-            .into_iter()
-            .fold(0.0, f64::max)
+        self.machine_loads(profile).into_iter().fold(0.0, f64::max)
     }
 
     /// A lower bound on the optimal makespan:

@@ -17,10 +17,7 @@ pub const DEFECT: usize = 1;
 pub fn prisoners_dilemma() -> MatrixGame {
     MatrixGame::from_costs(
         "prisoners-dilemma",
-        vec![
-            vec![(1.0, 1.0), (3.0, 0.0)],
-            vec![(0.0, 3.0), (2.0, 2.0)],
-        ],
+        vec![vec![(1.0, 1.0), (3.0, 0.0)], vec![(0.0, 3.0), (2.0, 2.0)]],
     )
 }
 

@@ -226,7 +226,10 @@ mod tests {
     fn single_node_grid() {
         let g = VirusGame::new(1, 1.0, 2.0);
         let risk = PureProfile::new(vec![RISK]);
-        assert!((g.cost(0, &risk) - 2.0).abs() < 1e-12, "component of 1, L·1/1");
+        assert!(
+            (g.cost(0, &risk) - 2.0).abs() < 1e-12,
+            "component of 1, L·1/1"
+        );
         let safe = PureProfile::new(vec![INOCULATE]);
         assert_eq!(g.cost(0, &safe), 1.0);
     }

@@ -19,7 +19,7 @@ proptest! {
         let mut rra = RraProcess::new(n, b);
         let mut rng = StdRng::seed_from_u64(seed);
         for stats in rra.play(k, &mut rng) {
-            prop_assert!(stats.gap <= 2 * n as u64 - 1,
+            prop_assert!(stats.gap < 2 * n as u64,
                          "Δ({}) = {} with n={n}, b={b}", stats.k, stats.gap);
         }
     }

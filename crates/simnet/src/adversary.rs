@@ -16,6 +16,7 @@
 //! * [`Replayer`] — re-sends previously observed messages (stale state).
 //! * [`FlipFlopper`] — alternates between two fixed payloads per round.
 
+use bytes::Bytes;
 use rand::Rng;
 use rand::RngCore;
 
@@ -120,9 +121,9 @@ impl Adversary for RandomNoise {
 #[derive(Debug, Clone)]
 pub struct Equivocator {
     /// Payload for even-indexed neighbors.
-    pub payload_a: Vec<u8>,
+    pub payload_a: Bytes,
     /// Payload for odd-indexed neighbors.
-    pub payload_b: Vec<u8>,
+    pub payload_b: Bytes,
 }
 
 impl Adversary for Equivocator {
@@ -147,13 +148,14 @@ impl Adversary for Equivocator {
 /// duplication attack).
 #[derive(Debug, Clone, Default)]
 pub struct Replayer {
-    stash: Option<Vec<u8>>,
+    stash: Option<Bytes>,
 }
 
 impl Adversary for Replayer {
     fn act(&mut self, ctx: &mut Context<'_>) {
         if let Some(m) = ctx.inbox().last() {
-            self.stash = Some(m.bytes().to_vec());
+            // Refcount bump — the replayed payload is never re-copied.
+            self.stash = Some(m.payload.clone());
         }
         if let Some(p) = &self.stash {
             ctx.broadcast(p.clone());
@@ -170,14 +172,14 @@ impl Adversary for Replayer {
 #[derive(Debug, Clone)]
 pub struct FlipFlopper {
     /// Payload on even rounds.
-    pub even: Vec<u8>,
+    pub even: Bytes,
     /// Payload on odd rounds.
-    pub odd: Vec<u8>,
+    pub odd: Bytes,
 }
 
 impl Adversary for FlipFlopper {
     fn act(&mut self, ctx: &mut Context<'_>) {
-        let p = if ctx.round().value() % 2 == 0 {
+        let p = if ctx.round().value().is_multiple_of(2) {
             self.even.clone()
         } else {
             self.odd.clone()
@@ -196,7 +198,7 @@ impl Adversary for FlipFlopper {
 #[derive(Debug, Clone)]
 pub struct ConstantLiar {
     /// The fixed payload to broadcast every round.
-    pub lie: Vec<u8>,
+    pub lie: Bytes,
 }
 
 impl Adversary for ConstantLiar {
@@ -216,7 +218,7 @@ mod tests {
     use crate::message::Message;
     use crate::rng::process_rng;
 
-    fn run_one(adv: &mut dyn Adversary, round: u64, inbox: &[Message]) -> Vec<(ProcessId, Vec<u8>)> {
+    fn run_one(adv: &mut dyn Adversary, round: u64, inbox: &[Message]) -> Vec<(ProcessId, Bytes)> {
         let neigh = [0usize, 1, 2, 3];
         let mut ctx = Context {
             id: ProcessId(4),
@@ -245,12 +247,16 @@ mod tests {
     #[test]
     fn equivocator_partitions_neighbors() {
         let mut adv = Equivocator {
-            payload_a: vec![0xA],
-            payload_b: vec![0xB],
+            payload_a: vec![0xA].into(),
+            payload_b: vec![0xB].into(),
         };
         let out = run_one(&mut adv, 0, &[]);
         for (to, payload) in out {
-            let expect = if to.index() % 2 == 0 { vec![0xA] } else { vec![0xB] };
+            let expect = if to.index() % 2 == 0 {
+                vec![0xAu8]
+            } else {
+                vec![0xB]
+            };
             assert_eq!(payload, expect);
         }
     }
@@ -262,26 +268,37 @@ mod tests {
         let seen = [Message::new(ProcessId(0), Round(0), vec![9, 9])];
         let out = run_one(&mut adv, 1, &seen);
         assert_eq!(out.len(), 4);
-        assert!(out.iter().all(|(_, p)| p == &vec![9, 9]));
+        assert!(out.iter().all(|(_, p)| *p == vec![9u8, 9]));
+        let first = out[0].1.as_ptr();
+        assert!(
+            out.iter().all(|(_, p)| p.as_ptr() == first),
+            "replayed broadcast shares one buffer"
+        );
     }
 
     #[test]
     fn flip_flopper_alternates() {
         let mut adv = FlipFlopper {
-            even: vec![0],
-            odd: vec![1],
+            even: vec![0].into(),
+            odd: vec![1].into(),
         };
-        assert!(run_one(&mut adv, 0, &[]).iter().all(|(_, p)| p == &vec![0]));
-        assert!(run_one(&mut adv, 1, &[]).iter().all(|(_, p)| p == &vec![1]));
+        assert!(run_one(&mut adv, 0, &[])
+            .iter()
+            .all(|(_, p)| *p == vec![0u8]));
+        assert!(run_one(&mut adv, 1, &[])
+            .iter()
+            .all(|(_, p)| *p == vec![1u8]));
     }
 
     #[test]
     fn constant_liar_repeats_lie() {
-        let mut adv = ConstantLiar { lie: vec![7, 7] };
+        let mut adv = ConstantLiar {
+            lie: vec![7, 7].into(),
+        };
         for round in 0..3 {
             assert!(run_one(&mut adv, round, &[])
                 .iter()
-                .all(|(_, p)| p == &vec![7, 7]));
+                .all(|(_, p)| *p == vec![7u8, 7]));
         }
     }
 

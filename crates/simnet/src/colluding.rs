@@ -10,10 +10,10 @@
 
 use std::sync::Arc;
 
+use bytes::Bytes;
 use parking_lot::Mutex;
 use rand::RngCore;
 
-use crate::ids::ProcessId;
 use crate::process::{Context, Process};
 
 /// The cabal's shared state: one agreed lie per round.
@@ -21,8 +21,9 @@ use crate::process::{Context, Process};
 struct Blackboard {
     /// The round the current lie was fabricated for.
     round: u64,
-    /// The lie payload for that round.
-    lie: Vec<u8>,
+    /// The lie payload for that round (shared by all members and all of
+    /// their recipients — one allocation per round for the whole cabal).
+    lie: Bytes,
 }
 
 /// Shared coordination handle for a set of colluders.
@@ -47,13 +48,13 @@ impl Cabal {
 
     /// The agreed lie for `round`, fabricating one (from the first
     /// asker's randomness) if this is the round's first query.
-    fn lie_for(&self, round: u64, rng: &mut rand::rngs::StdRng) -> Vec<u8> {
+    fn lie_for(&self, round: u64, rng: &mut rand::rngs::StdRng) -> Bytes {
         let mut board = self.board.lock();
         if board.round != round || board.lie.is_empty() {
             let mut lie = vec![0u8; 9];
             rng.fill_bytes(&mut lie);
             board.round = round;
-            board.lie = lie;
+            board.lie = lie.into();
         }
         board.lie.clone()
     }
@@ -72,10 +73,7 @@ impl Process for Colluder {
             let rng = ctx.rng();
             self.cabal.lie_for(round, rng)
         };
-        let neighbors: Vec<usize> = ctx.neighbors().to_vec();
-        for nb in neighbors {
-            ctx.send(ProcessId(nb), lie.clone());
-        }
+        ctx.broadcast(lie);
     }
 
     fn as_any(&self) -> &dyn std::any::Any {
@@ -94,6 +92,7 @@ impl Process for Colluder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ids::ProcessId;
     use crate::sim::Simulation;
     use crate::topology::Topology;
 
@@ -157,14 +156,18 @@ mod tests {
     fn separate_cabals_do_not_share_lies() {
         let a = Cabal::new();
         let b = Cabal::new();
-        let mut sim = Simulation::builder(Topology::complete(3)).build_with(|id| match id.index() {
-            0 => Box::new(Recorder { seen: Vec::new() }) as Box<dyn Process>,
-            1 => Box::new(a.member()),
-            _ => Box::new(b.member()),
-        });
+        let mut sim =
+            Simulation::builder(Topology::complete(3)).build_with(|id| match id.index() {
+                0 => Box::new(Recorder { seen: Vec::new() }) as Box<dyn Process>,
+                1 => Box::new(a.member()),
+                _ => Box::new(b.member()),
+            });
         sim.run(2);
         let r0 = sim.process_as::<Recorder>(ProcessId(0)).unwrap();
         assert_eq!(r0.seen.len(), 2);
-        assert_ne!(r0.seen[0], r0.seen[1], "independent cabals lie independently");
+        assert_ne!(
+            r0.seen[0], r0.seen[1],
+            "independent cabals lie independently"
+        );
     }
 }

@@ -13,7 +13,11 @@ use rand::RngCore;
 use crate::ids::{ProcessId, Round};
 use crate::message::Message;
 use crate::process::Process;
-use crate::rng::labeled_rng;
+use crate::rng::labeled_rng_u64;
+
+/// Numeric RNG domain for transient-fault injection (see
+/// [`labeled_rng_u64`]).
+const FAULT_DOMAIN: u64 = 0xFA17_FA17_FA17_FA17;
 
 /// What a transient fault does to the system configuration.
 #[derive(Debug, Clone)]
@@ -72,10 +76,7 @@ impl TransientFault {
         processes: &mut [Box<dyn Process>],
         inboxes: &mut [Vec<Message>],
     ) {
-        let mut rng = labeled_rng(
-            seed ^ self.salt,
-            &format!("transient-fault-{}", round.value()),
-        );
+        let mut rng = labeled_rng_u64(seed ^ self.salt, FAULT_DOMAIN, round.value());
 
         for id in &self.scramble {
             if let Some(p) = processes.get_mut(id.index()) {
@@ -93,7 +94,7 @@ impl TransientFault {
                         bytes = vec![0u8; 4];
                     }
                     let idx = rng.gen_range(0..bytes.len());
-                    bytes[idx] ^= 1 << rng.gen_range(0..8);
+                    bytes[idx] ^= 1u8 << rng.gen_range(0..8u32);
                     m.payload = bytes.into();
                 }
             }
@@ -193,8 +194,16 @@ mod tests {
         let (mut ps2, mut in2) = fixture();
         TransientFault::total(3, 1).apply(9, Round(0), &mut ps1, &mut in1);
         TransientFault::total(3, 2).apply(9, Round(0), &mut ps2, &mut in2);
-        let v1 = ps1[0].as_any().downcast_ref::<Scrambleable>().unwrap().value;
-        let v2 = ps2[0].as_any().downcast_ref::<Scrambleable>().unwrap().value;
+        let v1 = ps1[0]
+            .as_any()
+            .downcast_ref::<Scrambleable>()
+            .unwrap()
+            .value;
+        let v2 = ps2[0]
+            .as_any()
+            .downcast_ref::<Scrambleable>()
+            .unwrap()
+            .value;
         assert_ne!(v1, v2);
     }
 }

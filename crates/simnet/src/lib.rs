@@ -19,6 +19,30 @@
 //! * everything is seeded and deterministic — a run is a pure function of
 //!   `(program, topology, seed)` — so experiments are replayable.
 //!
+//! ## Zero-copy message substrate
+//!
+//! The per-round hot path is allocation-free in steady state:
+//!
+//! * **Payloads are [`bytes::Bytes`].**
+//!   [`Context::send`](process::Context::send) and
+//!   [`Context::broadcast`](process::Context::broadcast) take
+//!   `impl Into<Bytes>`; a broadcast converts its payload **once** and all
+//!   recipients' [`Message`](message::Message)s share the single
+//!   refcounted buffer (cloning `Bytes` is a refcount bump, and
+//!   `payload.as_ptr()` is identical across recipients). Protocols that
+//!   resend a received payload should clone `message.payload` instead of
+//!   copying out the bytes.
+//! * **Buffers are recycled, not reallocated.** Inboxes are double-buffered
+//!   and swap+cleared each pulse, the per-process outbox is one scratch
+//!   vector reused across all processes and rounds, and messages are routed
+//!   inline per sender — there is no per-round flat staging vector.
+//! * **Derivation is numeric on the hot path.** The loss-model RNG comes
+//!   from [`rng::labeled_rng_u64`] (integer mixing, no `format!`) and is
+//!   only constructed when [`Delivery::Lossy`](sim::Delivery) is
+//!   configured; [`Simulation::disconnect`](sim::Simulation::disconnect)
+//!   mutates adjacency in place via
+//!   [`Topology::isolate`](topology::Topology::isolate).
+//!
 //! ## Quickstart
 //!
 //! ```

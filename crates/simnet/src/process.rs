@@ -4,7 +4,14 @@
 //! its derived randomness) state machine stepped once per common pulse. The
 //! step receives all messages the neighbors sent last pulse, may send
 //! messages for delivery next pulse, and updates local state (§4.1).
+//!
+//! Payloads travel as [`Bytes`]: [`Context::send`] and
+//! [`Context::broadcast`] accept `impl Into<Bytes>`, so a broadcast
+//! allocates its payload **once** and every recipient shares the
+//! refcounted buffer. Steady-state sends are allocation-free when callers
+//! hand over an existing `Bytes` (cloning one is a refcount bump).
 
+use bytes::Bytes;
 use rand::rngs::StdRng;
 
 use crate::ids::{ProcessId, Round};
@@ -40,13 +47,16 @@ pub trait Process {
 }
 
 /// Everything a process can see and do during one pulse.
+///
+/// The outbox buffer is owned by the scheduler and recycled across pulses;
+/// queueing messages in steady state costs no allocation.
 #[derive(Debug)]
 pub struct Context<'a> {
     pub(crate) id: ProcessId,
     pub(crate) round: Round,
     pub(crate) neighbors: &'a [usize],
     pub(crate) inbox: &'a [Message],
-    pub(crate) outbox: Vec<(ProcessId, Vec<u8>)>,
+    pub(crate) outbox: Vec<(ProcessId, Bytes)>,
     pub(crate) rng: StdRng,
     pub(crate) n: usize,
 }
@@ -80,13 +90,19 @@ impl<'a> Context<'a> {
     /// Queues a message for delivery to `to` at the next pulse.
     ///
     /// Messages to non-neighbors are silently dropped by the scheduler (and
-    /// counted in the trace), modelling the absence of a link.
-    pub fn send(&mut self, to: ProcessId, payload: Vec<u8>) {
-        self.outbox.push((to, payload));
+    /// counted in the trace), modelling the absence of a link. Passing an
+    /// existing [`Bytes`] is free of payload copies.
+    pub fn send(&mut self, to: ProcessId, payload: impl Into<Bytes>) {
+        self.outbox.push((to, payload.into()));
     }
 
     /// Queues the same payload to every neighbor.
-    pub fn broadcast(&mut self, payload: Vec<u8>) {
+    ///
+    /// The payload is converted to [`Bytes`] once; all recipients share the
+    /// single refcounted buffer — fan-out is O(degree) refcount bumps, not
+    /// O(degree) allocations.
+    pub fn broadcast(&mut self, payload: impl Into<Bytes>) {
+        let payload = payload.into();
         for &nb in self.neighbors {
             self.outbox.push((ProcessId(nb), payload.clone()));
         }
@@ -128,12 +144,27 @@ mod tests {
     }
 
     #[test]
+    fn broadcast_shares_one_buffer() {
+        let neigh = [1usize, 2, 3];
+        let inbox: Vec<Message> = Vec::new();
+        let mut c = ctx(&neigh, &inbox);
+        c.broadcast(vec![1, 2, 3, 4]);
+        let first = c.outbox[0].1.as_ptr();
+        assert!(
+            c.outbox.iter().all(|(_, p)| p.as_ptr() == first),
+            "all queued copies alias the same allocation"
+        );
+    }
+
+    #[test]
     fn send_queues_single_message() {
         let neigh = [1usize];
         let inbox: Vec<Message> = Vec::new();
         let mut c = ctx(&neigh, &inbox);
         c.send(ProcessId(1), vec![1, 2]);
-        assert_eq!(c.outbox, vec![(ProcessId(1), vec![1, 2])]);
+        assert_eq!(c.outbox.len(), 1);
+        assert_eq!(c.outbox[0].0, ProcessId(1));
+        assert_eq!(c.outbox[0].1, vec![1u8, 2]);
     }
 
     #[test]

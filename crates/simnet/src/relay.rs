@@ -81,9 +81,7 @@ impl FloodRelay {
     /// The value accepted from `origin` with sequence `seq`, if the
     /// disjoint-paths quorum has been reached.
     pub fn delivered(&self, origin: usize, seq: u16) -> Option<&[u8]> {
-        self.delivered
-            .get(&(origin as u16, seq))
-            .map(Vec::as_slice)
+        self.delivered.get(&(origin as u16, seq)).map(Vec::as_slice)
     }
 
     /// Number of accepted deliveries so far.
@@ -111,7 +109,7 @@ impl FloodRelay {
         let seq = u16::from_be_bytes([payload[5], payload[6]]);
         let len = u16::from_be_bytes([payload[7], payload[8]]) as usize;
         let body = &payload[9..];
-        (body.len() == len).then(|| (origin, hop, seq, body))
+        (body.len() == len).then_some((origin, hop, seq, body))
     }
 
     fn observe(&mut self, origin: u16, first_hop: u16, seq: u16, value: &[u8], me: u16) {
@@ -126,7 +124,7 @@ impl FloodRelay {
             .entry(value.to_vec())
             .or_default();
         hops.insert(first_hop);
-        if hops.len() >= self.f + 1 {
+        if hops.len() > self.f {
             self.delivered
                 .entry((origin, seq))
                 .or_insert_with(|| value.to_vec());

@@ -1,15 +1,20 @@
 //! The lock-step scheduler: [`Simulation`] and [`SimulationBuilder`].
 
+use bytes::Bytes;
 use rand::Rng;
 
 use crate::fault::TransientFault;
 use crate::ids::{ProcessId, Round};
 use crate::message::Message;
 use crate::process::{Context, Process};
-use crate::rng::{labeled_rng, process_rng};
+use crate::rng::{labeled_rng_u64, process_rng};
 use crate::topology::Topology;
 use crate::trace::Trace;
 use crate::SimError;
+
+/// Numeric RNG domain for the message-loss model (see
+/// [`labeled_rng_u64`]).
+const LOSS_DOMAIN: u64 = 0x1055_1055_1055_1055;
 
 /// Message-loss model applied on delivery.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -38,6 +43,12 @@ pub struct Simulation {
     processes: Vec<Box<dyn Process>>,
     /// inbox[i] = messages to deliver to process i at the next pulse.
     inboxes: Vec<Vec<Message>>,
+    /// Double buffer for `inboxes`: holds the pulse currently being
+    /// consumed during [`step`](Simulation::step) and is recycled (swap +
+    /// clear) every round, so steady-state stepping reallocates nothing.
+    consumed: Vec<Vec<Message>>,
+    /// Recycled outbox handed to each process's [`Context`] in turn.
+    outbox_scratch: Vec<(ProcessId, Bytes)>,
     round: Round,
     seed: u64,
     delivery: Delivery,
@@ -76,14 +87,13 @@ impl SimulationBuilder {
     }
 
     /// Builds the simulation, constructing each process from its id.
-    pub fn build_with(
-        self,
-        mut make: impl FnMut(ProcessId) -> Box<dyn Process>,
-    ) -> Simulation {
+    pub fn build_with(self, mut make: impl FnMut(ProcessId) -> Box<dyn Process>) -> Simulation {
         let n = self.topology.len();
         let processes = (0..n).map(|i| make(ProcessId(i))).collect();
         Simulation {
             inboxes: vec![Vec::new(); n],
+            consumed: vec![Vec::new(); n],
+            outbox_scratch: Vec::new(),
             topology: self.topology,
             processes,
             round: Round(0),
@@ -107,6 +117,8 @@ impl SimulationBuilder {
         let n = self.topology.len();
         Simulation {
             inboxes: vec![Vec::new(); n],
+            consumed: vec![Vec::new(); n],
+            outbox_scratch: Vec::new(),
             topology: self.topology,
             processes,
             round: Round(0),
@@ -159,47 +171,60 @@ impl Simulation {
     }
 
     /// Executes one pulse for every process.
+    ///
+    /// Allocation-free in steady state: the two inbox buffer sets are
+    /// swapped and cleared (retaining capacity) rather than reallocated,
+    /// one outbox buffer is recycled across all processes and rounds, and
+    /// payloads move as refcounted [`Bytes`] — a broadcast's single buffer
+    /// is shared by every recipient's [`Message`].
     pub fn step(&mut self) {
         let n = self.processes.len();
-        // Take this round's inboxes; deliveries go into fresh ones.
-        let inboxes = std::mem::replace(&mut self.inboxes, vec![Vec::new(); n]);
-        let mut outgoing: Vec<(ProcessId, ProcessId, Vec<u8>)> = Vec::new();
+        // Swap in last pulse's deliveries for consumption; the buffers
+        // consumed two pulses ago are cleared and refilled with this
+        // pulse's routed messages.
+        std::mem::swap(&mut self.inboxes, &mut self.consumed);
+        for inbox in &mut self.inboxes {
+            inbox.clear();
+        }
+        // The loss RNG is only derived when the loss model can use it.
+        let mut loss_rng = match self.delivery {
+            Delivery::Lossy { .. } => {
+                Some(labeled_rng_u64(self.seed, LOSS_DOMAIN, self.round.value()))
+            }
+            Delivery::Reliable => None,
+        };
 
-        for (i, process) in self.processes.iter_mut().enumerate() {
+        for i in 0..n {
             let id = ProcessId(i);
             let mut ctx = Context {
                 id,
                 round: self.round,
                 neighbors: self.topology.neighbors(id),
-                inbox: &inboxes[i],
-                outbox: Vec::new(),
+                inbox: &self.consumed[i],
+                outbox: std::mem::take(&mut self.outbox_scratch),
                 rng: process_rng(self.seed, id, self.round),
                 n,
             };
-            process.on_pulse(&mut ctx);
-            for (to, payload) in ctx.outbox {
-                outgoing.push((id, to, payload));
-            }
-        }
+            self.processes[i].on_pulse(&mut ctx);
 
-        // Route: only edges in the topology carry messages.
-        let mut loss_rng = labeled_rng(
-            self.seed ^ 0x1055_1055_1055_1055,
-            &format!("loss-{}", self.round.value()),
-        );
-        for (from, to, payload) in outgoing {
-            if to.index() >= n || !self.topology.connected(from, to) {
-                self.trace.messages_dropped_no_link += 1;
-                continue;
-            }
-            if let Delivery::Lossy { p } = self.delivery {
-                if loss_rng.gen_bool(p.clamp(0.0, 1.0)) {
-                    self.trace.messages_dropped_lossy += 1;
+            // Route this sender's messages inline: only topology edges
+            // carry them, and they are read no earlier than the next pulse.
+            let Context { mut outbox, .. } = ctx;
+            for (to, payload) in outbox.drain(..) {
+                if to.index() >= n || !self.topology.connected(id, to) {
+                    self.trace.messages_dropped_no_link += 1;
                     continue;
                 }
+                if let (Delivery::Lossy { p }, Some(rng)) = (self.delivery, loss_rng.as_mut()) {
+                    if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                        self.trace.messages_dropped_lossy += 1;
+                        continue;
+                    }
+                }
+                self.trace.record_delivery(to, payload.len());
+                self.inboxes[to.index()].push(Message::new(id, self.round, payload));
             }
-            self.trace.record_delivery(to, payload.len());
-            self.inboxes[to.index()].push(Message::new(from, self.round, payload));
+            self.outbox_scratch = outbox;
         }
 
         self.trace.record_round(self.round);
@@ -280,20 +305,11 @@ impl Simulation {
     /// Punitive disconnection: removes every link of `id` (the executive
     /// service's strongest punishment, per §3.4 "disconnect Byzantine agents
     /// from the network").
+    ///
+    /// Mutates the adjacency structure in place — see
+    /// [`Topology::isolate`] — instead of rebuilding the whole topology.
     pub fn disconnect(&mut self, id: ProcessId) {
-        let victim = id.index();
-        let peers: Vec<usize> = self.topology.neighbors(id).to_vec();
-        let n = self.topology.len();
-        let mut edges = Vec::new();
-        for u in 0..n {
-            for &v in self.topology.neighbors(ProcessId(u)) {
-                if u < v && u != victim && v != victim {
-                    edges.push((u, v));
-                }
-            }
-        }
-        let _ = peers;
-        self.topology = Topology::from_edges(n, &edges).expect("filtered edges stay valid");
+        self.topology.isolate(id);
     }
 }
 
@@ -362,10 +378,12 @@ mod tests {
         let mut sim = counters(Topology::complete(3), 0);
         let rounds = sim
             .run_until(100, |s| {
-                s.process_as::<Counter>(ProcessId(0)).map(|c| c.received >= 4) == Some(true)
+                s.process_as::<Counter>(ProcessId(0))
+                    .map(|c| c.received >= 4)
+                    == Some(true)
             })
             .unwrap();
-        assert!(rounds >= 3 && rounds <= 4, "rounds={rounds}");
+        assert!((3..=4).contains(&rounds), "rounds={rounds}");
     }
 
     #[test]

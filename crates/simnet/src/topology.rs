@@ -20,9 +20,26 @@ pub struct Topology {
     n: usize,
     /// Sorted adjacency lists.
     adj: Vec<Vec<usize>>,
+    /// Per-vertex adjacency bitmasks (`n` bits each), kept in sync with
+    /// `adj` so [`connected`](Topology::connected) is O(1) on the
+    /// scheduler's routing hot path.
+    bits: Vec<Vec<u64>>,
 }
 
 impl Topology {
+    /// Builds the topology invariants (bitmasks) from sorted adjacency
+    /// lists.
+    fn from_adj(n: usize, adj: Vec<Vec<usize>>) -> Topology {
+        let words = n.div_ceil(64);
+        let mut bits = vec![vec![0u64; words]; n];
+        for (u, list) in adj.iter().enumerate() {
+            for &v in list {
+                bits[u][v / 64] |= 1 << (v % 64);
+            }
+        }
+        Topology { n, adj, bits }
+    }
+
     /// The complete graph on `n` processors — the paper's default setting
     /// (every BA activation is a broadcast to everyone).
     ///
@@ -34,7 +51,7 @@ impl Topology {
         let adj = (0..n)
             .map(|i| (0..n).filter(|&j| j != i).collect())
             .collect();
-        Topology { n, adj }
+        Topology::from_adj(n, adj)
     }
 
     /// A ring on `n` processors (useful for worst-case connectivity tests).
@@ -52,7 +69,7 @@ impl Topology {
                 v
             })
             .collect();
-        Topology { n, adj }
+        Topology::from_adj(n, adj)
     }
 
     /// Builds a topology from explicit undirected edges.
@@ -82,7 +99,7 @@ impl Topology {
             list.sort_unstable();
             list.dedup();
         }
-        Ok(Topology { n, adj })
+        Ok(Topology::from_adj(n, adj))
     }
 
     /// A random graph where every vertex gets at least `k` neighbors:
@@ -129,9 +146,29 @@ impl Topology {
         &self.adj[id.index()]
     }
 
-    /// Whether `a` and `b` share an edge.
+    /// Whether `a` and `b` share an edge — O(1) via the adjacency bitmask.
     pub fn connected(&self, a: ProcessId, b: ProcessId) -> bool {
-        self.adj[a.index()].binary_search(&b.index()).is_ok()
+        let b = b.index();
+        self.bits[a.index()][b / 64] & (1 << (b % 64)) != 0
+    }
+
+    /// Removes every edge incident to `id`, in place.
+    ///
+    /// This is the executive's punitive disconnection. Unlike rebuilding
+    /// the topology from its surviving edge list (O(n²)), this mutates the
+    /// adjacency lists directly: O(deg(id) · deg(peer)) overall.
+    pub fn isolate(&mut self, id: ProcessId) {
+        let victim = id.index();
+        let peers = std::mem::take(&mut self.adj[victim]);
+        for word in &mut self.bits[victim] {
+            *word = 0;
+        }
+        for peer in peers {
+            if let Ok(pos) = self.adj[peer].binary_search(&victim) {
+                self.adj[peer].remove(pos);
+            }
+            self.bits[peer][victim / 64] &= !(1 << (victim % 64));
+        }
     }
 
     /// Minimum degree over all vertices — an upper bound on connectivity.
@@ -204,10 +241,10 @@ impl Topology {
         let mut graph: Vec<Vec<(usize, usize)>> = vec![Vec::new(); nodes]; // (to, edge index)
         let mut cap: Vec<i64> = Vec::new();
         let add_edge = |graph: &mut Vec<Vec<(usize, usize)>>,
-                            cap: &mut Vec<i64>,
-                            u: usize,
-                            v: usize,
-                            c: i64| {
+                        cap: &mut Vec<i64>,
+                        u: usize,
+                        v: usize,
+                        c: i64| {
             graph[u].push((v, cap.len()));
             cap.push(c);
             graph[v].push((u, cap.len()));
@@ -339,6 +376,53 @@ mod tests {
         assert!(t.min_degree() >= 4);
         assert!(t.is_connected());
         assert!(t.vertex_connectivity_at_least(3));
+    }
+
+    #[test]
+    fn isolate_removes_only_incident_edges() {
+        let mut t = Topology::complete(5);
+        let before = t.clone();
+        t.isolate(ProcessId(2));
+        assert!(t.neighbors(ProcessId(2)).is_empty());
+        assert_eq!(t.edge_count(), 6, "C(4,2) survivors");
+        for u in [0usize, 1, 3, 4] {
+            assert!(!t.connected(ProcessId(u), ProcessId(2)));
+            assert!(!t.connected(ProcessId(2), ProcessId(u)));
+            for v in [0usize, 1, 3, 4] {
+                if u != v {
+                    assert!(t.connected(ProcessId(u), ProcessId(v)), "{u}-{v} kept");
+                }
+            }
+        }
+        // Equivalent to the O(n²) rebuild the scheduler used to do.
+        let n = before.len();
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for &v in before.neighbors(ProcessId(u)) {
+                if u < v && u != 2 && v != 2 {
+                    edges.push((u, v));
+                }
+            }
+        }
+        assert_eq!(t, Topology::from_edges(n, &edges).unwrap());
+    }
+
+    #[test]
+    fn isolate_twice_is_idempotent() {
+        let mut t = Topology::ring(5);
+        t.isolate(ProcessId(0));
+        t.isolate(ProcessId(0));
+        assert!(t.neighbors(ProcessId(0)).is_empty());
+        assert_eq!(t.edge_count(), 3);
+    }
+
+    #[test]
+    fn bitmask_tracks_large_graphs() {
+        // Crosses the 64-bit word boundary.
+        let t = Topology::complete(130);
+        assert!(t.connected(ProcessId(0), ProcessId(129)));
+        assert!(t.connected(ProcessId(65), ProcessId(64)));
+        assert!(!t.connected(ProcessId(65), ProcessId(65)));
     }
 
     #[test]

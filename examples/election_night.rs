@@ -13,7 +13,11 @@
 use game_authority_suite::authority::legislative::{tally, Ballot, VotingRule};
 
 fn main() {
-    let candidates = ["prisoners-dilemma", "matching-pennies", "resource-allocation"];
+    let candidates = [
+        "prisoners-dilemma",
+        "matching-pennies",
+        "resource-allocation",
+    ];
     println!("candidates: {candidates:?}\n");
 
     // A profile with a Condorcet-style tension: RA has broad second-choice

@@ -18,7 +18,10 @@ use rand::SeedableRng;
 fn main() {
     let (companies, hosts) = (8usize, 4usize);
     println!("consortium: {companies} companies sharing {hosts} hosts\n");
-    println!("{:>6}  {:>8}  {:>8}  {:>6}  {:>6}", "k", "R(k)", "1+2b/k", "Δ(k)", "2n−1");
+    println!(
+        "{:>6}  {:>8}  {:>8}  {:>6}  {:>6}",
+        "k", "R(k)", "1+2b/k", "Δ(k)", "2n−1"
+    );
 
     let mut rra = RraProcess::new(companies, hosts);
     let mut rng = StdRng::seed_from_u64(0xC0FFEE);

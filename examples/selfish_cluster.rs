@@ -26,10 +26,15 @@ use game_authority_suite::simnet::ids::ProcessId;
 
 fn main() {
     // A 4-agent, 2-resource congestion game: cost = peers on my resource.
-    let game = Arc::new(ClosureGame::new("cluster", 4, vec![2, 2, 2, 2], |agent, p| {
-        let mine = p.action(agent);
-        p.actions().iter().filter(|&&a| a == mine).count() as f64
-    }));
+    let game = Arc::new(ClosureGame::new(
+        "cluster",
+        4,
+        vec![2, 2, 2, 2],
+        |agent, p| {
+            let mine = p.action(agent);
+            p.actions().iter().filter(|&&a| a == mine).count() as f64
+        },
+    ));
 
     let modes = vec![
         AgentMode::Honest,

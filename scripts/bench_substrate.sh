@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Runs the message-substrate microbenches and records the perf snapshot
+# (BENCH_substrate.json at the repo root) that future PRs compare against.
+#
+# The snapshot contains, among others:
+#   substrate/step_loop_bytes/n64        — zero-copy steady-state step
+#   substrate/step_loop_naive_substrate/n64 — pre-rewrite baseline
+# whose ratio is the substrate speedup claimed by the zero-copy PR.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_substrate.json}"
+case "$OUT" in
+    /*) ;;
+    *) OUT="$PWD/$OUT" ;;
+esac
+# cargo runs bench binaries from the package directory; hand it an
+# absolute path so the snapshot lands at the repo root.
+BENCH_JSON="$OUT" cargo bench --offline -p ga-bench --bench substrate_micro
+
+echo
+echo "wrote $OUT"
+if command -v python3 >/dev/null; then
+    python3 - "$OUT" <<'EOF'
+import json, sys
+data = json.load(open(sys.argv[1]))
+ns = {b["name"]: b["ns_per_iter"] for b in data["benchmarks"]}
+new = ns.get("substrate/step_loop_bytes/n64")
+old = ns.get("substrate/step_loop_naive_substrate/n64")
+if new and old:
+    print(f"step-loop speedup vs naive substrate: {old / new:.2f}x")
+EOF
+fi

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a PR must keep green.
+#   build (release) + tests + clippy (deny warnings) + rustfmt check
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace --offline
+
+echo "==> cargo test"
+cargo test -q --workspace --offline
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "tier1: OK"

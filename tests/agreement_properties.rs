@@ -99,8 +99,7 @@ fn every_backend_tolerates_its_threshold_with_crashes() {
                 continue;
             }
             let byz: Vec<usize> = (n - f..n).collect();
-            let report =
-                run_consensus_with(backend, n, f, &byz, Misbehavior::Crash, |_| 3, 99);
+            let report = run_consensus_with(backend, n, f, &byz, Misbehavior::Crash, |_| 3, 99);
             assert!(report.agreement(), "{backend:?} n={n} f={f}");
             assert_eq!(report.decision(), Some(3), "{backend:?} validity");
         }

@@ -8,9 +8,9 @@ use game_authority_suite::authority::authority::{Authority, AuthorityConfig};
 use game_authority_suite::authority::executive::Punishment;
 use game_authority_suite::authority::judicial::Verdict;
 use game_authority_suite::authority::legislative::{tally, Ballot, VotingRule};
+use game_authority_suite::game_theory::profile::PureProfile;
 use game_authority_suite::games::matching_pennies::{manipulated_matching_pennies, MANIPULATE};
 use game_authority_suite::games::prisoners_dilemma;
-use game_authority_suite::game_theory::profile::PureProfile;
 
 #[test]
 fn elect_then_play_then_punish() {
@@ -99,6 +99,9 @@ fn reputation_scheme_eventually_shuns() {
         },
     );
     authority.play(4);
-    assert!(!authority.executive().is_active(1), "shunned after 3 offenses");
+    assert!(
+        !authority.executive().is_active(1),
+        "shunned after 3 offenses"
+    );
     assert_eq!(authority.executive().reputation(1), -2);
 }

@@ -20,9 +20,15 @@ fn claim_pom_reduction() {
     let r = e2_pom_pennies::run(100, 5);
     let unsupervised = &r.regimes[0];
     let supervised = &r.regimes[1];
-    assert!(unsupervised.honest_payoff < -250.0, "≈ −4/round unsupervised");
+    assert!(
+        unsupervised.honest_payoff < -250.0,
+        "≈ −4/round unsupervised"
+    );
     assert_eq!(supervised.detected_at, Some(0));
-    assert!(supervised.honest_payoff > -10.0, "damage capped at one play");
+    assert!(
+        supervised.honest_payoff > -10.0,
+        "damage capped at one play"
+    );
 }
 
 /// Theorem 5 + Lemma 6: R(k) ≤ 1 + 2b/k and Δ(k) ≤ 2n−1 throughout; R→1.
@@ -77,5 +83,8 @@ fn claim_dynamics_envelope() {
     let r = e7_dynamics::run(6, 3, &[500], 31);
     assert!(r.honest[0] <= r.envelope);
     assert!(r.cheated[0] > r.envelope);
-    assert!(r.supervised[0] <= r.envelope + 6, "supervision restores order");
+    assert!(
+        r.supervised[0] <= r.envelope + 6,
+        "supervision restores order"
+    );
 }

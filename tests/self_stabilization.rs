@@ -54,13 +54,13 @@ fn distributed_authority_recovers_and_keeps_agreeing() {
         })
         .collect();
     sim.run(modulus * 3);
-    for i in 0..4 {
+    for (i, &before) in counts.iter().enumerate() {
         let now = sim
             .process_as::<AuthorityProcess>(ProcessId(i))
             .unwrap()
             .records()
             .len();
-        assert!(now > counts[i], "plays keep completing at p{i}");
+        assert!(now > before, "plays keep completing at p{i}");
     }
     // Latest plays agree across all processors.
     let last: Vec<_> = (0..4)

@@ -1,0 +1,321 @@
+//! Vendored minimal subset of [`criterion`](https://docs.rs/criterion).
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the slice of the API its benches use: [`Criterion`], benchmark groups,
+//! [`BenchmarkId`], [`Throughput`] and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Differences from upstream: measurement is a simple
+//! min-of-batches timer (no statistics engine, no HTML reports). When the
+//! `BENCH_JSON` environment variable names a file, every benchmark result
+//! in the process is written to it as one JSON document on exit
+//! (overwriting any previous contents) — the workspace's perf-trajectory
+//! snapshot format.
+
+use std::fmt::Display;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full benchmark path, e.g. `substrate/broadcast_fanout_bytes`.
+    pub name: String,
+    /// Best observed nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Declared throughput, if any.
+    pub throughput: Option<Throughput>,
+}
+
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier, optionally `function/parameter`-shaped.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter as the id.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Types accepted as benchmark identifiers.
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    ns_per_iter: f64,
+    /// Soft target for total measurement time per benchmark.
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Measures `routine`, recording the best observed time per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and calibrate on a single call.
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        let first = start.elapsed().max(Duration::from_nanos(1));
+
+        if first >= self.budget {
+            self.ns_per_iter = first.as_nanos() as f64;
+            return;
+        }
+        let per_batch = (self.budget.as_nanos() / 3 / first.as_nanos()).clamp(1, 1_000_000) as u64;
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                std::hint::black_box(routine());
+            }
+            let total = start.elapsed().as_nanos() as f64;
+            best = best.min(total / per_batch as f64);
+        }
+        self.ns_per_iter = best;
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            budget: Duration::from_millis(60),
+        }
+    }
+}
+
+impl Criterion {
+    /// Upstream-compat no-op (CLI args are ignored).
+    #[must_use]
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Criterion {
+        let name = id.into_id();
+        run_one(name, None, self.budget, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let budget = self.budget;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+            budget,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    budget: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Upstream-compat: scales the per-benchmark time budget.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Fewer samples upstream means "each iteration is slow"; keep the
+        // budget proportional so heavy benches stay quick here too.
+        self.budget = Duration::from_millis((n as u64).clamp(10, 100));
+        self
+    }
+
+    /// Declares the throughput of subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.into_id());
+        run_one(name, self.throughput, self.budget, f);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: String,
+    throughput: Option<Throughput>,
+    budget: Duration,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        ns_per_iter: 0.0,
+        budget,
+    };
+    f(&mut bencher);
+    let result = BenchResult {
+        name,
+        ns_per_iter: bencher.ns_per_iter,
+        throughput,
+    };
+    report_line(&result);
+    RESULTS.lock().expect("results lock").push(result);
+}
+
+fn report_line(r: &BenchResult) {
+    let rate = match r.throughput {
+        Some(Throughput::Bytes(b)) if r.ns_per_iter > 0.0 => {
+            format!(
+                "  ({:.1} MiB/s)",
+                b as f64 / r.ns_per_iter * 1e9 / (1024.0 * 1024.0)
+            )
+        }
+        Some(Throughput::Elements(e)) if r.ns_per_iter > 0.0 => {
+            format!("  ({:.0} elem/s)", e as f64 / r.ns_per_iter * 1e9)
+        }
+        _ => String::new(),
+    };
+    println!("{:<56} {:>14.1} ns/iter{rate}", r.name, r.ns_per_iter);
+}
+
+/// Writes all recorded results as JSON to the file named by the
+/// `BENCH_JSON` environment variable, if set. Called by
+/// [`criterion_main!`] after all groups ran.
+pub fn write_json_report() {
+    let Ok(path) = std::env::var("BENCH_JSON") else {
+        return;
+    };
+    let results = RESULTS.lock().expect("results lock");
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"ns_per_iter\": {:.1}}}{sep}\n",
+            r.name.replace('"', "'"),
+            r.ns_per_iter
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("BENCH_JSON: cannot write {path}: {e}");
+    }
+}
+
+/// Read access to the recorded results (used by tests).
+pub fn recorded_results() -> Vec<BenchResult> {
+    RESULTS.lock().expect("results lock").clone()
+}
+
+/// Bundles benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups and emitting the JSON report.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::write_json_report();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_a_positive_time() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(10);
+        g.throughput(Throughput::Bytes(64));
+        g.bench_function("spin", |b| {
+            b.iter(|| std::hint::black_box((0..100u64).sum::<u64>()))
+        });
+        g.finish();
+        let all = recorded_results();
+        let mine = all.iter().find(|r| r.name == "t/spin").expect("recorded");
+        assert!(mine.ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("f", 3).into_id(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("n4_f1").into_id(), "n4_f1");
+    }
+}

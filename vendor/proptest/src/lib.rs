@@ -1,0 +1,439 @@
+//! Vendored minimal subset of [`proptest`](https://docs.rs/proptest).
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the slice of the API its property tests use: the [`proptest!`] macro,
+//! [`prop_assert!`]/[`prop_assert_eq!`]/[`prop_assume!`], `any::<T>()`,
+//! range strategies, [`collection::vec`], [`sample::subsequence`] and
+//! [`strategy::Strategy::prop_map`].
+//!
+//! Differences from upstream: cases are generated from a deterministic
+//! per-test seed (no persisted failure files) and there is **no
+//! shrinking** — a failing case reports its index so it can be replayed.
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A generator of random test values.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Types with a canonical whole-domain strategy (`any::<T>()`).
+    pub trait Arbitrary: Sized {
+        /// Draws one value uniformly over the domain.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> $t {
+                    use rand::RngCore;
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+        fn arbitrary(rng: &mut StdRng) -> [T; N] {
+            std::array::from_fn(|_| T::arbitrary(rng))
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> bool {
+            use rand::RngCore;
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy for `any::<T>()`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The whole-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut StdRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A size specification: an exact count or a half-open range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl SizeRange {
+        pub(crate) fn pick(&self, rng: &mut StdRng) -> usize {
+            if self.lo + 1 >= self.hi {
+                self.lo
+            } else {
+                rng.gen_range(self.lo..self.hi)
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for vectors of `element` with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use super::collection::SizeRange;
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy drawing an order-preserving random subsequence of `values`
+    /// whose length falls in `size`.
+    pub fn subsequence<T: Clone>(values: Vec<T>, size: impl Into<SizeRange>) -> Subsequence<T> {
+        Subsequence {
+            values,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`subsequence`].
+    #[derive(Debug, Clone)]
+    pub struct Subsequence<T> {
+        values: Vec<T>,
+        size: SizeRange,
+    }
+
+    impl<T: Clone> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<T> {
+            let k = self.size.pick(rng).min(self.values.len());
+            // Reservoir-free selection: mark k distinct indices, keep order.
+            let mut picked = vec![false; self.values.len()];
+            let mut chosen = 0;
+            while chosen < k {
+                let i = rng.gen_range(0..self.values.len());
+                if !picked[i] {
+                    picked[i] = true;
+                    chosen += 1;
+                }
+            }
+            self.values
+                .iter()
+                .zip(&picked)
+                .filter(|(_, &p)| p)
+                .map(|(v, _)| v.clone())
+                .collect()
+        }
+    }
+}
+
+/// Test-runner configuration.
+pub mod test_runner {
+    /// How many cases each property runs.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        /// Number of generated cases.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+/// Common imports for property tests.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+#[doc(hidden)]
+pub mod __rt {
+    pub use rand::rngs::StdRng;
+    pub use rand::SeedableRng;
+
+    /// FNV-1a over a test identifier, for stable per-test seeds.
+    pub fn test_seed(ident: &str, case: u32) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in ident.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+    }
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn addition_commutes(a in 0u64..100, b in 0u64..100) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            @cfg($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let ident = concat!(module_path!(), "::", stringify!($name));
+            for case in 0..config.cases {
+                let mut proptest_rng = <$crate::__rt::StdRng as $crate::__rt::SeedableRng>::
+                    seed_from_u64($crate::__rt::test_seed(ident, case));
+                $(let $arg = $crate::strategy::Strategy::generate(
+                    &($strat), &mut proptest_rng);)*
+                let outcome: ::std::result::Result<(), ::std::string::String> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(message) = outcome {
+                    panic!("proptest {ident} failed at case {case}: {message}");
+                }
+            }
+        }
+        $crate::__proptest_items! { @cfg($cfg) $($rest)* }
+    };
+}
+
+/// Property-test assertion: on failure the current case fails with the
+/// stringified condition (or a formatted message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Property-test equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {:?} == {:?}", l, r));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    }};
+}
+
+/// Property-test inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err(format!("assertion failed: {:?} != {:?}", l, r));
+        }
+    }};
+}
+
+/// Skips the current case when an assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_stay_in_bounds(n in 3usize..8, v in any::<u8>()) {
+            prop_assert!((3..8).contains(&n));
+            let _ = v;
+        }
+
+        #[test]
+        fn vec_strategy_respects_size(xs in crate::collection::vec(any::<u8>(), 2..5)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 5, "len={}", xs.len());
+        }
+
+        #[test]
+        fn subsequence_preserves_order(
+            xs in crate::sample::subsequence(vec![0usize, 1, 2, 3, 4], 1..5)
+        ) {
+            prop_assert!(xs.windows(2).all(|w| w[0] < w[1]));
+            prop_assume!(!xs.is_empty());
+            prop_assert!(xs[0] <= 4);
+        }
+
+        #[test]
+        fn prop_map_applies(d in (0u64..10).prop_map(|v| v * 2)) {
+            prop_assert_eq!(d % 2, 0);
+            prop_assert_ne!(d, 19);
+        }
+    }
+
+    #[test]
+    fn cases_are_reproducible() {
+        use crate::strategy::Strategy;
+        let s = crate::collection::vec(any::<u64>(), 0..6);
+        let mut a = <crate::__rt::StdRng as crate::__rt::SeedableRng>::seed_from_u64(
+            crate::__rt::test_seed("x", 0),
+        );
+        let mut b = <crate::__rt::StdRng as crate::__rt::SeedableRng>::seed_from_u64(
+            crate::__rt::test_seed("x", 0),
+        );
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+}
