@@ -1,0 +1,252 @@
+//! The `scenario` command-line tool.
+//!
+//! ```text
+//! scenario list
+//! scenario run --suite paper [--seeds N] [--workers N] [--out FILE] [--no-records]
+//! scenario bench [--suite bench64] [--seeds N] [--workers N] [--out FILE]
+//! ```
+//!
+//! `run` prints the suite's deterministic JSON summary to stdout (and
+//! optionally a file): byte-identical across repeated invocations and
+//! worker counts. `bench` times a sweep and records throughput — timing
+//! lives only in the bench output, never in run summaries, so summaries
+//! stay reproducible.
+
+use std::time::Instant;
+
+use crate::json::Json;
+use crate::suites;
+
+/// Entry point; returns the process exit code (0 = all verdicts passed,
+/// 1 = failures, 2 = usage error).
+pub fn main(args: Vec<String>) -> i32 {
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            list();
+            0
+        }
+        Some("run") => match Options::parse(&args[1..], "paper") {
+            Ok(opts) => run(&opts),
+            Err(err) => usage(&err),
+        },
+        Some("bench") => match Options::parse(&args[1..], "bench64") {
+            Ok(opts) => bench(&opts),
+            Err(err) => usage(&err),
+        },
+        Some("--help") | Some("-h") | None => usage("expected a subcommand"),
+        Some(other) => usage(&format!("unknown subcommand: {other}")),
+    }
+}
+
+struct Options {
+    suite: String,
+    seeds: Option<u64>,
+    workers: usize,
+    out: Option<String>,
+    records: bool,
+}
+
+impl Options {
+    fn parse(args: &[String], default_suite: &str) -> Result<Options, String> {
+        let mut opts = Options {
+            suite: default_suite.to_string(),
+            seeds: None,
+            workers: default_workers(),
+            out: None,
+            records: true,
+        };
+        let mut i = 0;
+        while i < args.len() {
+            let take = |i: usize| -> Result<&String, String> {
+                args.get(i + 1)
+                    .ok_or_else(|| format!("{} needs a value", args[i]))
+            };
+            match args[i].as_str() {
+                "--suite" => {
+                    opts.suite = take(i)?.clone();
+                    i += 2;
+                }
+                "--seeds" => {
+                    opts.seeds = Some(
+                        take(i)?
+                            .parse()
+                            .map_err(|_| "--seeds needs an integer".to_string())?,
+                    );
+                    i += 2;
+                }
+                "--workers" => {
+                    opts.workers = take(i)?
+                        .parse()
+                        .map_err(|_| "--workers needs an integer".to_string())?;
+                    if opts.workers == 0 {
+                        return Err("--workers must be positive".into());
+                    }
+                    i += 2;
+                }
+                "--out" => {
+                    opts.out = Some(take(i)?.clone());
+                    i += 2;
+                }
+                "--no-records" => {
+                    opts.records = false;
+                    i += 1;
+                }
+                other => return Err(format!("unknown argument: {other}")),
+            }
+        }
+        Ok(opts)
+    }
+}
+
+/// Worker default: the machine's parallelism, capped — sweeps are CPU
+/// bound and runs are short, so more threads than cores only adds noise.
+fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .clamp(1, 16)
+}
+
+fn usage(err: &str) -> i32 {
+    eprintln!("error: {err}");
+    eprintln!();
+    eprintln!("usage: scenario <list | run | bench> [options]");
+    eprintln!("  list                      show every named suite");
+    eprintln!("  run   --suite NAME        run a suite, print its JSON summary");
+    eprintln!("        [--seeds N]         seeds per scenario (default: suite plan)");
+    eprintln!("        [--workers N]       sweep threads (default: min(cores, 16))");
+    eprintln!("        [--out FILE]        also write the summary to FILE");
+    eprintln!("        [--no-records]      aggregates only, omit per-run records");
+    eprintln!("  bench [--suite NAME]      time a sweep, write throughput JSON");
+    eprintln!("        [--seeds N] [--workers N] [--out FILE (default BENCH_scenarios.json)]");
+    2
+}
+
+fn list() {
+    println!("available suites:");
+    for suite in suites::all() {
+        let n = suite.scenarios().len();
+        println!(
+            "  {:<10} {:>2} scenarios × {} seeds — {}",
+            suite.name, n, suite.default_seeds, suite.description
+        );
+        for scenario in suite.scenarios() {
+            println!("             - {}", scenario.name());
+        }
+    }
+}
+
+fn run(opts: &Options) -> i32 {
+    let Some(suite) = suites::find(&opts.suite) else {
+        return usage(&format!(
+            "unknown suite: {} (try `scenario list`)",
+            opts.suite
+        ));
+    };
+    let summary = suite.run(opts.seeds, opts.workers);
+    let json = summary.to_json(opts.records).render();
+    println!("{json}");
+    if let Some(path) = &opts.out {
+        if let Err(err) = std::fs::write(path, format!("{json}\n")) {
+            eprintln!("error: cannot write {path}: {err}");
+            return 2;
+        }
+    }
+    if summary.all_passed() {
+        0
+    } else {
+        let failures: Vec<String> = summary
+            .records
+            .iter()
+            .filter(|r| !r.verdict.passed())
+            .map(|r| format!("{} (seed {})", r.scenario, r.seed))
+            .collect();
+        eprintln!("verdict failures: {}", failures.join(", "));
+        1
+    }
+}
+
+fn bench(opts: &Options) -> i32 {
+    let Some(suite) = suites::find(&opts.suite) else {
+        return usage(&format!(
+            "unknown suite: {} (try `scenario list`)",
+            opts.suite
+        ));
+    };
+    let start = Instant::now();
+    let summary = suite.run(opts.seeds, opts.workers);
+    let elapsed = start.elapsed().as_secs_f64();
+    let runs = summary.runs();
+    let json = Json::obj(vec![
+        ("suite", Json::str(suite.name)),
+        ("runs", Json::Uint(runs)),
+        ("workers", Json::Uint(opts.workers as u64)),
+        ("elapsed_s", Json::Num(elapsed)),
+        ("runs_per_sec", Json::Num(runs as f64 / elapsed.max(1e-9))),
+        ("all_passed", Json::Bool(summary.all_passed())),
+    ])
+    .render();
+    println!("{json}");
+    let path = opts.out.as_deref().unwrap_or("BENCH_scenarios.json");
+    if let Err(err) = std::fs::write(path, format!("{json}\n")) {
+        eprintln!("error: cannot write {path}: {err}");
+        return 2;
+    }
+    eprintln!("wrote {path}");
+    i32::from(!summary.all_passed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_full_option_set() {
+        let opts = Options::parse(
+            &args(&[
+                "--suite",
+                "smoke",
+                "--seeds",
+                "5",
+                "--workers",
+                "3",
+                "--out",
+                "x.json",
+                "--no-records",
+            ]),
+            "paper",
+        )
+        .unwrap();
+        assert_eq!(opts.suite, "smoke");
+        assert_eq!(opts.seeds, Some(5));
+        assert_eq!(opts.workers, 3);
+        assert_eq!(opts.out.as_deref(), Some("x.json"));
+        assert!(!opts.records);
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(Options::parse(&args(&["--seeds"]), "paper").is_err());
+        assert!(Options::parse(&args(&["--workers", "0"]), "paper").is_err());
+        assert!(Options::parse(&args(&["--frobnicate"]), "paper").is_err());
+    }
+
+    #[test]
+    fn defaults_follow_subcommand() {
+        let opts = Options::parse(&[], "bench64").unwrap();
+        assert_eq!(opts.suite, "bench64");
+        assert_eq!(opts.seeds, None);
+        assert!(opts.records);
+        assert!(opts.workers >= 1);
+    }
+
+    #[test]
+    fn unknown_suite_is_usage_error() {
+        let code = main(args(&["run", "--suite", "no-such-suite"]));
+        assert_eq!(code, 2);
+    }
+}

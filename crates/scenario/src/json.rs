@@ -1,0 +1,153 @@
+//! A minimal, deterministic JSON emitter.
+//!
+//! The sweep engine's summaries must be **byte-identical** across repeated
+//! runs, worker counts and process invocations, so serialization avoids
+//! anything with ambient nondeterminism: no hash maps, no timestamps, no
+//! locale-sensitive formatting. Numbers render through Rust's shortest
+//! round-trip float formatting (stable across platforms for the same
+//! value); object keys appear in the order the caller wrote them.
+
+use std::fmt::Write as _;
+
+/// A JSON value assembled by the summary writers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Integers stay integers (no trailing `.0`).
+    Int(i64),
+    /// Unsigned counters (message counts can exceed `i64::MAX` in theory).
+    Uint(u64),
+    /// Finite floats; non-finite values serialize as `null` per JSON.
+    Num(f64),
+    /// A string (escaped on write).
+    Str(String),
+    /// An ordered array.
+    Arr(Vec<Json>),
+    /// An ordered object — **insertion order is the serialization order**.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for strings.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Convenience constructor for objects.
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Serializes compactly (no whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Uint(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Json::Num(x) => {
+                if x.is_finite() {
+                    let _ = write!(out, "{x}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::Bool(true).render(), "true");
+        assert_eq!(Json::Int(-3).render(), "-3");
+        assert_eq!(Json::Uint(u64::MAX).render(), "18446744073709551615");
+        assert_eq!(Json::Num(1.5).render(), "1.5");
+        assert_eq!(Json::Num(2.0).render(), "2");
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+    }
+
+    #[test]
+    fn strings_escape() {
+        assert_eq!(Json::str("a\"b\\c\n").render(), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(Json::str("\u{1}").render(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn containers_preserve_order() {
+        let v = Json::obj(vec![
+            ("z", Json::Int(1)),
+            ("a", Json::Arr(vec![Json::Int(2), Json::Null])),
+        ]);
+        assert_eq!(v.render(), "{\"z\":1,\"a\":[2,null]}");
+    }
+
+    #[test]
+    fn rendering_is_reproducible() {
+        let v = Json::obj(vec![("x", Json::Num(0.1 + 0.2))]);
+        assert_eq!(v.render(), v.render());
+    }
+}

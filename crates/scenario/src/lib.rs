@@ -1,0 +1,98 @@
+//! # ga-scenario — declarative scenarios and a deterministic sweep engine
+//!
+//! The paper's claims are statements over *families* of executions:
+//! topologies × adversary mixes × fault schedules × churn × seeds. This
+//! crate turns "run the protocol under environment X and check claim Y"
+//! into data:
+//!
+//! * [`ScenarioSpec`](spec::ScenarioSpec) — a builder-style description of
+//!   a simulator execution family: topology family, delivery model,
+//!   adversary/colluder placement, a churn/fault
+//!   [`Schedule`](ga_simnet::schedule::Schedule), the protocol under test
+//!   and stop/verdict predicates. [`run(seed)`](spec::ScenarioSpec::run)
+//!   is a pure function of the seed.
+//! * [`sweep`] — fans scenarios out over seed ranges and
+//!   [`ParamGrid`](sweep::ParamGrid)s across `std::thread::scope` workers.
+//!   Each run derives all randomness from its seed and lands in its own
+//!   result slot, so aggregated [`SweepSummary`](sweep::SweepSummary) JSON
+//!   is **byte-identical at any worker count**.
+//! * [`suites`] — named suites for the `scenario` CLI: `paper` (the e1–e8
+//!   experiment ports, see [`ports`]), `examples`, `smoke`, `bench64`.
+//!
+//! ## Quickstart
+//!
+//! Flood a lossy ring and check the observed drop rate tracks the model:
+//!
+//! ```
+//! use ga_scenario::prelude::*;
+//!
+//! let spec = ScenarioSpec::new(
+//!     "lossy_ring",
+//!     TopologyFamily::Ring(8),
+//!     |_id, _n| Box::new(Flood::default()) as Box<dyn Process>,
+//! )
+//! .delivery(Delivery::Lossy { p: 0.25 })
+//! .max_rounds(40)
+//! .verdict(|_sim, record| {
+//!     Verdict::check(
+//!         (record.messages.lossy_drop_rate - 0.25).abs() < 0.2,
+//!         "drop rate should track p",
+//!     )
+//! });
+//!
+//! // One run is a pure function of the seed…
+//! let record = spec.run(7);
+//! assert!(record.verdict.passed());
+//! assert_eq!(record, spec.run(7));
+//!
+//! // …and a sweep aggregates many runs deterministically: the JSON is
+//! // byte-identical no matter how many workers execute it.
+//! let scenarios: Vec<std::sync::Arc<dyn Scenario>> = vec![std::sync::Arc::new(spec)];
+//! let summary = sweep("demo", &scenarios, 0..8, 4);
+//! assert_eq!(summary.runs(), 8);
+//! assert_eq!(
+//!     summary.to_json(true).render(),
+//!     sweep("demo", &scenarios, 0..8, 1).to_json(true).render(),
+//! );
+//! ```
+//!
+//! Churn and faults are data too — a hub outage with recovery:
+//!
+//! ```
+//! use ga_scenario::prelude::*;
+//!
+//! let spec = ScenarioSpec::new(
+//!     "hub_outage",
+//!     TopologyFamily::Star(6),
+//!     |id, _n| Box::new(MaxGossip::new(id.index() as u64)) as Box<dyn Process>,
+//! )
+//! .schedule(
+//!     Schedule::new()
+//!         .at(2, ScheduledAction::Disconnect(ProcessId(0)))
+//!         .at(6, ScheduledAction::Reconnect(ProcessId(0), (1..6).map(ProcessId).collect())),
+//! )
+//! .max_rounds(20)
+//! .stop_when(|sim| ga_scenario::workload::gossip_agreed(sim, 0..6));
+//!
+//! assert!(spec.run(0).stopped_at.is_some(), "gossip survives the outage");
+//! ```
+
+pub mod cli;
+pub mod json;
+pub mod ports;
+pub mod record;
+pub mod spec;
+pub mod suites;
+pub mod sweep;
+pub mod workload;
+
+/// Convenient glob import for scenario authors.
+pub mod prelude {
+    pub use crate::record::{FnScenario, MessageStats, RunRecord, Scenario, Verdict};
+    pub use crate::spec::{Role, ScenarioSpec, TopologyFamily};
+    pub use crate::suites::Suite;
+    pub use crate::sweep::{expand_grid, sweep, MetricAgg, ParamGrid, SweepSummary};
+    pub use crate::workload::{Flood, MaxGossip};
+    pub use ga_simnet::prelude::*;
+    pub use ga_simnet::sim::Delivery;
+}

@@ -1,0 +1,433 @@
+//! The declarative, simulator-backed [`ScenarioSpec`].
+//!
+//! A spec composes everything a simnet execution family needs — topology
+//! family, delivery model, adversary/colluder placement, a churn/fault
+//! [`Schedule`], the protocol under test, and stop/verdict predicates —
+//! into one `Clone + Send + Sync` value. [`ScenarioSpec::run`] is a pure
+//! function of `(spec, seed)`, which is what lets the sweep engine fan a
+//! spec out across threads and still produce byte-identical aggregates.
+
+use std::sync::Arc;
+
+use ga_simnet::adversary::{ByzantineProcess, Equivocator, RandomNoise, Silent};
+use ga_simnet::colluding::Cabal;
+use ga_simnet::prelude::*;
+use ga_simnet::rng::labeled_rng;
+use ga_simnet::sim::Delivery;
+
+use crate::record::{MessageStats, RunRecord, Verdict};
+
+/// A family of communication graphs, instantiated per run.
+///
+/// Randomized families derive their graph from the run seed, so two runs
+/// of the same spec at the same seed see the same wires.
+#[derive(Debug, Clone)]
+pub enum TopologyFamily {
+    /// `Topology::complete(n)`.
+    Complete(usize),
+    /// `Topology::ring(n)`.
+    Ring(usize),
+    /// `Topology::star(n)` — hub is processor 0.
+    Star(usize),
+    /// `Topology::grid(w, h)`.
+    Grid(usize, usize),
+    /// `Topology::random_k_connected(n, k, extra_p)`, seeded per run.
+    RandomK {
+        /// Processors.
+        n: usize,
+        /// Minimum degree / backbone connectivity.
+        k: usize,
+        /// Extra-edge probability.
+        extra_p: f64,
+    },
+    /// Explicit edge list.
+    Edges {
+        /// Processors.
+        n: usize,
+        /// Undirected edges.
+        edges: Vec<(usize, usize)>,
+    },
+}
+
+impl TopologyFamily {
+    /// Number of processors every instance of the family has.
+    pub fn len(&self) -> usize {
+        match self {
+            TopologyFamily::Complete(n)
+            | TopologyFamily::Ring(n)
+            | TopologyFamily::Star(n)
+            | TopologyFamily::RandomK { n, .. }
+            | TopologyFamily::Edges { n, .. } => *n,
+            TopologyFamily::Grid(w, h) => w * h,
+        }
+    }
+
+    /// Whether the family is empty (never, by constructor contracts).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Instantiates the graph for one run.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid parameters (same contracts as the underlying
+    /// [`Topology`] constructors).
+    pub fn build(&self, seed: u64) -> Topology {
+        match self {
+            TopologyFamily::Complete(n) => Topology::complete(*n),
+            TopologyFamily::Ring(n) => Topology::ring(*n),
+            TopologyFamily::Star(n) => Topology::star(*n),
+            TopologyFamily::Grid(w, h) => Topology::grid(*w, *h),
+            TopologyFamily::RandomK { n, k, extra_p } => {
+                let mut rng = labeled_rng(seed, "scenario-topology");
+                Topology::random_k_connected(*n, *k, *extra_p, &mut rng)
+            }
+            TopologyFamily::Edges { n, edges } => {
+                Topology::from_edges(*n, edges).expect("spec edge list is valid")
+            }
+        }
+    }
+}
+
+/// A Byzantine role assigned to a processor by the spec.
+#[derive(Debug, Clone)]
+pub enum Role {
+    /// Crash/omission: never sends.
+    Silent,
+    /// Random byte strings every round.
+    Noise {
+        /// Maximum payload length (exclusive).
+        max_len: usize,
+    },
+    /// Different fixed payloads to even/odd neighbors.
+    Equivocator {
+        /// Payload for even-indexed neighbors.
+        a: Vec<u8>,
+        /// Payload for odd-indexed neighbors.
+        b: Vec<u8>,
+    },
+    /// Member of the run's shared [`Cabal`]: all colluders broadcast one
+    /// coordinated per-round lie.
+    Colluder,
+}
+
+type ProtocolFactory = Arc<dyn Fn(ProcessId, usize) -> Box<dyn Process> + Send + Sync>;
+type StopPredicate = Arc<dyn Fn(&Simulation) -> bool + Send + Sync>;
+type VerdictFn = Arc<dyn Fn(&Simulation, &RunRecord) -> Verdict + Send + Sync>;
+type ProbeFn = Arc<dyn Fn(&Simulation, &mut RunRecord) + Send + Sync>;
+
+/// A declarative description of a family of simulator executions.
+///
+/// Built with chained setters; executed with [`run`](ScenarioSpec::run).
+/// See the crate docs for a complete example.
+#[derive(Clone)]
+pub struct ScenarioSpec {
+    name: String,
+    topology: TopologyFamily,
+    delivery: Delivery,
+    placements: Vec<(usize, Role)>,
+    schedule: Schedule,
+    max_rounds: u64,
+    protocol: ProtocolFactory,
+    stop: Option<StopPredicate>,
+    verdict: Option<VerdictFn>,
+    probe: Option<ProbeFn>,
+}
+
+impl std::fmt::Debug for ScenarioSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScenarioSpec")
+            .field("name", &self.name)
+            .field("topology", &self.topology)
+            .field("delivery", &self.delivery)
+            .field("placements", &self.placements)
+            .field("max_rounds", &self.max_rounds)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ScenarioSpec {
+    /// Starts a spec: `name`, the graph family, and the protocol factory
+    /// (called once per honest processor per run).
+    pub fn new(
+        name: impl Into<String>,
+        topology: TopologyFamily,
+        protocol: impl Fn(ProcessId, usize) -> Box<dyn Process> + Send + Sync + 'static,
+    ) -> ScenarioSpec {
+        ScenarioSpec {
+            name: name.into(),
+            topology,
+            delivery: Delivery::Reliable,
+            placements: Vec::new(),
+            schedule: Schedule::new(),
+            max_rounds: 100,
+            protocol: Arc::new(protocol),
+            stop: None,
+            verdict: None,
+            probe: None,
+        }
+    }
+
+    /// The spec's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the spec (used when a sweep stamps parameter values into
+    /// scenario names).
+    #[must_use]
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Sets the delivery model (default reliable).
+    #[must_use]
+    pub fn delivery(mut self, delivery: Delivery) -> Self {
+        self.delivery = delivery;
+        self
+    }
+
+    /// Assigns a Byzantine `role` to processor `id`.
+    #[must_use]
+    pub fn adversary(mut self, id: usize, role: Role) -> Self {
+        self.placements.push((id, role));
+        self
+    }
+
+    /// Assigns [`Role::Colluder`] to every listed processor (they share
+    /// one cabal per run).
+    #[must_use]
+    pub fn colluders(mut self, ids: impl IntoIterator<Item = usize>) -> Self {
+        for id in ids {
+            self.placements.push((id, Role::Colluder));
+        }
+        self
+    }
+
+    /// Attaches the churn/fault schedule.
+    #[must_use]
+    pub fn schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Sets the round budget (default 100).
+    #[must_use]
+    pub fn max_rounds(mut self, rounds: u64) -> Self {
+        self.max_rounds = rounds;
+        self
+    }
+
+    /// Sets a stop predicate: the run ends as soon as it holds (checked
+    /// before every pulse), recording the round in
+    /// [`RunRecord::stopped_at`].
+    #[must_use]
+    pub fn stop_when(mut self, stop: impl Fn(&Simulation) -> bool + Send + Sync + 'static) -> Self {
+        self.stop = Some(Arc::new(stop));
+        self
+    }
+
+    /// Sets the verdict predicate, evaluated on the final state (the
+    /// record already carries rounds/stop/trace data and probe metrics).
+    #[must_use]
+    pub fn verdict(
+        mut self,
+        verdict: impl Fn(&Simulation, &RunRecord) -> Verdict + Send + Sync + 'static,
+    ) -> Self {
+        self.verdict = Some(Arc::new(verdict));
+        self
+    }
+
+    /// Sets a probe that extracts extra metrics from the final state
+    /// (runs before the verdict predicate).
+    #[must_use]
+    pub fn probe(
+        mut self,
+        probe: impl Fn(&Simulation, &mut RunRecord) + Send + Sync + 'static,
+    ) -> Self {
+        self.probe = Some(Arc::new(probe));
+        self
+    }
+
+    /// Number of processors per run.
+    pub fn n(&self) -> usize {
+        self.topology.len()
+    }
+
+    fn role_process(role: &Role, cabal: &Cabal) -> Box<dyn Process> {
+        match role {
+            Role::Silent => Box::new(ByzantineProcess::new(Box::new(Silent))),
+            Role::Noise { max_len } => Box::new(ByzantineProcess::new(Box::new(RandomNoise {
+                max_len: *max_len,
+            }))),
+            Role::Equivocator { a, b } => Box::new(ByzantineProcess::new(Box::new(Equivocator {
+                payload_a: a.clone().into(),
+                payload_b: b.clone().into(),
+            }))),
+            Role::Colluder => Box::new(cabal.member()),
+        }
+    }
+
+    /// Executes one run at `seed`. Pure: equal seeds give equal records.
+    pub fn run(&self, seed: u64) -> RunRecord {
+        let topology = self.topology.build(seed);
+        let n = topology.len();
+        let cabal = Cabal::new();
+        let mut sim = Simulation::builder(topology)
+            .seed(seed)
+            .delivery(self.delivery)
+            .schedule(self.schedule.clone())
+            .build_with(
+                |id| match self.placements.iter().find(|(byz, _)| *byz == id.index()) {
+                    Some((_, role)) => Self::role_process(role, &cabal),
+                    None => (self.protocol)(id, n),
+                },
+            );
+
+        let mut record = RunRecord::new(self.name.clone(), seed);
+        match &self.stop {
+            Some(stop) => {
+                record.stopped_at = sim.run_until(self.max_rounds, |s| stop(s));
+            }
+            None => sim.run(self.max_rounds),
+        }
+        record.rounds = sim.round().value();
+        record.messages = MessageStats::from_trace(sim.trace());
+        if let Some(probe) = &self.probe {
+            probe(&sim, &mut record);
+        }
+        record.verdict = match &self.verdict {
+            Some(verdict) => verdict(&sim, &record),
+            None => Verdict::Pass,
+        };
+        record
+    }
+}
+
+impl crate::record::Scenario for ScenarioSpec {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn run(&self, seed: u64) -> RunRecord {
+        ScenarioSpec::run(self, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Flood;
+
+    fn flood_spec(topology: TopologyFamily) -> ScenarioSpec {
+        ScenarioSpec::new("flood", topology, |_, _| Box::new(Flood::default())).max_rounds(10)
+    }
+
+    #[test]
+    fn same_seed_same_record() {
+        let spec = flood_spec(TopologyFamily::RandomK {
+            n: 12,
+            k: 4,
+            extra_p: 0.2,
+        })
+        .delivery(Delivery::Lossy { p: 0.3 });
+        assert_eq!(spec.run(5), spec.run(5));
+        assert_ne!(
+            spec.run(5).messages,
+            spec.run(6).messages,
+            "different seeds give different lossy traces"
+        );
+    }
+
+    #[test]
+    fn topology_families_build() {
+        for family in [
+            TopologyFamily::Complete(4),
+            TopologyFamily::Ring(5),
+            TopologyFamily::Star(4),
+            TopologyFamily::Grid(3, 2),
+            TopologyFamily::RandomK {
+                n: 8,
+                k: 3,
+                extra_p: 0.1,
+            },
+            TopologyFamily::Edges {
+                n: 3,
+                edges: vec![(0, 1), (1, 2)],
+            },
+        ] {
+            let n = family.len();
+            assert!(!family.is_empty());
+            let t = family.build(1);
+            assert_eq!(t.len(), n);
+            assert!(t.is_connected());
+        }
+    }
+
+    #[test]
+    fn adversaries_and_schedule_shape_the_run() {
+        // Complete(5) with a silent processor: everyone else hears 3 per
+        // round instead of 4.
+        let spec = flood_spec(TopologyFamily::Complete(5))
+            .adversary(4, Role::Silent)
+            .probe(|sim, record| {
+                let heard = sim
+                    .process_as::<Flood>(ProcessId(0))
+                    .map(|f| f.heard)
+                    .unwrap_or(0);
+                record.metric("p0_heard", heard as f64);
+            });
+        let r = spec.run(0);
+        // 9 full delivery rounds × 3 speaking neighbors.
+        assert_eq!(r.get_metric("p0_heard"), Some(27.0));
+
+        // Disconnecting the silent node instead changes nothing for p0.
+        let spec2 = flood_spec(TopologyFamily::Complete(5))
+            .adversary(4, Role::Silent)
+            .schedule(Schedule::new().at(0, ScheduledAction::Disconnect(ProcessId(4))))
+            .probe(|sim, record| {
+                let heard = sim
+                    .process_as::<Flood>(ProcessId(0))
+                    .map(|f| f.heard)
+                    .unwrap_or(0);
+                record.metric("p0_heard", heard as f64);
+            });
+        assert_eq!(spec2.run(0).get_metric("p0_heard"), Some(27.0));
+    }
+
+    #[test]
+    fn stop_predicate_records_round() {
+        let spec = flood_spec(TopologyFamily::Complete(3))
+            .max_rounds(50)
+            .stop_when(|sim| {
+                sim.process_as::<Flood>(ProcessId(0))
+                    .map(|f| f.heard >= 4)
+                    .unwrap_or(false)
+            });
+        let r = spec.run(0);
+        assert_eq!(r.stopped_at, Some(3), "2 msgs/round from round 1 on");
+        assert_eq!(r.rounds, 3);
+    }
+
+    #[test]
+    fn colluders_share_one_lie() {
+        let spec = flood_spec(TopologyFamily::Complete(4))
+            .colluders([2, 3])
+            .max_rounds(4)
+            .probe(|sim, record| {
+                record.metric("delivered", sim.trace().messages_delivered as f64);
+            });
+        let r = spec.run(3);
+        assert!(r.verdict.passed());
+        assert!(r.messages.delivered > 0);
+    }
+
+    #[test]
+    fn verdict_failure_is_reported() {
+        let spec = flood_spec(TopologyFamily::Ring(4))
+            .verdict(|_, record| Verdict::check(record.rounds > 100, "too few rounds"));
+        assert_eq!(spec.run(0).verdict, Verdict::Fail("too few rounds".into()));
+    }
+}

@@ -1,0 +1,351 @@
+//! Named scenario suites: the registry behind `scenario list` / `scenario
+//! run --suite <name>`.
+//!
+//! * **paper** — the e1–e8 experiment ports (see [`crate::ports`]).
+//! * **examples** — ports of the repository's `examples/` walkthroughs.
+//! * **smoke** — fast simulator-backed specs exercising every declarative
+//!   axis: topology families, lossy delivery, adversaries, colluders,
+//!   churn schedules and transient faults. Wired into `scripts/tier1.sh`.
+//! * **bench64** — 64-processor workloads used by
+//!   `scripts/bench_scenarios.sh` to track sweep throughput.
+
+use std::sync::Arc;
+
+use ga_simnet::prelude::*;
+use ga_simnet::sim::Delivery;
+
+use crate::ports;
+use crate::record::{Scenario, Verdict};
+use crate::spec::{Role, ScenarioSpec, TopologyFamily};
+use crate::sweep::{self, ParamGrid, SweepSummary};
+use crate::workload::{gossip_agreed, Flood, MaxGossip};
+
+/// A named, described set of scenarios with a default seed plan.
+#[derive(Clone)]
+pub struct Suite {
+    /// Registry name (`scenario run --suite <name>`).
+    pub name: &'static str,
+    /// One-line description for `scenario list`.
+    pub description: &'static str,
+    /// First seed of the default range.
+    pub seed_base: u64,
+    /// Default number of seeds per scenario.
+    pub default_seeds: u64,
+    build: fn() -> Vec<Arc<dyn Scenario>>,
+}
+
+impl Suite {
+    /// Instantiates the suite's scenarios.
+    pub fn scenarios(&self) -> Vec<Arc<dyn Scenario>> {
+        (self.build)()
+    }
+
+    /// Runs the suite over `seeds` seeds (default plan if `None`) on
+    /// `workers` threads.
+    pub fn run(&self, seeds: Option<u64>, workers: usize) -> SweepSummary {
+        let count = seeds.unwrap_or(self.default_seeds).max(1);
+        sweep::sweep(
+            self.name,
+            &self.scenarios(),
+            self.seed_base..self.seed_base + count,
+            workers,
+        )
+    }
+}
+
+/// Every registered suite.
+pub fn all() -> Vec<Suite> {
+    vec![
+        Suite {
+            name: "paper",
+            description: "e1-e8 experiment ports: every figure/theorem artifact as a verdict",
+            seed_base: 2010,
+            default_seeds: 2,
+            build: paper,
+        },
+        Suite {
+            name: "examples",
+            description: "ports of the examples/ walkthroughs (quickstart, audit, consortium)",
+            seed_base: 2010,
+            default_seeds: 2,
+            build: examples,
+        },
+        Suite {
+            name: "smoke",
+            description: "fast simulator specs covering every declarative axis (tier-1 gate)",
+            seed_base: 0,
+            default_seeds: 3,
+            build: smoke,
+        },
+        Suite {
+            name: "bench64",
+            description: "64-processor sweep workloads for throughput tracking",
+            seed_base: 0,
+            default_seeds: 16,
+            build: bench64,
+        },
+    ]
+}
+
+/// Looks a suite up by name.
+pub fn find(name: &str) -> Option<Suite> {
+    all().into_iter().find(|s| s.name == name)
+}
+
+fn paper() -> Vec<Arc<dyn Scenario>> {
+    vec![
+        ports::e1_fig1_port(),
+        ports::e2_pom_port(),
+        ports::e3_rra_port(),
+        ports::e4_ssba_port(),
+        ports::e5_virus_port(),
+        ports::e6_overhead_port(),
+        ports::e7_dynamics_port(),
+        ports::e8_cadence_port(),
+    ]
+}
+
+fn examples() -> Vec<Arc<dyn Scenario>> {
+    vec![
+        ports::quickstart_port(),
+        ports::manipulation_audit_port(),
+        ports::rra_consortium_port(),
+    ]
+}
+
+fn gossip(id: ProcessId, _n: usize) -> Box<dyn Process> {
+    Box::new(MaxGossip::new(id.index() as u64))
+}
+
+fn flood(_id: ProcessId, _n: usize) -> Box<dyn Process> {
+    Box::new(Flood::default())
+}
+
+fn smoke() -> Vec<Arc<dyn Scenario>> {
+    let mut scenarios: Vec<Arc<dyn Scenario>> = Vec::new();
+
+    // Reliable flood on a complete graph: exact delivery accounting.
+    scenarios.push(Arc::new(
+        ScenarioSpec::new("smoke_flood_complete", TopologyFamily::Complete(8), flood)
+            .max_rounds(20)
+            .verdict(|_, r| {
+                Verdict::check(
+                    r.messages.delivered == 8 * 7 * 20 && r.messages.dropped_lossy == 0,
+                    "complete reliable flood must deliver degree × rounds",
+                )
+            }),
+    ));
+
+    // Lossy ring, swept over the drop probability via a parameter grid:
+    // the observed drop rate must track the configured one.
+    scenarios.extend(sweep::expand_grid(
+        "smoke_lossy_ring",
+        &ParamGrid::new().axis("p", [0.1, 0.3]),
+        |point| {
+            let p = point[0].1;
+            ScenarioSpec::new("smoke_lossy_ring", TopologyFamily::Ring(12), flood)
+                .delivery(Delivery::Lossy { p })
+                .max_rounds(40)
+                .verdict(move |_, r| {
+                    Verdict::check(
+                        (r.messages.lossy_drop_rate - p).abs() < 0.15
+                            && r.messages.dropped_lossy > 0,
+                        "observed drop rate should track the configured p",
+                    )
+                })
+        },
+    ));
+
+    // Star churn: the hub dies at round 3 and recovers at round 8; gossip
+    // must still reach the fixpoint before the budget.
+    scenarios.push(Arc::new(
+        ScenarioSpec::new("smoke_star_hub_churn", TopologyFamily::Star(9), gossip)
+            .schedule(
+                Schedule::new()
+                    .at(3, ScheduledAction::Disconnect(ProcessId(0)))
+                    .at(
+                        8,
+                        ScheduledAction::Reconnect(ProcessId(0), (1..9).map(ProcessId).collect()),
+                    ),
+            )
+            .max_rounds(24)
+            .stop_when(|sim| {
+                gossip_agreed(sim, 0..9)
+                    && sim
+                        .process_as::<MaxGossip>(ProcessId(0))
+                        .map(|p| p.current == 8)
+                        .unwrap_or(false)
+            })
+            .verdict(|_, r| {
+                Verdict::check(
+                    r.stopped_at.is_some(),
+                    "gossip should reach the fixpoint after the hub recovers",
+                )
+            }),
+    ));
+
+    // Grid with a mid-run total transient fault: self-stabilization means
+    // the gossipers re-agree afterwards, and the fault's channel wipe is
+    // visible in the drop accounting.
+    scenarios.push(Arc::new(
+        ScenarioSpec::new(
+            "smoke_grid_fault_recovery",
+            TopologyFamily::Grid(4, 4),
+            gossip,
+        )
+        .schedule(Schedule::new().at(6, ScheduledAction::Inject(TransientFault::total(16, 1))))
+        .max_rounds(40)
+        .verdict(|sim, r| {
+            Verdict::check(
+                gossip_agreed(sim, 0..16),
+                "gossip must re-agree after the fault",
+            )
+            .and(Verdict::check(
+                r.messages.dropped_fault > 0,
+                "the fault's channel wipe should be accounted",
+            ))
+        }),
+    ));
+
+    // Colluders whose coordinated 9-byte lies never decode: honest
+    // gossipers must ignore them and agree on the honest maximum.
+    scenarios.push(Arc::new(
+        ScenarioSpec::new("smoke_colluders", TopologyFamily::Complete(7), gossip)
+            .colluders([5, 6])
+            .max_rounds(10)
+            .verdict(|sim, _| {
+                let honest_max = sim.process_as::<MaxGossip>(ProcessId(0)).map(|p| p.current);
+                Verdict::check(
+                    gossip_agreed(sim, 0..5) && honest_max == Some(4),
+                    "honest gossipers should agree on the honest maximum",
+                )
+            }),
+    ));
+
+    // A well-formed equivocator: different lies to even/odd neighbors.
+    // Max-gossip absorbs the disagreement — everyone converges to the
+    // larger lie.
+    scenarios.push(Arc::new(
+        ScenarioSpec::new("smoke_equivocator", TopologyFamily::Complete(6), gossip)
+            .adversary(
+                5,
+                Role::Equivocator {
+                    a: MaxGossip::encode(100),
+                    b: MaxGossip::encode(200),
+                },
+            )
+            .max_rounds(10)
+            .verdict(|sim, _| {
+                let v = sim.process_as::<MaxGossip>(ProcessId(0)).map(|p| p.current);
+                Verdict::check(
+                    gossip_agreed(sim, 0..5) && v == Some(200),
+                    "gossip should converge on the equivocator's larger lie",
+                )
+            }),
+    ));
+
+    scenarios
+}
+
+fn bench64() -> Vec<Arc<dyn Scenario>> {
+    vec![
+        Arc::new(
+            ScenarioSpec::new(
+                "bench_flood_complete64",
+                TopologyFamily::Complete(64),
+                flood,
+            )
+            .max_rounds(30),
+        ),
+        Arc::new(
+            ScenarioSpec::new(
+                "bench_lossy_random64",
+                TopologyFamily::RandomK {
+                    n: 64,
+                    k: 8,
+                    extra_p: 0.05,
+                },
+                gossip,
+            )
+            .delivery(Delivery::Lossy { p: 0.1 })
+            .max_rounds(30),
+        ),
+        Arc::new(
+            ScenarioSpec::new("bench_star_churn64", TopologyFamily::Star(64), gossip)
+                .schedule(
+                    Schedule::new()
+                        .at(5, ScheduledAction::Disconnect(ProcessId(0)))
+                        .at(
+                            15,
+                            ScheduledAction::Reconnect(
+                                ProcessId(0),
+                                (1..64).map(ProcessId).collect(),
+                            ),
+                        ),
+                )
+                .max_rounds(30),
+        ),
+        Arc::new(
+            ScenarioSpec::new("bench_grid_fault64", TopologyFamily::Grid(8, 8), gossip)
+                .schedule(
+                    Schedule::new().at(10, ScheduledAction::Inject(TransientFault::total(64, 2))),
+                )
+                .max_rounds(30),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_finds_every_suite() {
+        for suite in all() {
+            assert!(find(suite.name).is_some());
+            assert!(!suite.scenarios().is_empty());
+        }
+        assert!(find("nonsense").is_none());
+    }
+
+    #[test]
+    fn paper_suite_has_all_eight_ports() {
+        let names: Vec<String> = find("paper")
+            .unwrap()
+            .scenarios()
+            .iter()
+            .map(|s| s.name().to_string())
+            .collect();
+        assert_eq!(names.len(), 8);
+        for e in 1..=8 {
+            assert!(
+                names.iter().any(|n| n.starts_with(&format!("e{e}_"))),
+                "missing e{e} port in {names:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn smoke_suite_passes_at_default_plan() {
+        let summary = find("smoke").unwrap().run(None, 4);
+        assert!(
+            summary.all_passed(),
+            "smoke failures: {:?}",
+            summary
+                .records
+                .iter()
+                .filter(|r| !r.verdict.passed())
+                .map(|r| (&r.scenario, r.seed, &r.verdict))
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(summary.runs(), 7 * 3, "7 scenarios × 3 seeds");
+    }
+
+    #[test]
+    fn bench64_runs_one_seed() {
+        let summary = find("bench64").unwrap().run(Some(1), 4);
+        assert_eq!(summary.runs(), 4);
+        assert!(summary.all_passed());
+        assert!(summary.records[0].messages.delivered > 0);
+    }
+}

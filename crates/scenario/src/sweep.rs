@@ -1,0 +1,478 @@
+//! The deterministic parallel sweep engine.
+//!
+//! A sweep fans scenarios out over seed ranges (and, via [`ParamGrid`],
+//! parameter grids) across `std::thread::scope` workers. Determinism is
+//! structural, not incidental:
+//!
+//! * every job is a pure function of `(scenario, seed)` — scenarios derive
+//!   all randomness from the seed;
+//! * jobs are enumerated in a fixed order and each worker writes its
+//!   result into the job's own slot, so the record vector is independent
+//!   of which worker ran what and of completion order;
+//! * aggregation folds records in job order, fixing float summation order.
+//!
+//! Consequently the summary JSON is **byte-identical** at any worker
+//! count and across process invocations — verified by
+//! `tests/determinism.rs` and re-checked by `scripts/tier1.sh`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::json::Json;
+use crate::record::{RunRecord, Scenario};
+
+/// A parameter grid: named axes, swept as a cartesian product in axis
+/// order (first axis outermost).
+#[derive(Debug, Clone, Default)]
+pub struct ParamGrid {
+    axes: Vec<(String, Vec<f64>)>,
+}
+
+impl ParamGrid {
+    /// An empty grid (one point with no parameters).
+    pub fn new() -> ParamGrid {
+        ParamGrid::default()
+    }
+
+    /// Adds an axis (builder-style).
+    #[must_use]
+    pub fn axis(mut self, name: impl Into<String>, values: impl Into<Vec<f64>>) -> ParamGrid {
+        self.axes.push((name.into(), values.into()));
+        self
+    }
+
+    /// Enumerates every grid point in deterministic order.
+    pub fn points(&self) -> Vec<Vec<(String, f64)>> {
+        let mut points: Vec<Vec<(String, f64)>> = vec![Vec::new()];
+        for (name, values) in &self.axes {
+            points = points
+                .into_iter()
+                .flat_map(|point| {
+                    values.iter().map(move |&v| {
+                        let mut p = point.clone();
+                        p.push((name.clone(), v));
+                        p
+                    })
+                })
+                .collect();
+        }
+        points
+    }
+}
+
+/// Expands `grid` × `make` into one scenario per grid point, with the
+/// point's values stamped into the scenario name (`base[k=v,...]`) and
+/// into every record's `params`.
+pub fn expand_grid<S: Scenario + 'static>(
+    base: &str,
+    grid: &ParamGrid,
+    make: impl Fn(&[(String, f64)]) -> S,
+) -> Vec<Arc<dyn Scenario>> {
+    grid.points()
+        .into_iter()
+        .map(|point| {
+            let inner = make(&point);
+            Arc::new(GridPoint {
+                name: grid_point_name(base, &point),
+                params: point,
+                inner,
+            }) as Arc<dyn Scenario>
+        })
+        .collect()
+}
+
+fn grid_point_name(base: &str, point: &[(String, f64)]) -> String {
+    if point.is_empty() {
+        return base.to_string();
+    }
+    let params: Vec<String> = point.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    format!("{base}[{}]", params.join(","))
+}
+
+/// A scenario bound to one grid point.
+struct GridPoint<S: Scenario> {
+    name: String,
+    params: Vec<(String, f64)>,
+    inner: S,
+}
+
+impl<S: Scenario> Scenario for GridPoint<S> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn run(&self, seed: u64) -> RunRecord {
+        let mut record = self.inner.run(seed);
+        record.scenario = self.name.clone();
+        record.params = self.params.clone();
+        record
+    }
+}
+
+/// One unit of sweep work.
+#[derive(Clone)]
+pub struct Job {
+    /// The scenario to run.
+    pub scenario: Arc<dyn Scenario>,
+    /// The seed to run it at.
+    pub seed: u64,
+}
+
+/// Enumerates `scenarios × seeds` in deterministic (scenario-major) order.
+pub fn jobs_for(
+    scenarios: &[Arc<dyn Scenario>],
+    seeds: impl Iterator<Item = u64> + Clone,
+) -> Vec<Job> {
+    scenarios
+        .iter()
+        .flat_map(|s| {
+            seeds.clone().map(move |seed| Job {
+                scenario: Arc::clone(s),
+                seed,
+            })
+        })
+        .collect()
+}
+
+/// Executes `jobs` across `workers` threads; the result order equals the
+/// job order no matter how work is interleaved.
+///
+/// # Panics
+///
+/// Propagates panics from scenario runs (a panicking worker poisons the
+/// slot mutex, surfacing the failure instead of silently dropping runs).
+pub fn run_jobs(jobs: &[Job], workers: usize) -> Vec<RunRecord> {
+    let workers = workers.clamp(1, jobs.len().max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<RunRecord>>> = Mutex::new(vec![None; jobs.len()]);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = jobs.get(i) else { break };
+                let record = job.scenario.run(job.seed);
+                slots.lock().expect("no panicked worker")[i] = Some(record);
+            });
+        }
+    });
+
+    slots
+        .into_inner()
+        .expect("no panicked worker")
+        .into_iter()
+        .map(|r| r.expect("every job ran"))
+        .collect()
+}
+
+/// One metric's aggregate across the runs that emitted it.
+///
+/// Metrics need not appear in every run (a probe may only report
+/// `rounds_to_converge` on converged seeds), so the mean is over
+/// [`runs`](MetricAgg::runs), not the scenario's run count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricAgg {
+    /// Metric name.
+    pub name: String,
+    /// Mean over the emitting runs.
+    pub mean: f64,
+    /// Smallest observed value.
+    pub min: f64,
+    /// Largest observed value.
+    pub max: f64,
+    /// Number of runs that emitted the metric.
+    pub runs: u64,
+}
+
+/// Per-scenario aggregates plus the records behind them.
+#[derive(Debug, Clone)]
+pub struct ScenarioSummary {
+    /// Scenario name.
+    pub name: String,
+    /// Number of runs.
+    pub runs: u64,
+    /// Runs whose verdict passed.
+    pub passed: u64,
+    /// Mean rounds per run.
+    pub mean_rounds: f64,
+    /// Mean loss-model drop rate.
+    pub mean_drop_rate: f64,
+    /// Per-metric aggregates, in first-appearance order.
+    pub metrics: Vec<MetricAgg>,
+}
+
+impl ScenarioSummary {
+    /// Looks an aggregate up by metric name.
+    pub fn metric(&self, name: &str) -> Option<&MetricAgg> {
+        self.metrics.iter().find(|m| m.name == name)
+    }
+}
+
+/// The aggregated outcome of a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepSummary {
+    /// Suite or sweep name.
+    pub name: String,
+    /// All run records, in job order.
+    pub records: Vec<RunRecord>,
+    /// Per-scenario aggregates, in first-appearance order.
+    pub scenarios: Vec<ScenarioSummary>,
+}
+
+impl SweepSummary {
+    /// Aggregates `records` (already in job order).
+    pub fn new(name: impl Into<String>, records: Vec<RunRecord>) -> SweepSummary {
+        let mut scenarios: Vec<ScenarioSummary> = Vec::new();
+        for r in &records {
+            let entry = match scenarios.iter_mut().find(|s| s.name == r.scenario) {
+                Some(e) => e,
+                None => {
+                    scenarios.push(ScenarioSummary {
+                        name: r.scenario.clone(),
+                        runs: 0,
+                        passed: 0,
+                        mean_rounds: 0.0,
+                        mean_drop_rate: 0.0,
+                        metrics: Vec::new(),
+                    });
+                    scenarios.last_mut().expect("just pushed")
+                }
+            };
+            entry.runs += 1;
+            entry.passed += u64::from(r.verdict.passed());
+            // Accumulate sums; normalized below.
+            entry.mean_rounds += r.rounds as f64;
+            entry.mean_drop_rate += r.messages.lossy_drop_rate;
+            for (name, value) in &r.metrics {
+                match entry.metrics.iter_mut().find(|m| &m.name == name) {
+                    Some(m) => {
+                        m.mean += value; // sum for now; normalized below
+                        m.min = m.min.min(*value);
+                        m.max = m.max.max(*value);
+                        m.runs += 1;
+                    }
+                    None => entry.metrics.push(MetricAgg {
+                        name: name.clone(),
+                        mean: *value,
+                        min: *value,
+                        max: *value,
+                        runs: 1,
+                    }),
+                }
+            }
+        }
+        for s in &mut scenarios {
+            let n = s.runs as f64;
+            s.mean_rounds /= n;
+            s.mean_drop_rate /= n;
+            for m in &mut s.metrics {
+                m.mean /= m.runs as f64;
+            }
+        }
+        SweepSummary {
+            name: name.into(),
+            records,
+            scenarios,
+        }
+    }
+
+    /// Total runs.
+    pub fn runs(&self) -> u64 {
+        self.records.len() as u64
+    }
+
+    /// Runs whose verdict passed.
+    pub fn passed(&self) -> u64 {
+        self.scenarios.iter().map(|s| s.passed).sum()
+    }
+
+    /// Whether every run passed.
+    pub fn all_passed(&self) -> bool {
+        self.passed() == self.runs()
+    }
+
+    /// Serializes the summary. With `include_records`, every per-run
+    /// record is embedded; aggregates are always present.
+    pub fn to_json(&self, include_records: bool) -> Json {
+        let scenarios = self
+            .scenarios
+            .iter()
+            .map(|s| {
+                Json::obj(vec![
+                    ("name", Json::str(s.name.clone())),
+                    ("runs", Json::Uint(s.runs)),
+                    ("passed", Json::Uint(s.passed)),
+                    ("mean_rounds", Json::Num(s.mean_rounds)),
+                    ("mean_drop_rate", Json::Num(s.mean_drop_rate)),
+                    (
+                        "metrics",
+                        Json::Obj(
+                            s.metrics
+                                .iter()
+                                .map(|m| {
+                                    (
+                                        m.name.clone(),
+                                        Json::obj(vec![
+                                            ("mean", Json::Num(m.mean)),
+                                            ("min", Json::Num(m.min)),
+                                            ("max", Json::Num(m.max)),
+                                            ("runs", Json::Uint(m.runs)),
+                                        ]),
+                                    )
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+
+        let mut fields = vec![
+            ("suite", Json::str(self.name.clone())),
+            ("runs", Json::Uint(self.runs())),
+            ("passed", Json::Uint(self.passed())),
+            ("scenarios", Json::Arr(scenarios)),
+        ];
+        if include_records {
+            fields.push((
+                "records",
+                Json::Arr(self.records.iter().map(RunRecord::to_json).collect()),
+            ));
+        }
+        Json::obj(fields)
+    }
+}
+
+/// Runs `scenarios × seeds` on `workers` threads and aggregates.
+pub fn sweep(
+    name: &str,
+    scenarios: &[Arc<dyn Scenario>],
+    seeds: std::ops::Range<u64>,
+    workers: usize,
+) -> SweepSummary {
+    let jobs = jobs_for(scenarios, seeds);
+    let records = run_jobs(&jobs, workers);
+    SweepSummary::new(name, records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::FnScenario;
+
+    fn toy(name: &'static str) -> Arc<dyn Scenario> {
+        Arc::new(FnScenario::new(name, move |seed| {
+            let mut r = RunRecord::new(name, seed);
+            r.rounds = seed + 1;
+            r.metric("x", seed as f64);
+            r
+        }))
+    }
+
+    #[test]
+    fn grid_points_cartesian_in_order() {
+        let grid = ParamGrid::new().axis("p", [0.0, 0.5]).axis("n", [4.0]);
+        let points = grid.points();
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0], vec![("p".into(), 0.0), ("n".into(), 4.0)]);
+        assert_eq!(points[1], vec![("p".into(), 0.5), ("n".into(), 4.0)]);
+        assert_eq!(ParamGrid::new().points(), vec![Vec::new()]);
+    }
+
+    #[test]
+    fn expanded_grid_stamps_names_and_params() {
+        let grid = ParamGrid::new().axis("p", [0.25]);
+        let scenarios = expand_grid("base", &grid, |point| {
+            let p = point[0].1;
+            FnScenario::new("inner", move |seed| {
+                let mut r = RunRecord::new("inner", seed);
+                r.metric("p", p);
+                r
+            })
+        });
+        assert_eq!(scenarios[0].name(), "base[p=0.25]");
+        let r = scenarios[0].run(1);
+        assert_eq!(r.scenario, "base[p=0.25]");
+        assert_eq!(r.params, vec![("p".to_string(), 0.25)]);
+    }
+
+    #[test]
+    fn job_order_is_scenario_major() {
+        let jobs = jobs_for(&[toy("a"), toy("b")], 0..3);
+        let order: Vec<(String, u64)> = jobs
+            .iter()
+            .map(|j| (j.scenario.name().to_string(), j.seed))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                ("a".into(), 0),
+                ("a".into(), 1),
+                ("a".into(), 2),
+                ("b".into(), 0),
+                ("b".into(), 1),
+                ("b".into(), 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let scenarios = vec![toy("a"), toy("b"), toy("c")];
+        let jobs = jobs_for(&scenarios, 0..5);
+        let one = run_jobs(&jobs, 1);
+        for workers in [2, 4, 8, 64] {
+            assert_eq!(run_jobs(&jobs, workers), one, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn summary_aggregates_in_order() {
+        let summary = sweep("s", &[toy("a"), toy("b")], 0..4, 2);
+        assert_eq!(summary.runs(), 8);
+        assert!(summary.all_passed());
+        assert_eq!(summary.scenarios.len(), 2);
+        let a = &summary.scenarios[0];
+        assert_eq!(a.name, "a");
+        assert_eq!(a.runs, 4);
+        assert!(
+            (a.mean_rounds - 2.5).abs() < 1e-12,
+            "seeds 0..4 → rounds 1..5"
+        );
+        let x = a.metric("x").unwrap();
+        assert!((x.mean - 1.5).abs() < 1e-12);
+        assert_eq!((x.min, x.max, x.runs), (0.0, 3.0, 4));
+    }
+
+    #[test]
+    fn partial_metrics_average_over_emitting_runs_only() {
+        // "conv" is only emitted on even seeds; its mean must be over the
+        // emitting runs, and stay inside [min, max].
+        let scenario: Arc<dyn Scenario> = Arc::new(FnScenario::new("partial", |seed| {
+            let mut r = RunRecord::new("partial", seed);
+            if seed % 2 == 0 {
+                r.metric("conv", 10.0 + seed as f64);
+            }
+            r
+        }));
+        let summary = sweep("s", &[scenario], 0..4, 2);
+        let conv = summary.scenarios[0].metric("conv").unwrap();
+        assert_eq!(conv.runs, 2, "seeds 0 and 2 emit");
+        assert!((conv.mean - 11.0).abs() < 1e-12, "(10 + 12) / 2");
+        assert!(conv.min <= conv.mean && conv.mean <= conv.max);
+        assert!(summary.scenarios[0].metric("missing").is_none());
+    }
+
+    #[test]
+    fn summary_json_identical_across_worker_counts() {
+        let scenarios = vec![toy("a"), toy("b")];
+        let render = |workers| {
+            sweep("det", &scenarios, 0..6, workers)
+                .to_json(true)
+                .render()
+        };
+        let baseline = render(1);
+        assert_eq!(render(2), baseline);
+        assert_eq!(render(8), baseline);
+    }
+}

@@ -1,0 +1,158 @@
+//! Reference workloads for simulator-backed scenarios.
+//!
+//! Scenario suites need simple, inspectable protocols whose correct
+//! behaviour is easy to state as a verdict predicate: [`Flood`] measures
+//! raw connectivity/throughput, [`MaxGossip`] is a tiny self-stabilizing
+//! aggregation whose fixpoint (everyone knows the global maximum) survives
+//! transient faults — the right probe for churn and fault-injection specs.
+
+use ga_simnet::prelude::*;
+use rand::rngs::StdRng;
+use rand::RngCore;
+
+/// Broadcasts one fixed payload per round and counts what it hears.
+#[derive(Debug, Default)]
+pub struct Flood {
+    /// Messages received over the whole run.
+    pub heard: usize,
+}
+
+impl Process for Flood {
+    fn on_pulse(&mut self, ctx: &mut Context<'_>) {
+        self.heard += ctx.inbox().len();
+        ctx.broadcast(vec![0xF1]);
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn name(&self) -> &'static str {
+        "flood"
+    }
+}
+
+/// Self-stabilizing max aggregation: every round, broadcast the largest
+/// value seen; adopt any larger value heard.
+///
+/// From a clean start the fixpoint is `max(own values) = n - 1 + base`
+/// everywhere after `diameter` rounds. A transient fault may scramble
+/// `current` arbitrarily — including *above* the true maximum, which honest
+/// gossip then propagates; the verdict for fault scenarios is therefore
+/// *agreement* (all honest processors converge to one value), the
+/// self-stabilization claim, not a specific value.
+#[derive(Debug)]
+pub struct MaxGossip {
+    /// This processor's immutable contribution.
+    pub own: u64,
+    /// The largest value seen so far.
+    pub current: u64,
+}
+
+impl MaxGossip {
+    /// A gossiper contributing `own`.
+    pub fn new(own: u64) -> MaxGossip {
+        MaxGossip { own, current: own }
+    }
+
+    /// Wire encoding (8-byte little endian).
+    pub fn encode(v: u64) -> Vec<u8> {
+        v.to_le_bytes().to_vec()
+    }
+
+    fn decode(bytes: &[u8]) -> Option<u64> {
+        Some(u64::from_le_bytes(bytes.try_into().ok()?))
+    }
+}
+
+impl Process for MaxGossip {
+    fn on_pulse(&mut self, ctx: &mut Context<'_>) {
+        for m in ctx.inbox() {
+            if let Some(v) = Self::decode(m.bytes()) {
+                self.current = self.current.max(v);
+            }
+        }
+        // `own` is immutable ROM state, so recovery re-seeds from it.
+        self.current = self.current.max(self.own);
+        ctx.broadcast(Self::encode(self.current));
+    }
+
+    fn scramble(&mut self, rng: &mut StdRng) {
+        // Transient faults corrupt the volatile register, not the identity.
+        self.current = rng.next_u64() % (1 << 20);
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn name(&self) -> &'static str {
+        "max-gossip"
+    }
+}
+
+/// Whether all listed processors currently agree on one gossip value.
+pub fn gossip_agreed(sim: &Simulation, ids: impl IntoIterator<Item = usize>) -> bool {
+    let mut value = None;
+    for id in ids {
+        let Some(p) = sim.process_as::<MaxGossip>(ProcessId(id)) else {
+            return false;
+        };
+        if *value.get_or_insert(p.current) != p.current {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_propagates_across_a_ring() {
+        let n = 7;
+        let mut sim = Simulation::builder(Topology::ring(n))
+            .build_with(|id| Box::new(MaxGossip::new(id.index() as u64)) as Box<dyn Process>);
+        // Ring diameter is floor(n/2); one extra round for the final adopt.
+        sim.run(n as u64 / 2 + 2);
+        assert!(gossip_agreed(&sim, 0..n));
+        assert_eq!(
+            sim.process_as::<MaxGossip>(ProcessId(0)).unwrap().current,
+            (n - 1) as u64
+        );
+    }
+
+    #[test]
+    fn recovers_from_total_scramble() {
+        let n = 5;
+        let mut sim = Simulation::builder(Topology::complete(n))
+            .build_with(|id| Box::new(MaxGossip::new(id.index() as u64)) as Box<dyn Process>);
+        sim.run(3);
+        sim.inject(&TransientFault::total(n, 0xBEEF));
+        sim.run(4);
+        assert!(gossip_agreed(&sim, 0..n), "agreement restored after fault");
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(MaxGossip::decode(&[1, 2, 3]), None);
+        assert_eq!(MaxGossip::decode(&7u64.to_le_bytes()), Some(7));
+    }
+
+    #[test]
+    fn agreed_is_false_for_non_gossiper() {
+        let mut sim = Simulation::builder(Topology::complete(3))
+            .build_with(|_| Box::new(Flood::default()) as Box<dyn Process>);
+        sim.run(1);
+        assert!(!gossip_agreed(&sim, 0..3));
+    }
+}

@@ -1,0 +1,92 @@
+//! Sweep determinism: the same spec + seed range must produce identical
+//! aggregated JSON at 1, 2 and 8 worker threads, and repeated runs must be
+//! stable. (`scripts/tier1.sh` additionally diffs two separate *process*
+//! invocations of the CLI.)
+
+use std::sync::Arc;
+
+use ga_scenario::prelude::*;
+use ga_scenario::suites;
+
+fn lossy_grid_scenarios() -> Vec<Arc<dyn Scenario>> {
+    expand_grid(
+        "det_lossy_grid",
+        &ParamGrid::new().axis("p", [0.0, 0.2, 0.5]),
+        |point| {
+            let p = point[0].1;
+            ScenarioSpec::new(
+                "det_lossy_grid",
+                TopologyFamily::RandomK {
+                    n: 16,
+                    k: 4,
+                    extra_p: 0.1,
+                },
+                |id, _n| Box::new(MaxGossip::new(id.index() as u64)) as Box<dyn Process>,
+            )
+            .delivery(Delivery::Lossy { p })
+            .max_rounds(25)
+        },
+    )
+}
+
+#[test]
+fn sweep_json_identical_at_1_2_and_8_workers() {
+    let scenarios = lossy_grid_scenarios();
+    let render = |workers: usize| {
+        sweep("det", &scenarios, 0..6, workers)
+            .to_json(true)
+            .render()
+    };
+    let baseline = render(1);
+    assert_eq!(render(2), baseline, "2 workers diverged from 1");
+    assert_eq!(render(8), baseline, "8 workers diverged from 1");
+    assert!(baseline.contains("det_lossy_grid[p=0.2]"));
+}
+
+#[test]
+fn sweep_json_stable_across_repeated_runs() {
+    let scenarios = lossy_grid_scenarios();
+    let first = sweep("det", &scenarios, 0..4, 4).to_json(true).render();
+    for _ in 0..3 {
+        assert_eq!(
+            sweep("det", &scenarios, 0..4, 4).to_json(true).render(),
+            first
+        );
+    }
+}
+
+#[test]
+fn smoke_suite_json_identical_across_worker_counts() {
+    let suite = suites::find("smoke").expect("smoke suite registered");
+    let render = |workers: usize| suite.run(Some(2), workers).to_json(true).render();
+    let baseline = render(1);
+    assert_eq!(render(2), baseline);
+    assert_eq!(render(8), baseline);
+}
+
+#[test]
+fn schedule_events_are_reflected_identically_in_parallel_records() {
+    // Churn + fault events fire from inside worker threads; their effects
+    // (fault drops, stop rounds) must be identical to the serial run.
+    let spec = ScenarioSpec::new("det_churn", TopologyFamily::Grid(4, 4), |id, _n| {
+        Box::new(MaxGossip::new(id.index() as u64)) as Box<dyn Process>
+    })
+    .schedule(
+        Schedule::new()
+            .at(4, ScheduledAction::Inject(TransientFault::total(16, 3)))
+            .at(8, ScheduledAction::Disconnect(ProcessId(15)))
+            .at(
+                14,
+                ScheduledAction::Reconnect(ProcessId(15), vec![ProcessId(11), ProcessId(14)]),
+            ),
+    )
+    .max_rounds(30);
+    let scenarios: Vec<Arc<dyn Scenario>> = vec![Arc::new(spec)];
+    let serial = sweep("churn", &scenarios, 0..8, 1);
+    let parallel = sweep("churn", &scenarios, 0..8, 8);
+    assert_eq!(serial.records, parallel.records);
+    assert!(
+        serial.records.iter().all(|r| r.messages.dropped_fault > 0),
+        "every seed sees the scheduled fault"
+    );
+}

@@ -69,13 +69,15 @@ impl TransientFault {
         }
     }
 
+    /// Applies the fault; returns the number of in-flight messages dropped
+    /// (the caller accounts them in the trace).
     pub(crate) fn apply(
         &self,
         seed: u64,
         round: Round,
         processes: &mut [Box<dyn Process>],
         inboxes: &mut [Vec<Message>],
-    ) {
+    ) -> u64 {
         let mut rng = labeled_rng_u64(seed ^ self.salt, FAULT_DOMAIN, round.value());
 
         for id in &self.scramble {
@@ -84,9 +86,17 @@ impl TransientFault {
             }
         }
 
+        let mut dropped = 0u64;
         let n = inboxes.len();
         for (i, inbox) in inboxes.iter_mut().enumerate() {
-            inbox.retain(|_| !rng.gen_bool(self.drop_messages_p.clamp(0.0, 1.0)));
+            inbox.retain(|_| {
+                if rng.gen_bool(self.drop_messages_p.clamp(0.0, 1.0)) {
+                    dropped += 1;
+                    false
+                } else {
+                    true
+                }
+            });
             for m in inbox.iter_mut() {
                 if rng.gen_bool(self.corrupt_messages_p.clamp(0.0, 1.0)) {
                     let mut bytes = m.payload.to_vec();
@@ -107,6 +117,7 @@ impl TransientFault {
             }
             let _ = i;
         }
+        dropped
     }
 }
 

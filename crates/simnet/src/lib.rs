@@ -77,6 +77,7 @@ pub mod message;
 pub mod process;
 pub mod relay;
 pub mod rng;
+pub mod schedule;
 pub mod sim;
 pub mod topology;
 pub mod trace;
@@ -88,7 +89,8 @@ pub mod prelude {
     pub use crate::ids::{ProcessId, Round};
     pub use crate::message::Message;
     pub use crate::process::{Context, Process};
-    pub use crate::sim::{Simulation, SimulationBuilder};
+    pub use crate::schedule::{Schedule, ScheduledAction};
+    pub use crate::sim::{Delivery, Simulation, SimulationBuilder};
     pub use crate::topology::Topology;
     pub use crate::trace::Trace;
 }

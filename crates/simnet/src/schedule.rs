@@ -1,0 +1,159 @@
+//! Round-triggered event schedules: churn and fault injection as data.
+//!
+//! The scenario engine describes *when* a run's environment changes —
+//! a processor is punitively disconnected, a partition heals, a transient
+//! fault scrambles the configuration, the loss model degrades — as a
+//! [`Schedule`] attached to the [`Simulation`](crate::sim::Simulation).
+//! Each entry fires at the *start* of its round, before any process takes
+//! its step, so the round's deliveries already reflect the new topology
+//! and delivery model. Schedules are plain data (no closures), which keeps
+//! specs `Clone + Send + Sync` and lets sweep workers share one spec
+//! across threads.
+
+use crate::fault::TransientFault;
+use crate::ids::{ProcessId, Round};
+use crate::sim::Delivery;
+
+/// One environment change, applied at the start of a scheduled round.
+#[derive(Debug, Clone)]
+pub enum ScheduledAction {
+    /// Remove every link of the processor (churn: departure, or the
+    /// executive's punitive disconnection).
+    Disconnect(ProcessId),
+    /// Re-add links from the processor to each listed peer (churn:
+    /// recovery). Peers that are already linked, out of range, or equal to
+    /// the processor itself are skipped.
+    Reconnect(ProcessId, Vec<ProcessId>),
+    /// Inject a transient fault (arbitrary-configuration scrambling).
+    Inject(TransientFault),
+    /// Switch the delivery model (e.g. a lossy interval mid-run).
+    SetDelivery(Delivery),
+}
+
+/// An ordered list of `(round, action)` entries.
+///
+/// Entries may be added in any order; they are kept sorted by round, with
+/// insertion order preserved within a round. The simulation consumes the
+/// schedule with a monotone cursor, so the per-round cost of an attached
+/// schedule is O(1) when nothing fires.
+#[derive(Debug, Clone, Default)]
+pub struct Schedule {
+    /// Sorted by round (stable w.r.t. insertion).
+    entries: Vec<(u64, ScheduledAction)>,
+    /// Index of the first entry not yet fired.
+    cursor: usize,
+}
+
+impl Schedule {
+    /// An empty schedule (fires nothing).
+    pub fn new() -> Schedule {
+        Schedule::default()
+    }
+
+    /// Adds `action` to fire at the start of `round` (builder-style).
+    #[must_use]
+    pub fn at(mut self, round: u64, action: ScheduledAction) -> Schedule {
+        self.push(round, action);
+        self
+    }
+
+    /// Adds `action` to fire at the start of `round`.
+    pub fn push(&mut self, round: u64, action: ScheduledAction) {
+        // Insert after every entry with round <= `round`: stable by
+        // construction, no sort needed later.
+        let pos = self.entries.partition_point(|(r, _)| *r <= round);
+        self.entries.insert(pos, (round, action));
+        debug_assert!(self.cursor == 0, "schedules are built before running");
+    }
+
+    /// Number of entries (fired and pending).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the schedule has no entries at all.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries that have not fired yet.
+    pub fn pending(&self) -> usize {
+        self.entries.len() - self.cursor
+    }
+
+    /// Pops the next action due at `round`, advancing the cursor.
+    /// Entries scheduled for earlier rounds that were never reached (e.g.
+    /// the schedule was attached mid-run) fire immediately.
+    pub(crate) fn next_due(&mut self, round: Round) -> Option<ScheduledAction> {
+        let (due, action) = self.entries.get(self.cursor)?;
+        if *due <= round.value() {
+            self.cursor += 1;
+            Some(action.clone())
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rounds_of(s: &Schedule) -> Vec<u64> {
+        s.entries.iter().map(|(r, _)| *r).collect()
+    }
+
+    #[test]
+    fn entries_sorted_by_round_insertion_stable() {
+        let s = Schedule::new()
+            .at(5, ScheduledAction::Disconnect(ProcessId(1)))
+            .at(2, ScheduledAction::Disconnect(ProcessId(2)))
+            .at(5, ScheduledAction::Disconnect(ProcessId(3)))
+            .at(9, ScheduledAction::SetDelivery(Delivery::Reliable));
+        assert_eq!(rounds_of(&s), vec![2, 5, 5, 9]);
+        // Same-round entries keep insertion order.
+        let ids: Vec<usize> = s
+            .entries
+            .iter()
+            .filter_map(|(_, a)| match a {
+                ScheduledAction::Disconnect(id) => Some(id.index()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ids, vec![2, 1, 3]);
+    }
+
+    #[test]
+    fn cursor_drains_in_round_order() {
+        let mut s = Schedule::new()
+            .at(1, ScheduledAction::Disconnect(ProcessId(0)))
+            .at(1, ScheduledAction::Disconnect(ProcessId(1)))
+            .at(3, ScheduledAction::Disconnect(ProcessId(2)));
+        assert!(s.next_due(Round(0)).is_none());
+        assert!(matches!(
+            s.next_due(Round(1)),
+            Some(ScheduledAction::Disconnect(ProcessId(0)))
+        ));
+        assert!(matches!(
+            s.next_due(Round(1)),
+            Some(ScheduledAction::Disconnect(ProcessId(1)))
+        ));
+        assert!(s.next_due(Round(1)).is_none());
+        assert_eq!(s.pending(), 1);
+        // A skipped round still fires later entries when reached.
+        assert!(matches!(
+            s.next_due(Round(7)),
+            Some(ScheduledAction::Disconnect(ProcessId(2)))
+        ));
+        assert!(s.next_due(Round(7)).is_none());
+        assert_eq!(s.pending(), 0);
+    }
+
+    #[test]
+    fn empty_schedule_reports_empty() {
+        let mut s = Schedule::new();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert!(s.next_due(Round(0)).is_none());
+    }
+}

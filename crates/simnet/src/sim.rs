@@ -8,6 +8,7 @@ use crate::ids::{ProcessId, Round};
 use crate::message::Message;
 use crate::process::{Context, Process};
 use crate::rng::{labeled_rng_u64, process_rng};
+use crate::schedule::{Schedule, ScheduledAction};
 use crate::topology::Topology;
 use crate::trace::Trace;
 use crate::SimError;
@@ -53,6 +54,8 @@ pub struct Simulation {
     seed: u64,
     delivery: Delivery,
     trace: Trace,
+    /// Round-triggered churn/fault events, consumed as rounds pass.
+    schedule: Schedule,
 }
 
 impl std::fmt::Debug for Simulation {
@@ -71,6 +74,7 @@ pub struct SimulationBuilder {
     topology: Topology,
     seed: u64,
     delivery: Delivery,
+    schedule: Schedule,
 }
 
 impl SimulationBuilder {
@@ -83,6 +87,13 @@ impl SimulationBuilder {
     /// Sets the delivery model (default [`Delivery::Reliable`]).
     pub fn delivery(mut self, delivery: Delivery) -> Self {
         self.delivery = delivery;
+        self
+    }
+
+    /// Attaches a round-triggered event schedule (default empty) — see
+    /// [`Schedule`].
+    pub fn schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = schedule;
         self
     }
 
@@ -100,6 +111,7 @@ impl SimulationBuilder {
             seed: self.seed,
             delivery: self.delivery,
             trace: Trace::new(n),
+            schedule: self.schedule,
         }
     }
 
@@ -125,6 +137,7 @@ impl SimulationBuilder {
             seed: self.seed,
             delivery: self.delivery,
             trace: Trace::new(n),
+            schedule: self.schedule,
         }
     }
 }
@@ -136,6 +149,7 @@ impl Simulation {
             topology,
             seed: 0,
             delivery: Delivery::Reliable,
+            schedule: Schedule::new(),
         }
     }
 
@@ -154,8 +168,10 @@ impl Simulation {
         self.round
     }
 
-    /// The topology (immutable; links cannot change mid-run except through
-    /// [`disconnect`](Simulation::disconnect)).
+    /// The current topology. Links change mid-run only through
+    /// [`disconnect`](Simulation::disconnect) or scheduled churn events
+    /// ([`ScheduledAction::Disconnect`]/[`ScheduledAction::Reconnect`]),
+    /// so probes inspecting it mid-run see the post-churn graph.
     pub fn topology(&self) -> &Topology {
         &self.topology
     }
@@ -178,6 +194,12 @@ impl Simulation {
     /// payloads move as refcounted [`Bytes`] — a broadcast's single buffer
     /// is shared by every recipient's [`Message`].
     pub fn step(&mut self) {
+        // Fire scheduled churn/fault events first: the round's deliveries
+        // and steps see the post-event topology, delivery model and
+        // (possibly scrambled) pending messages.
+        while let Some(action) = self.schedule.next_due(self.round) {
+            self.apply_scheduled(action);
+        }
         let n = self.processes.len();
         // Swap in last pulse's deliveries for consumption; the buffers
         // consumed two pulses ago are cleared and refilled with this
@@ -292,14 +314,37 @@ impl Simulation {
         }
     }
 
+    /// Replaces the round-triggered event schedule. Entries scheduled for
+    /// rounds that already passed fire at the start of the next pulse.
+    pub fn set_schedule(&mut self, schedule: Schedule) {
+        self.schedule = schedule;
+    }
+
+    /// Applies one scheduled action immediately.
+    fn apply_scheduled(&mut self, action: ScheduledAction) {
+        match action {
+            ScheduledAction::Disconnect(id) => self.topology.isolate(id),
+            ScheduledAction::Reconnect(id, peers) => {
+                for peer in peers {
+                    // Already-present, reflexive or out-of-range links are
+                    // documented as skipped.
+                    let _ = self.topology.link(id, peer);
+                }
+            }
+            ScheduledAction::Inject(fault) => self.inject(&fault),
+            ScheduledAction::SetDelivery(delivery) => self.delivery = delivery,
+        }
+    }
+
     /// Applies a transient fault (see [`fault`](crate::fault)).
     pub fn inject(&mut self, fault: &TransientFault) {
-        fault.apply(
+        let dropped = fault.apply(
             self.seed,
             self.round,
             &mut self.processes,
             &mut self.inboxes,
         );
+        self.trace.messages_dropped_fault += dropped;
     }
 
     /// Punitive disconnection: removes every link of `id` (the executive
@@ -452,6 +497,112 @@ mod tests {
         assert_eq!(sim.trace().messages_dropped_no_link, 4);
         // p2 only hears from p1.
         assert_eq!(sim.process_as::<Counter>(ProcessId(2)).unwrap().received, 3);
+    }
+
+    #[test]
+    fn schedule_disconnects_and_reconnects_on_time() {
+        // Hub star: disconnect the hub at round 2, restore it at round 5.
+        let schedule = Schedule::new()
+            .at(2, ScheduledAction::Disconnect(ProcessId(0)))
+            .at(
+                5,
+                ScheduledAction::Reconnect(ProcessId(0), (1..4).map(ProcessId).collect()),
+            );
+        let mut sim = Simulation::builder(Topology::star(4))
+            .schedule(schedule)
+            .build_with(|_| Box::new(Counter { received: 0 }) as Box<dyn Process>);
+
+        // Rounds 0-1: leaf 1 hears the hub's round-0 broadcast at round 1.
+        sim.run(2);
+        let at_round_2 = sim.process_as::<Counter>(ProcessId(1)).unwrap().received;
+        assert_eq!(at_round_2, 1);
+
+        // Rounds 2-4: hub isolated. Its round-1 broadcast was already
+        // routed (in flight when the link died) and lands at round 2;
+        // nothing else reaches the leaves.
+        sim.run(3);
+        assert_eq!(
+            sim.process_as::<Counter>(ProcessId(1)).unwrap().received,
+            at_round_2 + 1,
+            "only the in-flight message arrives while the hub is down"
+        );
+
+        // Round 5 restores the spokes; round-5 broadcasts land at round 6.
+        sim.run(2);
+        assert!(
+            sim.process_as::<Counter>(ProcessId(1)).unwrap().received > at_round_2 + 1,
+            "deliveries resume after reconnection"
+        );
+    }
+
+    #[test]
+    fn schedule_switches_delivery_model() {
+        let schedule = Schedule::new()
+            .at(3, ScheduledAction::SetDelivery(Delivery::Lossy { p: 1.0 }))
+            .at(6, ScheduledAction::SetDelivery(Delivery::Reliable));
+        let mut sim = Simulation::builder(Topology::complete(3))
+            .schedule(schedule)
+            .build_with(|_| Box::new(Counter { received: 0 }) as Box<dyn Process>);
+        sim.run(3);
+        let delivered_before = sim.trace().messages_delivered;
+        assert_eq!(delivered_before, 3 * 2 * 3);
+        sim.run(3);
+        assert_eq!(
+            sim.trace().messages_delivered,
+            delivered_before,
+            "p=1.0 drops everything"
+        );
+        assert_eq!(sim.trace().messages_dropped_lossy, 3 * 2 * 3);
+        sim.run(1);
+        assert!(sim.trace().messages_delivered > delivered_before);
+    }
+
+    #[test]
+    fn schedule_injects_fault_and_counts_drops() {
+        let schedule = Schedule::new().at(
+            2,
+            ScheduledAction::Inject(TransientFault {
+                drop_messages_p: 1.0,
+                ..TransientFault::default()
+            }),
+        );
+        let mut sim = Simulation::builder(Topology::complete(3))
+            .schedule(schedule)
+            .build_with(|_| Box::new(Counter { received: 0 }) as Box<dyn Process>);
+        sim.run(3);
+        // The fault fires at the start of round 2 and wipes the 6 messages
+        // sent during round 1.
+        assert_eq!(sim.trace().messages_dropped_fault, 6);
+        assert_eq!(
+            sim.process_as::<Counter>(ProcessId(0)).unwrap().received,
+            2,
+            "only round 0's broadcasts survived"
+        );
+    }
+
+    #[test]
+    fn scheduled_run_matches_manual_interventions() {
+        // The schedule path and the manual API must produce identical
+        // traces.
+        let schedule = Schedule::new()
+            .at(1, ScheduledAction::Disconnect(ProcessId(2)))
+            .at(4, ScheduledAction::SetDelivery(Delivery::Lossy { p: 0.4 }));
+        let mut scheduled = Simulation::builder(Topology::complete(4))
+            .seed(9)
+            .schedule(schedule)
+            .build_with(|_| Box::new(Counter { received: 0 }) as Box<dyn Process>);
+        scheduled.run(8);
+
+        let mut manual = counters(Topology::complete(4), 9);
+        manual.step();
+        manual.disconnect(ProcessId(2));
+        manual.run(3);
+        // No public delivery setter: set_schedule mid-run covers it.
+        manual.set_schedule(
+            Schedule::new().at(4, ScheduledAction::SetDelivery(Delivery::Lossy { p: 0.4 })),
+        );
+        manual.run(4);
+        assert_eq!(scheduled.trace(), manual.trace());
     }
 
     #[test]

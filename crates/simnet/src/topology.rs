@@ -72,6 +72,55 @@ impl Topology {
         Topology::from_adj(n, adj)
     }
 
+    /// A star on `n` processors: processor 0 is the hub, every other
+    /// processor has the hub as its only neighbor. The minimal connected
+    /// topology with a single point of failure — disconnecting the hub
+    /// partitions everyone, which makes it the worst case for churn
+    /// scenarios.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn star(n: usize) -> Topology {
+        assert!(n >= 2, "a star needs a hub and at least one leaf");
+        let adj = (0..n)
+            .map(|i| if i == 0 { (1..n).collect() } else { vec![0] })
+            .collect();
+        Topology::from_adj(n, adj)
+    }
+
+    /// A `w × h` grid (4-neighbor lattice); vertex `(x, y)` has index
+    /// `y * w + x`. The topology of the virus-inoculation game's network
+    /// and a natural setting for spatially local fault scenarios.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w == 0` or `h == 0`.
+    pub fn grid(w: usize, h: usize) -> Topology {
+        assert!(w > 0 && h > 0, "grid needs positive dimensions");
+        let n = w * h;
+        let adj = (0..n)
+            .map(|i| {
+                let (x, y) = (i % w, i / w);
+                let mut v = Vec::with_capacity(4);
+                if y > 0 {
+                    v.push(i - w);
+                }
+                if x > 0 {
+                    v.push(i - 1);
+                }
+                if x + 1 < w {
+                    v.push(i + 1);
+                }
+                if y + 1 < h {
+                    v.push(i + w);
+                }
+                v
+            })
+            .collect();
+        Topology::from_adj(n, adj)
+    }
+
     /// Builds a topology from explicit undirected edges.
     ///
     /// # Errors
@@ -169,6 +218,41 @@ impl Topology {
             }
             self.bits[peer][victim / 64] &= !(1 << (victim % 64));
         }
+    }
+
+    /// Adds the undirected edge `(a, b)` in place, keeping the sorted
+    /// adjacency lists and the bitmasks in sync. The inverse of
+    /// [`isolate`](Topology::isolate) at single-edge granularity — churn
+    /// schedules use it to model recoveries.
+    ///
+    /// Returns `Ok(true)` if the edge was inserted, `Ok(false)` if it
+    /// already existed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadTopology`] for self-loops or out-of-range
+    /// endpoints.
+    pub fn link(&mut self, a: ProcessId, b: ProcessId) -> Result<bool, SimError> {
+        let (a, b) = (a.index(), b.index());
+        if a == b {
+            return Err(SimError::BadTopology(format!("self loop at {a}")));
+        }
+        if a >= self.n || b >= self.n {
+            return Err(SimError::BadTopology(format!(
+                "edge ({a},{b}) out of range for n={}",
+                self.n
+            )));
+        }
+        let Err(pos_a) = self.adj[a].binary_search(&b) else {
+            return Ok(false);
+        };
+        self.adj[a].insert(pos_a, b);
+        if let Err(pos_b) = self.adj[b].binary_search(&a) {
+            self.adj[b].insert(pos_b, a);
+        }
+        self.bits[a][b / 64] |= 1 << (b % 64);
+        self.bits[b][a / 64] |= 1 << (a % 64);
+        Ok(true)
     }
 
     /// Minimum degree over all vertices — an upper bound on connectivity.
@@ -318,6 +402,113 @@ mod tests {
         assert_eq!(t.min_degree(), 2);
         assert!(t.connected(ProcessId(0), ProcessId(5)));
         assert!(!t.connected(ProcessId(0), ProcessId(3)));
+    }
+
+    /// The bitmask answer of [`Topology::connected`] must agree with the
+    /// adjacency lists for every ordered pair.
+    fn assert_bitmask_parity(t: &Topology) {
+        for a in 0..t.len() {
+            for b in 0..t.len() {
+                let in_list = t.neighbors(ProcessId(a)).contains(&b);
+                assert_eq!(
+                    t.connected(ProcessId(a), ProcessId(b)),
+                    in_list,
+                    "bitmask/adjacency disagree on ({a},{b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn star_structure_and_parity() {
+        let t = Topology::star(7);
+        assert_eq!(t.len(), 7);
+        assert_eq!(t.edge_count(), 6, "one spoke per leaf");
+        assert_eq!(t.neighbors(ProcessId(0)).len(), 6);
+        assert_eq!(t.min_degree(), 1);
+        assert!(t.is_connected());
+        assert!(t.vertex_connectivity_at_least(1));
+        assert!(!t.vertex_connectivity_at_least(2), "hub is a cut vertex");
+        for leaf in 1..7 {
+            assert!(t.connected(ProcessId(0), ProcessId(leaf)));
+            assert_eq!(t.neighbors(ProcessId(leaf)), &[0]);
+        }
+        assert!(!t.connected(ProcessId(1), ProcessId(2)));
+        assert_bitmask_parity(&t);
+    }
+
+    #[test]
+    fn star_crosses_word_boundary() {
+        let t = Topology::star(70);
+        assert!(t.connected(ProcessId(0), ProcessId(69)));
+        assert!(!t.connected(ProcessId(65), ProcessId(69)));
+        assert_bitmask_parity(&t);
+    }
+
+    #[test]
+    fn grid_structure_and_parity() {
+        let t = Topology::grid(4, 3);
+        assert_eq!(t.len(), 12);
+        // Horizontal edges: 3 per row × 3 rows; vertical: 4 per column gap × 2.
+        assert_eq!(t.edge_count(), 3 * 3 + 4 * 2);
+        // Corner (0,0) has degree 2, edge cell (1,0) degree 3, interior (1,1)
+        // degree 4.
+        assert_eq!(t.neighbors(ProcessId(0)), &[1, 4]);
+        assert_eq!(t.neighbors(ProcessId(1)), &[0, 2, 5]);
+        assert_eq!(t.neighbors(ProcessId(5)), &[1, 4, 6, 9]);
+        assert!(t.is_connected());
+        assert!(t.vertex_connectivity_at_least(2));
+        assert!(!t.vertex_connectivity_at_least(3));
+        assert_bitmask_parity(&t);
+    }
+
+    #[test]
+    fn grid_degenerate_shapes() {
+        // 1×1: a single isolated vertex.
+        let t = Topology::grid(1, 1);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.edge_count(), 0);
+        // 1×5: a path.
+        let path = Topology::grid(1, 5);
+        assert_eq!(path.edge_count(), 4);
+        assert!(path.is_connected());
+        assert!(!path.vertex_connectivity_at_least(2));
+        assert_bitmask_parity(&path);
+        // 5×1 is the same path transposed.
+        assert_eq!(Topology::grid(5, 1).edge_count(), 4);
+    }
+
+    #[test]
+    fn link_inserts_edge_and_keeps_parity() {
+        let mut t = Topology::ring(6);
+        assert!(!t.connected(ProcessId(0), ProcessId(3)));
+        assert_eq!(t.link(ProcessId(0), ProcessId(3)), Ok(true));
+        assert!(t.connected(ProcessId(0), ProcessId(3)));
+        assert!(t.connected(ProcessId(3), ProcessId(0)));
+        assert_eq!(t.neighbors(ProcessId(0)), &[1, 3, 5], "stays sorted");
+        assert_eq!(t.link(ProcessId(0), ProcessId(3)), Ok(false), "idempotent");
+        assert_eq!(t.edge_count(), 7);
+        assert_bitmask_parity(&t);
+    }
+
+    #[test]
+    fn link_rejects_bad_input() {
+        let mut t = Topology::ring(4);
+        assert!(t.link(ProcessId(1), ProcessId(1)).is_err());
+        assert!(t.link(ProcessId(0), ProcessId(4)).is_err());
+    }
+
+    #[test]
+    fn link_undoes_isolate() {
+        let mut t = Topology::star(5);
+        let before = t.clone();
+        t.isolate(ProcessId(0));
+        assert_eq!(t.edge_count(), 0);
+        for leaf in 1..5 {
+            t.link(ProcessId(0), ProcessId(leaf)).unwrap();
+        }
+        assert_eq!(t, before, "reconnecting every spoke restores the star");
+        assert_bitmask_parity(&t);
     }
 
     #[test]

@@ -17,6 +17,13 @@ pub struct Trace {
     pub messages_dropped_no_link: u64,
     /// Messages dropped by the loss model.
     pub messages_dropped_lossy: u64,
+    /// In-flight messages destroyed by transient-fault injection.
+    ///
+    /// These messages were already routed — and therefore counted in
+    /// [`messages_delivered`](Trace::messages_delivered) — before the
+    /// fault wiped them out of the pending inboxes, so this counter
+    /// *overlaps* the delivery counters rather than adding to them.
+    pub messages_dropped_fault: u64,
     /// Rounds executed.
     pub rounds: u64,
     /// Per-process delivered-message counts.
@@ -58,6 +65,27 @@ impl Trace {
         }
     }
 
+    /// Messages the scheduler attempted to route: deliveries plus the
+    /// routing-time drops (no link, loss model). Fault drops are *not*
+    /// added — a fault destroys messages that were already routed and
+    /// counted delivered (see
+    /// [`messages_dropped_fault`](Trace::messages_dropped_fault)).
+    pub fn messages_offered(&self) -> u64 {
+        self.messages_delivered + self.messages_dropped_no_link + self.messages_dropped_lossy
+    }
+
+    /// Fraction of on-link messages the loss model dropped, in `[0, 1]`
+    /// (0 if nothing was routed). Scenario run records report this as the
+    /// observed drop rate under [`Delivery::Lossy`](crate::sim::Delivery).
+    pub fn lossy_drop_rate(&self) -> f64 {
+        let on_link = self.messages_delivered + self.messages_dropped_lossy;
+        if on_link == 0 {
+            0.0
+        } else {
+            self.messages_dropped_lossy as f64 / on_link as f64
+        }
+    }
+
     /// Resets all counters (used between experiment phases).
     pub fn reset(&mut self) {
         let n = self.per_process.len();
@@ -95,5 +123,27 @@ mod tests {
     #[test]
     fn messages_per_round_zero_when_empty() {
         assert_eq!(Trace::new(1).messages_per_round(), 0.0);
+    }
+
+    #[test]
+    fn offered_sums_all_outcomes_and_drop_rate_is_lossy_share() {
+        let mut t = Trace::new(2);
+        t.record_delivery(ProcessId(0), 1);
+        t.record_delivery(ProcessId(1), 1);
+        t.record_delivery(ProcessId(1), 1);
+        t.messages_dropped_lossy = 1;
+        t.messages_dropped_no_link = 5;
+        // Fault drops overlap `messages_delivered` (wiped *after* routing),
+        // so they must not inflate the offered count.
+        t.messages_dropped_fault = 2;
+        assert_eq!(t.messages_offered(), 9);
+        // 1 lossy drop out of 4 on-link messages; no-link and fault drops
+        // do not dilute the loss-model rate.
+        assert!((t.lossy_drop_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drop_rate_zero_when_nothing_routed() {
+        assert_eq!(Trace::new(1).lossy_drop_rate(), 0.0);
     }
 }

@@ -1,59 +1,61 @@
-//! Fig. 1 end-to-end: the hidden manipulative strategy and its audit.
+//! Fig. 1 end-to-end: the hidden manipulative strategy and its audit —
+//! now expressed as a scenario and swept over seeds.
 //!
 //! Agent B secretly plays the "Manipulate" strategy from the paper's
 //! Fig. 1 while claiming a fair coin. Without the authority, A bleeds an
 //! expected 4 per play; with the authority, the §5.3 audit exposes B in
-//! the first play.
+//! the first play. Instead of a single hand-rolled run, this walkthrough
+//! fans the ported scenario out over 16 seeds through the deterministic
+//! sweep engine and reads the answer off the aggregates.
 //!
 //! ```text
 //! cargo run --example manipulation_audit
 //! ```
 
-use game_authority_suite::authority::agent::Behavior;
-use game_authority_suite::authority::authority::{Authority, AuthorityConfig};
-use game_authority_suite::games::matching_pennies::{manipulated_matching_pennies, MANIPULATE};
-
-fn behaviors() -> Vec<Behavior> {
-    vec![
-        Behavior::honest_mixed(vec![0.5, 0.5]),
-        Behavior::hidden_manipulator(vec![0.5, 0.5, 0.0], MANIPULATE),
-    ]
-}
+use game_authority_suite::scenario::ports::manipulation_audit_port;
+use game_authority_suite::scenario::sweep::sweep;
 
 fn main() {
-    let game = manipulated_matching_pennies();
-    let rounds = 100;
+    let scenarios = vec![manipulation_audit_port()];
+    let summary = sweep("manipulation_audit", &scenarios, 0..16, 4);
 
-    // Regime 1: nobody watching.
-    let mut unsupervised = Authority::new(
-        &game,
-        behaviors(),
-        AuthorityConfig {
-            audits_enabled: false,
-            ..AuthorityConfig::default()
-        },
+    println!(
+        "Fig. 1 manipulation across {} seeded runs:\n",
+        summary.runs()
     );
-    let a_loss: f64 = unsupervised.play(rounds).iter().map(|r| r.costs[0]).sum();
-    println!("without the authority, over {rounds} plays:");
-    println!("  A's total loss: {a_loss:.1} (≈4/play — the §5.1 prediction)\n");
+    println!(
+        "{:>6}  {:>12}  {:>12}  {:>10}",
+        "seed", "A unsuperv.", "A supervised", "caught at"
+    );
+    for r in &summary.records {
+        println!(
+            "{:>6}  {:>12.1}  {:>12.1}  {:>10}",
+            r.seed,
+            r.get_metric("a_loss_unsupervised").unwrap_or(f64::NAN),
+            r.get_metric("a_loss_supervised").unwrap_or(f64::NAN),
+            match r.get_metric("caught_at") {
+                Some(c) if c >= 0.0 => format!("play {c}"),
+                _ => "never".into(),
+            }
+        );
+    }
 
-    // Regime 2: the game authority audits every play.
-    let mut supervised = Authority::new(&game, behaviors(), AuthorityConfig::default());
-    let reports = supervised.play(rounds);
-    let a_loss_supervised: f64 = reports.iter().map(|r| r.costs[0]).sum();
-    let caught = reports
-        .iter()
-        .find(|r| r.punished.contains(&1))
-        .map(|r| r.round);
-    println!("with the authority:");
+    let agg = &summary.scenarios[0];
+    let unsup = agg.metric("a_loss_unsupervised").expect("metric present");
+    let sup = agg.metric("a_loss_supervised").expect("metric present");
     println!(
-        "  B caught in play {:?} with verdict {:?}",
-        caught.expect("manipulation detected"),
-        reports[0].verdicts[1]
+        "\nmean A loss over 100 plays: {:.1} unsupervised (≈4/play, the §5.1 prediction)",
+        unsup.mean
     );
-    println!("  A's total loss: {a_loss_supervised:.1}");
     println!(
-        "  malice damage reduced {:.0}x",
-        a_loss / a_loss_supervised.max(1.0)
+        "                            {:.1} supervised — damage reduced {:.0}x",
+        sup.mean,
+        unsup.mean / sup.mean.max(1.0)
     );
+    println!(
+        "verdicts: {}/{} passed (every seed: caught in play 0)",
+        summary.passed(),
+        summary.runs()
+    );
+    assert!(summary.all_passed(), "the §5.3 audit claim failed");
 }

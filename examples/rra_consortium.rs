@@ -1,52 +1,54 @@
 //! The paper's §6 motivating scenario: "a consortium of Internet companies
-//! shares licenses for advertisement clips on video Web sites".
+//! shares licenses for advertisement clips on video Web sites" — as a
+//! seeded scenario sweep.
 //!
 //! Every play, each company places one unit demand on a host; everyone
 //! learns the loads afterwards. Under authority supervision the repeated
 //! Nash play keeps the multi-round anarchy cost R(k) inside the proven
-//! 1 + 2b/k bound and drives it to 1 — the consortium loses (asymptotically)
-//! nothing to decentralization.
+//! 1 + 2b/k bound and drives it to 1 — the consortium loses
+//! (asymptotically) nothing to decentralization. The claim is checked at
+//! *every* round of *every* seeded run by the ported scenario's verdict;
+//! the sweep engine batches the runs and aggregates deterministically.
 //!
 //! ```text
 //! cargo run --example rra_consortium
 //! ```
 
-use game_authority_suite::games::resource_allocation::RraProcess;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use game_authority_suite::scenario::ports::rra_consortium_port;
+use game_authority_suite::scenario::sweep::sweep;
 
 fn main() {
     let (companies, hosts) = (8usize, 4usize);
     println!("consortium: {companies} companies sharing {hosts} hosts\n");
-    println!(
-        "{:>6}  {:>8}  {:>8}  {:>6}  {:>6}",
-        "k", "R(k)", "1+2b/k", "Δ(k)", "2n−1"
-    );
 
-    let mut rra = RraProcess::new(companies, hosts);
-    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
-    let checkpoints = [1u64, 5, 10, 50, 100, 500, 1000, 5000];
-    for stats in rra.play(5000, &mut rng) {
-        if checkpoints.contains(&stats.k) {
-            println!(
-                "{:>6}  {:>8.4}  {:>8.4}  {:>6}  {:>6}",
-                stats.k,
-                stats.ratio,
-                stats.bound,
-                stats.gap,
-                2 * companies - 1
-            );
-        }
+    let scenarios = vec![rra_consortium_port()];
+    let summary = sweep("rra_consortium", &scenarios, 0..12, 4);
+
+    println!(
+        "{:>6}  {:>10}  {:>10}  {:>6}  {:>6}",
+        "seed", "R(5000)", "1+2b/k", "Δ", "2n−1"
+    );
+    for r in &summary.records {
+        println!(
+            "{:>6}  {:>10.4}  {:>10.4}  {:>6}  {:>6}",
+            r.seed,
+            r.get_metric("ratio_final").unwrap_or(f64::NAN),
+            r.get_metric("bound_final").unwrap_or(f64::NAN),
+            r.get_metric("gap_final").unwrap_or(f64::NAN),
+            2 * companies - 1
+        );
     }
 
-    let final_stats = rra.stats();
+    let ratio = summary.scenarios[0]
+        .metric("ratio_final")
+        .expect("metric present");
     println!(
-        "\nfinal loads: {:?} (max−min = {})",
-        rra.loads(),
-        final_stats.gap
+        "\nTheorem 5 verdict over {} seeds: mean R(5000) = {:.4}, worst = {:.4} — \
+         supervised RRA is asymptotically optimal",
+        summary.runs(),
+        ratio.mean,
+        ratio.max
     );
-    println!(
-        "Theorem 5 verdict: R(5000) = {:.4} ≤ {:.4} — supervised RRA is asymptotically optimal",
-        final_stats.ratio, final_stats.bound
-    );
+    println!("verdicts: {}/{} passed", summary.passed(), summary.runs());
+    assert!(summary.all_passed(), "an anarchy-cost bound was violated");
 }

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Times the 64-processor scenario sweep suite and records throughput
+# (BENCH_scenarios.json at the repo root) so future PRs can track the
+# sweep engine's runs/sec alongside the substrate snapshot.
+#
+# The snapshot contains:
+#   suite         — the swept suite (bench64: 4 workloads × 16 seeds)
+#   runs          — total scenario runs executed
+#   runs_per_sec  — sweep throughput at the default worker count
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_scenarios.json}"
+case "$OUT" in
+    /*) ;;
+    *) OUT="$PWD/$OUT" ;;
+esac
+
+cargo build --release --offline --bin scenario
+./target/release/scenario bench --suite bench64 --out "$OUT"
+
+if command -v python3 >/dev/null; then
+    python3 - "$OUT" <<'EOF'
+import json, sys
+data = json.load(open(sys.argv[1]))
+print(f"sweep throughput: {data['runs_per_sec']:.1f} runs/sec "
+      f"({data['runs']} runs of 64-process scenarios on {data['workers']} workers)")
+EOF
+fi

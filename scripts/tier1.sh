@@ -10,6 +10,11 @@ cargo build --release --workspace --offline
 echo "==> cargo test"
 cargo test -q --workspace --offline
 
+echo "==> scenario smoke suite (verdicts + cross-process summary determinism)"
+./target/release/scenario run --suite smoke --workers 4 > target/scenario_smoke_a.json
+./target/release/scenario run --suite smoke --workers 1 > target/scenario_smoke_b.json
+cmp target/scenario_smoke_a.json target/scenario_smoke_b.json
+
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 

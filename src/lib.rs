@@ -16,7 +16,9 @@
 //!   repeated resource allocation (§6), virus inoculation, and more;
 //! * [`authority`] — the game authority middleware itself: legislative,
 //!   judicial and executive services, reference engine and the fully
-//!   distributed clock-driven protocol.
+//!   distributed clock-driven protocol;
+//! * [`scenario`] — declarative scenario specs, the deterministic parallel
+//!   sweep engine, and the named suites behind the `scenario` CLI binary.
 //!
 //! See the `examples/` directory for runnable walkthroughs and
 //! `ga-bench`'s `experiments` binary for the paper's reproduced artifacts.
@@ -34,5 +36,6 @@ pub use ga_clocksync as clocksync;
 pub use ga_crypto as crypto;
 pub use ga_game_theory as game_theory;
 pub use ga_games as games;
+pub use ga_scenario as scenario;
 pub use ga_simnet as simnet;
 pub use game_authority as authority;
