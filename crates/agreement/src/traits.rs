@@ -25,7 +25,11 @@ pub type Send<'a> = dyn FnMut(usize, Bytes) + 'a;
 /// rounds `0, 1, …, rounds()-1`; at each step the instance sees the
 /// messages delivered this round (sent at the previous one) and may send.
 /// After the final step, [`decided`](BaInstance::decided) is `Some`.
-pub trait BaInstance {
+///
+/// `Send` is a supertrait so a boxed instance can live inside a simulator
+/// [`Process`], which the scheduler's sharded compute phase may step on a
+/// worker thread.
+pub trait BaInstance: std::marker::Send {
     /// Hard-resets state and installs this processor's input value.
     fn begin(&mut self, input: Value);
 

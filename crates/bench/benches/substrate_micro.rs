@@ -137,23 +137,23 @@ fn bench_substrate(c: &mut Criterion) {
         );
     }
 
-    // Steady-state step loop: complete(64), every process broadcasts 8
-    // bytes per pulse — 64 × 63 routed messages per step — on the
-    // zero-copy substrate vs the faithful old-substrate baseline.
+    // Steady-state step loop: complete(n), every process broadcasts 8
+    // bytes per pulse — n × (n-1) routed messages per step — on the
+    // zero-copy substrate. n=64 is the paper's default population (and the
+    // before/after anchor vs the naive substrate below); n=256/1024 form
+    // the scaling series the sharded variants are measured against.
+    for n in [64usize, 256, 1024] {
+        g.throughput(Throughput::Elements((n * (n - 1)) as u64));
+        g.bench_function(BenchmarkId::new("step_loop_bytes", format!("n{n}")), |b| {
+            let mut sim = broadcaster_sim(n, 1);
+            b.iter(|| {
+                sim.step();
+                std::hint::black_box(sim.round())
+            })
+        });
+    }
     let n = 64;
     g.throughput(Throughput::Elements((n * (n - 1)) as u64));
-    g.bench_function(BenchmarkId::new("step_loop_bytes", format!("n{n}")), |b| {
-        let mut sim = Simulation::builder(Topology::complete(n)).build_with(|_| {
-            Box::new(BytesBroadcaster {
-                payload: Bytes::from(vec![0xEEu8; 8]),
-            }) as Box<dyn Process>
-        });
-        sim.run(2); // warm the recycled buffers into steady state
-        b.iter(|| {
-            sim.step();
-            std::hint::black_box(sim.round())
-        })
-    });
     g.bench_function(
         BenchmarkId::new("step_loop_naive_substrate", format!("n{n}")),
         |b| {
@@ -166,7 +166,42 @@ fn bench_substrate(c: &mut Criterion) {
             })
         },
     );
+
+    // Intra-run sharding at n=1024: the same step loop with the compute
+    // phase fanned out over 1/2/4 scoped threads. The s1 row prices the
+    // shard plumbing itself (same code path, no thread spawns); speedup of
+    // s2/s4 over `step_loop_bytes/n1024` tracks the host's core count —
+    // traces stay byte-identical regardless.
+    let n = 1024;
+    g.throughput(Throughput::Elements((n * (n - 1)) as u64));
+    for shards in [1usize, 2, 4] {
+        g.bench_function(
+            BenchmarkId::new("step_loop_sharded", format!("n{n}s{shards}")),
+            |b| {
+                let mut sim = broadcaster_sim(n, shards);
+                b.iter(|| {
+                    sim.step();
+                    std::hint::black_box(sim.round())
+                })
+            },
+        );
+    }
     g.finish();
+}
+
+/// A complete-graph simulation of 8-byte broadcasters, warmed into steady
+/// state (recycled buffers populated) so iterations measure only the
+/// per-round cost.
+fn broadcaster_sim(n: usize, shards: usize) -> Simulation {
+    let mut sim = Simulation::builder(Topology::complete(n))
+        .shards(shards)
+        .build_with(|_| {
+            Box::new(BytesBroadcaster {
+                payload: Bytes::from(vec![0xEEu8; 8]),
+            }) as Box<dyn Process>
+        });
+    sim.run(2);
+    sim
 }
 
 fn bench_crypto(c: &mut Criterion) {

@@ -2,16 +2,27 @@
 //!
 //! ```text
 //! scenario list
-//! scenario run --suite paper [--seeds N] [--workers N] [--out FILE] [--no-records]
-//! scenario bench [--suite bench64] [--seeds N] [--workers N] [--out FILE]
+//! scenario run --suite paper [--seeds N] [--workers N] [--shards N]
+//!              [--out FILE] [--records FILE.jsonl] [--no-records]
+//! scenario bench [--suite bench64] [--seeds N] [--workers N] [--shards N] [--out FILE]
 //! ```
 //!
 //! `run` prints the suite's deterministic JSON summary to stdout (and
-//! optionally a file): byte-identical across repeated invocations and
-//! worker counts. `bench` times a sweep and records throughput — timing
-//! lives only in the bench output, never in run summaries, so summaries
-//! stay reproducible.
+//! optionally a file): byte-identical across repeated invocations, worker
+//! counts and shard counts. `--shards N` shards each run's
+//! `Simulation::step` across N threads (absent: each scenario's own
+//! setting applies; `--shards 1` forces serial); the `--workers` value is
+//! treated as a **total** thread budget, so sweep-level parallelism is
+//! scaled down to `workers / shards` — only for suites whose scenarios
+//! actually step the simulator; pure-computation suites keep the whole
+//! budget and the ignored flag is noted on stderr. `--records FILE`
+//! streams one JSON line per run to FILE as runs complete (stable job
+//! order), without holding the records in memory. `bench` times a sweep
+//! and records throughput —
+//! timing lives only in the bench output, never in run summaries, so
+//! summaries stay reproducible.
 
+use std::io::Write;
 use std::time::Instant;
 
 use crate::json::Json;
@@ -42,8 +53,12 @@ struct Options {
     suite: String,
     seeds: Option<u64>,
     workers: usize,
+    /// `None` = not passed: each scenario keeps its own shard default.
+    /// `Some(n)` (1 included, forcing serial) overrides every run.
+    shards: Option<usize>,
     out: Option<String>,
     records: bool,
+    record_sink: Option<String>,
 }
 
 impl Options {
@@ -52,8 +67,10 @@ impl Options {
             suite: default_suite.to_string(),
             seeds: None,
             workers: default_workers(),
+            shards: None,
             out: None,
             records: true,
+            record_sink: None,
         };
         let mut i = 0;
         while i < args.len() {
@@ -83,8 +100,22 @@ impl Options {
                     }
                     i += 2;
                 }
+                "--shards" => {
+                    let shards: usize = take(i)?
+                        .parse()
+                        .map_err(|_| "--shards needs an integer".to_string())?;
+                    if shards == 0 {
+                        return Err("--shards must be positive".into());
+                    }
+                    opts.shards = Some(shards);
+                    i += 2;
+                }
                 "--out" => {
                     opts.out = Some(take(i)?.clone());
+                    i += 2;
+                }
+                "--records" => {
+                    opts.record_sink = Some(take(i)?.clone());
                     i += 2;
                 }
                 "--no-records" => {
@@ -95,6 +126,37 @@ impl Options {
             }
         }
         Ok(opts)
+    }
+
+    /// Sweep-level worker count under the combined budget: `--workers` is
+    /// the total thread allowance, and each concurrent run occupies
+    /// `--shards` of it (runs × shards ≤ workers, with at least one run).
+    ///
+    /// Suites whose scenarios cannot shard (pure-computation ports) keep
+    /// the full budget — carving it up would slow the sweep for nothing —
+    /// and a warning flags the ignored `--shards`.
+    fn sweep_workers(&self, suite: &suites::Suite) -> usize {
+        let Some(shards) = self.shards else {
+            return self.workers;
+        };
+        if shards <= 1 {
+            return self.workers;
+        }
+        let shardable = suite.scenarios().iter().any(|s| s.supports_sharding());
+        if !shardable {
+            eprintln!(
+                "note: suite `{}` has no simulator-backed scenarios; --shards {shards} is ignored",
+                suite.name
+            );
+            return self.workers;
+        }
+        (self.workers / shards).max(1)
+    }
+
+    /// The shard hint handed to every run: 0 = unspecified (scenario
+    /// defaults apply), any explicit `--shards` value otherwise.
+    fn shard_hint(&self) -> usize {
+        self.shards.unwrap_or(0)
     }
 }
 
@@ -114,11 +176,16 @@ fn usage(err: &str) -> i32 {
     eprintln!("  list                      show every named suite");
     eprintln!("  run   --suite NAME        run a suite, print its JSON summary");
     eprintln!("        [--seeds N]         seeds per scenario (default: suite plan)");
-    eprintln!("        [--workers N]       sweep threads (default: min(cores, 16))");
+    eprintln!("        [--workers N]       total thread budget (default: min(cores, 16))");
+    eprintln!("        [--shards N]        threads per run's step loop (default: each");
+    eprintln!("                            scenario's own setting; 1 forces serial; for");
+    eprintln!("                            simulator suites, runs scale to workers/shards)");
     eprintln!("        [--out FILE]        also write the summary to FILE");
+    eprintln!("        [--records FILE]    stream one JSONL record per run to FILE");
     eprintln!("        [--no-records]      aggregates only, omit per-run records");
     eprintln!("  bench [--suite NAME]      time a sweep, write throughput JSON");
-    eprintln!("        [--seeds N] [--workers N] [--out FILE (default BENCH_scenarios.json)]");
+    eprintln!("        [--seeds N] [--workers N] [--shards N]");
+    eprintln!("        [--out FILE (default BENCH_scenarios.json)]");
     2
 }
 
@@ -143,8 +210,61 @@ fn run(opts: &Options) -> i32 {
             opts.suite
         ));
     };
-    let summary = suite.run(opts.seeds, opts.workers);
-    let json = summary.to_json(opts.records).render();
+    let mut failures: Vec<String> = Vec::new();
+    let summary = match &opts.record_sink {
+        Some(path) => {
+            // Stream one JSONL line per run as it completes (stable job
+            // order); records are dropped after writing, so the sweep's
+            // memory stays bounded regardless of seed count.
+            let file = match std::fs::File::create(path) {
+                Ok(file) => file,
+                Err(err) => {
+                    eprintln!("error: cannot create {path}: {err}");
+                    return 2;
+                }
+            };
+            let mut out = std::io::BufWriter::new(file);
+            let mut io_err: Option<std::io::Error> = None;
+            let mut sink = |_i: usize, record: &crate::record::RunRecord| {
+                if !record.verdict.passed() {
+                    failures.push(format!("{} (seed {})", record.scenario, record.seed));
+                }
+                if io_err.is_none() {
+                    io_err = writeln!(out, "{}", record.to_json().render()).err();
+                }
+            };
+            let summary = suite.run_stream(
+                opts.seeds,
+                opts.sweep_workers(&suite),
+                opts.shard_hint(),
+                &mut sink,
+            );
+            if io_err.is_none() {
+                io_err = out.flush().err();
+            }
+            if let Some(err) = io_err {
+                eprintln!("error: cannot write {path}: {err}");
+                return 2;
+            }
+            summary
+        }
+        None => {
+            let summary =
+                suite.run_sharded(opts.seeds, opts.sweep_workers(&suite), opts.shard_hint());
+            failures = summary
+                .records
+                .iter()
+                .filter(|r| !r.verdict.passed())
+                .map(|r| format!("{} (seed {})", r.scenario, r.seed))
+                .collect();
+            summary
+        }
+    };
+    // A streamed sweep already wrote the records; the summary embeds them
+    // only when they were retained and not suppressed.
+    let json = summary
+        .to_json(opts.records && opts.record_sink.is_none())
+        .render();
     println!("{json}");
     if let Some(path) = &opts.out {
         if let Err(err) = std::fs::write(path, format!("{json}\n")) {
@@ -155,12 +275,6 @@ fn run(opts: &Options) -> i32 {
     if summary.all_passed() {
         0
     } else {
-        let failures: Vec<String> = summary
-            .records
-            .iter()
-            .filter(|r| !r.verdict.passed())
-            .map(|r| format!("{} (seed {})", r.scenario, r.seed))
-            .collect();
         eprintln!("verdict failures: {}", failures.join(", "));
         1
     }
@@ -173,14 +287,21 @@ fn bench(opts: &Options) -> i32 {
             opts.suite
         ));
     };
+    // Resolve the budget split once: it also prints the ignored---shards
+    // note, and the bench region must not re-trigger it.
+    let workers = opts.sweep_workers(&suite);
     let start = Instant::now();
-    let summary = suite.run(opts.seeds, opts.workers);
+    let summary = suite.run_sharded(opts.seeds, workers, opts.shard_hint());
     let elapsed = start.elapsed().as_secs_f64();
     let runs = summary.runs();
+    // `workers` records the *effective* sweep thread count (the --workers
+    // budget divided by --shards), so runs_per_sec comparisons across
+    // snapshots attribute throughput to the parallelism actually used.
     let json = Json::obj(vec![
         ("suite", Json::str(suite.name)),
         ("runs", Json::Uint(runs)),
-        ("workers", Json::Uint(opts.workers as u64)),
+        ("workers", Json::Uint(workers as u64)),
+        ("shards", Json::Uint(opts.shards.unwrap_or(1) as u64)),
         ("elapsed_s", Json::Num(elapsed)),
         ("runs_per_sec", Json::Num(runs as f64 / elapsed.max(1e-9))),
         ("all_passed", Json::Bool(summary.all_passed())),
@@ -214,8 +335,12 @@ mod tests {
                 "5",
                 "--workers",
                 "3",
+                "--shards",
+                "2",
                 "--out",
                 "x.json",
+                "--records",
+                "runs.jsonl",
                 "--no-records",
             ]),
             "paper",
@@ -224,7 +349,9 @@ mod tests {
         assert_eq!(opts.suite, "smoke");
         assert_eq!(opts.seeds, Some(5));
         assert_eq!(opts.workers, 3);
+        assert_eq!(opts.shards, Some(2));
         assert_eq!(opts.out.as_deref(), Some("x.json"));
+        assert_eq!(opts.record_sink.as_deref(), Some("runs.jsonl"));
         assert!(!opts.records);
     }
 
@@ -232,6 +359,7 @@ mod tests {
     fn parse_rejects_bad_input() {
         assert!(Options::parse(&args(&["--seeds"]), "paper").is_err());
         assert!(Options::parse(&args(&["--workers", "0"]), "paper").is_err());
+        assert!(Options::parse(&args(&["--shards", "0"]), "paper").is_err());
         assert!(Options::parse(&args(&["--frobnicate"]), "paper").is_err());
     }
 
@@ -242,6 +370,95 @@ mod tests {
         assert_eq!(opts.seeds, None);
         assert!(opts.records);
         assert!(opts.workers >= 1);
+        assert_eq!(opts.shards, None);
+        assert!(opts.record_sink.is_none());
+    }
+
+    #[test]
+    fn worker_budget_is_divided_by_shards_for_shardable_suites() {
+        // smoke is simulator-backed (shards engage); paper is pure
+        // computation (the budget split would be pure loss).
+        let smoke = suites::find("smoke").unwrap();
+        let paper = suites::find("paper").unwrap();
+        let mut opts =
+            Options::parse(&args(&["--workers", "8", "--shards", "4"]), "paper").unwrap();
+        assert_eq!(opts.shard_hint(), 4);
+        assert_eq!(opts.sweep_workers(&smoke), 2);
+        assert_eq!(
+            opts.sweep_workers(&paper),
+            8,
+            "non-sharding suites keep the whole budget"
+        );
+        opts.shards = Some(16);
+        assert_eq!(
+            opts.sweep_workers(&smoke),
+            1,
+            "budget never starves the sweep"
+        );
+        opts.shards = Some(3);
+        assert_eq!(
+            opts.sweep_workers(&smoke),
+            2,
+            "integer division rounds down"
+        );
+        opts.shards = Some(1);
+        assert_eq!(
+            opts.sweep_workers(&smoke),
+            8,
+            "explicit serial keeps the whole budget"
+        );
+        opts.shards = None;
+        assert_eq!(
+            opts.shard_hint(),
+            0,
+            "absent flag defers to scenario defaults"
+        );
+        assert_eq!(opts.sweep_workers(&paper), 8);
+    }
+
+    #[test]
+    fn run_streams_jsonl_records_in_stable_order() {
+        let dir = std::env::temp_dir().join("ga-scenario-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("records.jsonl");
+        let path_str = path.to_str().unwrap().to_string();
+
+        let code = main(args(&[
+            "run",
+            "--suite",
+            "smoke",
+            "--seeds",
+            "2",
+            "--workers",
+            "4",
+            "--records",
+            &path_str,
+        ]));
+        assert_eq!(code, 0);
+        let body = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = body.lines().collect();
+        let scenarios = suites::find("smoke").unwrap().scenarios().len();
+        assert_eq!(lines.len(), scenarios * 2, "one JSONL line per run");
+        assert!(lines.iter().all(|l| l.starts_with("{\"scenario\":")));
+
+        // A second invocation (different worker split) must write the
+        // identical file: streaming preserves job order.
+        let path2 = dir.join("records2.jsonl");
+        let path2_str = path2.to_str().unwrap().to_string();
+        let code = main(args(&[
+            "run",
+            "--suite",
+            "smoke",
+            "--seeds",
+            "2",
+            "--workers",
+            "1",
+            "--records",
+            &path2_str,
+        ]));
+        assert_eq!(code, 0);
+        assert_eq!(body, std::fs::read_to_string(&path2).unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -91,7 +91,10 @@ pub mod prelude {
     pub use crate::record::{FnScenario, MessageStats, RunRecord, Scenario, Verdict};
     pub use crate::spec::{Role, ScenarioSpec, TopologyFamily};
     pub use crate::suites::Suite;
-    pub use crate::sweep::{expand_grid, sweep, MetricAgg, ParamGrid, SweepSummary};
+    pub use crate::sweep::{
+        expand_grid, sweep, sweep_sharded, sweep_stream, MetricAgg, ParamGrid, RecordSink,
+        SummaryBuilder, SweepSummary,
+    };
     pub use crate::workload::{Flood, MaxGossip};
     pub use ga_simnet::prelude::*;
     pub use ga_simnet::sim::Delivery;

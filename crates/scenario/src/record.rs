@@ -197,6 +197,30 @@ pub trait Scenario: Send + Sync {
 
     /// Executes one run.
     fn run(&self, seed: u64) -> RunRecord;
+
+    /// Executes one run with an intra-run parallelism hint: simulator-
+    /// backed scenarios shard `Simulation::step` across `shards` threads.
+    /// A hint of 0 means "unspecified" — scenarios carrying their own
+    /// shard default (`ScenarioSpec::shards`) fall back to it; any
+    /// explicit value (1 = force serial) wins.
+    ///
+    /// Sharding is an execution knob, never a semantic one — the record
+    /// must be identical at every shard count (sharded stepping is
+    /// byte-identical to serial, see `ga_simnet::sim::StepExec`). The
+    /// default ignores the hint, which is trivially conformant for pure
+    /// computations.
+    fn run_sharded(&self, seed: u64, shards: usize) -> RunRecord {
+        let _ = shards;
+        self.run(seed)
+    }
+
+    /// Whether [`run_sharded`](Scenario::run_sharded) actually honors the
+    /// shard hint (default false — pure computations step no simulator).
+    /// Sweep frontends use this to avoid carving a thread budget up for
+    /// sharding that would buy nothing.
+    fn supports_sharding(&self) -> bool {
+        false
+    }
 }
 
 /// A [`Scenario`] defined by a closure — the porting vehicle for

@@ -129,6 +129,7 @@ pub struct ScenarioSpec {
     placements: Vec<(usize, Role)>,
     schedule: Schedule,
     max_rounds: u64,
+    shards: usize,
     protocol: ProtocolFactory,
     stop: Option<StopPredicate>,
     verdict: Option<VerdictFn>,
@@ -162,6 +163,7 @@ impl ScenarioSpec {
             placements: Vec::new(),
             schedule: Schedule::new(),
             max_rounds: 100,
+            shards: 1,
             protocol: Arc::new(protocol),
             stop: None,
             verdict: None,
@@ -220,6 +222,19 @@ impl ScenarioSpec {
         self
     }
 
+    /// Shards each run's `Simulation::step` compute phase across this many
+    /// threads (default 1 = serial). Purely a throughput knob for large-n
+    /// specs: records are identical at every shard count. An explicit
+    /// sweep-level hint
+    /// ([`Scenario::run_sharded`](crate::record::Scenario::run_sharded),
+    /// the CLI's `--shards` — 1 included, forcing serial) overrides this;
+    /// a hint of 0 defers to it.
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
     /// Sets a stop predicate: the run ends as soon as it holds (checked
     /// before every pulse), recording the round in
     /// [`RunRecord::stopped_at`].
@@ -272,13 +287,30 @@ impl ScenarioSpec {
 
     /// Executes one run at `seed`. Pure: equal seeds give equal records.
     pub fn run(&self, seed: u64) -> RunRecord {
+        self.run_sharded(seed, 0)
+    }
+
+    /// Executes one run at `seed` with the compute phase of every
+    /// `Simulation::step` sharded across `shards` threads. The record is
+    /// identical at every shard count (the spec's own
+    /// [`shards`](ScenarioSpec::shards) default included) — sharding only
+    /// changes wall-clock time.
+    pub fn run_sharded(&self, seed: u64, shards: usize) -> RunRecord {
+        // A hint of 0 means "unspecified" (the sweep default): fall back
+        // to the spec's own knob so `.shards(n)` survives every sweep
+        // path. Any explicit hint — including 1 = force serial — wins.
+        let shards = if shards == 0 { self.shards } else { shards };
         let topology = self.topology.build(seed);
         let n = topology.len();
-        let cabal = Cabal::new();
+        // The cabal's per-round lies derive from the run seed, so records
+        // stay a pure function of (spec, seed) and colluders split across
+        // step shards tell identical lies.
+        let cabal = Cabal::seeded(seed);
         let mut sim = Simulation::builder(topology)
             .seed(seed)
             .delivery(self.delivery)
             .schedule(self.schedule.clone())
+            .shards(shards)
             .build_with(
                 |id| match self.placements.iter().find(|(byz, _)| *byz == id.index()) {
                     Some((_, role)) => Self::role_process(role, &cabal),
@@ -313,6 +345,14 @@ impl crate::record::Scenario for ScenarioSpec {
 
     fn run(&self, seed: u64) -> RunRecord {
         ScenarioSpec::run(self, seed)
+    }
+
+    fn run_sharded(&self, seed: u64, shards: usize) -> RunRecord {
+        ScenarioSpec::run_sharded(self, seed, shards)
+    }
+
+    fn supports_sharding(&self) -> bool {
+        true
     }
 }
 

@@ -43,12 +43,41 @@ impl Suite {
     /// Runs the suite over `seeds` seeds (default plan if `None`) on
     /// `workers` threads.
     pub fn run(&self, seeds: Option<u64>, workers: usize) -> SweepSummary {
+        self.run_sharded(seeds, workers, 0)
+    }
+
+    /// [`run`](Suite::run) with each run's `Simulation::step` sharded
+    /// across `shards` threads (0 defers to each scenario's own default,
+    /// 1 forces serial). Summaries are byte-identical at any
+    /// `(workers, shards)` combination.
+    pub fn run_sharded(&self, seeds: Option<u64>, workers: usize, shards: usize) -> SweepSummary {
         let count = seeds.unwrap_or(self.default_seeds).max(1);
-        sweep::sweep(
+        sweep::sweep_sharded(
             self.name,
             &self.scenarios(),
             self.seed_base..self.seed_base + count,
             workers,
+            shards,
+        )
+    }
+
+    /// [`run_sharded`](Suite::run_sharded) that streams every record to
+    /// `sink` (in job order) instead of retaining them in the summary.
+    pub fn run_stream(
+        &self,
+        seeds: Option<u64>,
+        workers: usize,
+        shards: usize,
+        sink: sweep::RecordSink<'_>,
+    ) -> SweepSummary {
+        let count = seeds.unwrap_or(self.default_seeds).max(1);
+        sweep::sweep_stream(
+            self.name,
+            &self.scenarios(),
+            self.seed_base..self.seed_base + count,
+            workers,
+            shards,
+            sink,
         )
     }
 }
@@ -83,6 +112,13 @@ pub fn all() -> Vec<Suite> {
             seed_base: 0,
             default_seeds: 16,
             build: bench64,
+        },
+        Suite {
+            name: "bench256",
+            description: "256-processor workloads where intra-run sharding (--shards) pays off",
+            seed_base: 0,
+            default_seeds: 4,
+            build: bench256,
         },
     ]
 }
@@ -295,6 +331,42 @@ fn bench64() -> Vec<Arc<dyn Scenario>> {
     ]
 }
 
+/// 256-processor workloads: the population scale where one run stops
+/// fitting one core and the `--shards` knob starts mattering. Mirrors the
+/// bench64 shapes so the two suites read as one scaling series.
+fn bench256() -> Vec<Arc<dyn Scenario>> {
+    vec![
+        Arc::new(
+            ScenarioSpec::new(
+                "bench_flood_complete256",
+                TopologyFamily::Complete(256),
+                flood,
+            )
+            .max_rounds(15),
+        ),
+        Arc::new(
+            ScenarioSpec::new(
+                "bench_lossy_random256",
+                TopologyFamily::RandomK {
+                    n: 256,
+                    k: 8,
+                    extra_p: 0.02,
+                },
+                gossip,
+            )
+            .delivery(Delivery::Lossy { p: 0.1 })
+            .max_rounds(30),
+        ),
+        Arc::new(
+            ScenarioSpec::new("bench_grid_fault256", TopologyFamily::Grid(16, 16), gossip)
+                .schedule(
+                    Schedule::new().at(10, ScheduledAction::Inject(TransientFault::total(256, 2))),
+                )
+                .max_rounds(30),
+        ),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -347,5 +419,13 @@ mod tests {
         assert_eq!(summary.runs(), 4);
         assert!(summary.all_passed());
         assert!(summary.records[0].messages.delivered > 0);
+    }
+
+    #[test]
+    fn bench256_sharded_summary_matches_serial() {
+        let suite = find("bench256").unwrap();
+        let serial = suite.run_sharded(Some(1), 2, 1).to_json(true).render();
+        let sharded = suite.run_sharded(Some(1), 2, 4).to_json(true).render();
+        assert_eq!(serial, sharded, "--shards must never change a summary");
     }
 }

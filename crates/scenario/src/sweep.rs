@@ -16,7 +16,7 @@
 //! `tests/determinism.rs` and re-checked by `scripts/tier1.sh`.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 use crate::json::Json;
 use crate::record::{RunRecord, Scenario};
@@ -96,16 +96,29 @@ struct GridPoint<S: Scenario> {
     inner: S,
 }
 
+impl<S: Scenario> GridPoint<S> {
+    fn stamp(&self, mut record: RunRecord) -> RunRecord {
+        record.scenario = self.name.clone();
+        record.params = self.params.clone();
+        record
+    }
+}
+
 impl<S: Scenario> Scenario for GridPoint<S> {
     fn name(&self) -> &str {
         &self.name
     }
 
     fn run(&self, seed: u64) -> RunRecord {
-        let mut record = self.inner.run(seed);
-        record.scenario = self.name.clone();
-        record.params = self.params.clone();
-        record
+        self.stamp(self.inner.run(seed))
+    }
+
+    fn run_sharded(&self, seed: u64, shards: usize) -> RunRecord {
+        self.stamp(self.inner.run_sharded(seed, shards))
+    }
+
+    fn supports_sharding(&self) -> bool {
+        self.inner.supports_sharding()
     }
 }
 
@@ -134,6 +147,55 @@ pub fn jobs_for(
         .collect()
 }
 
+/// A streaming consumer of finished records: called with `(job index,
+/// record)` strictly in job order, as soon as every earlier job has also
+/// finished — the contiguous-prefix rule that lets million-run sweeps
+/// write stable-order JSONL while the sweep is still running.
+pub type RecordSink<'a> = &'a mut (dyn FnMut(usize, &RunRecord) + Send);
+
+/// Reorder ring shared by the sweep workers: `slots[i % window]` parks
+/// jobs that finished ahead of the emission cursor (`next_emit` = first
+/// job not yet handed to the consumer), and `emitting` marks that one
+/// worker is currently draining the ready prefix **outside** the lock.
+struct ReorderRing {
+    slots: Vec<Option<RunRecord>>,
+    next_emit: usize,
+    emitting: bool,
+    /// Set when any worker panics, so workers parked on the backpressure
+    /// condvar abort instead of waiting for a slot that will never fill.
+    poisoned: bool,
+}
+
+/// Drop guard armed for the whole life of a sweep worker: if the worker
+/// unwinds (a panicking scenario run, sink, or consumer), mark the ring
+/// poisoned and wake every parked worker so the sweep panics outward
+/// instead of deadlocking on the gap the dead worker leaves behind.
+struct PoisonOnPanic<'a> {
+    ring: &'a Mutex<ReorderRing>,
+    cursor_advanced: &'a Condvar,
+}
+
+impl Drop for PoisonOnPanic<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            // The ring mutex may itself be poisoned by another worker's
+            // panic; the flag write is still safe.
+            self.ring
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .poisoned = true;
+            self.cursor_advanced.notify_all();
+        }
+    }
+}
+
+/// How far ahead of the emission cursor workers may run before blocking.
+/// This — not the sweep size — bounds the records held in memory, which
+/// is what lets `--records` JSONL sweeps run at any seed count.
+fn reorder_window(workers: usize, jobs: usize) -> usize {
+    (workers * 4).max(16).min(jobs).max(1)
+}
+
 /// Executes `jobs` across `workers` threads; the result order equals the
 /// job order no matter how work is interleaved.
 ///
@@ -142,34 +204,145 @@ pub fn jobs_for(
 /// Propagates panics from scenario runs (a panicking worker poisons the
 /// slot mutex, surfacing the failure instead of silently dropping runs).
 pub fn run_jobs(jobs: &[Job], workers: usize) -> Vec<RunRecord> {
+    let mut records = Vec::with_capacity(jobs.len());
+    run_jobs_ordered(jobs, workers, 0, &mut |_, record| records.push(record));
+    records
+}
+
+/// The fully-general executor behind [`run_jobs`] and the sweeps: `shards`
+/// is passed to every scenario as the intra-run parallelism hint
+/// ([`Scenario::run_sharded`]), and `consume` receives every record
+/// **owned, in job order**.
+///
+/// Two properties make the streaming path scale:
+///
+/// * **Bounded memory.** Finished records park in a fixed-size reorder
+///   ring ([`reorder_window`]); a worker that runs further ahead than the
+///   window blocks until the cursor catches up, so in-flight records
+///   never exceed `window + workers` regardless of sweep size.
+/// * **Emission outside the lock.** The worker that fills the gap at the
+///   cursor takes the whole ready prefix out of the ring, releases the
+///   slot lock, and only then runs the consumer (sink I/O included) — the
+///   `emitting` flag keeps emitters exclusive and ordered, and other
+///   workers keep computing instead of queueing behind the sink.
+///
+/// Everything the consumer observes is independent of both knobs:
+/// `workers`/`shards` change wall-clock time only.
+///
+/// # Panics
+///
+/// Propagates panics from scenario runs: the panicking worker poisons the
+/// reorder ring and wakes every parked worker (see [`PoisonOnPanic`]), so
+/// the whole sweep panics instead of deadlocking on the never-filled slot.
+pub fn run_jobs_ordered(
+    jobs: &[Job],
+    workers: usize,
+    shards: usize,
+    consume: &mut (dyn FnMut(usize, RunRecord) + Send),
+) {
     let workers = workers.clamp(1, jobs.len().max(1));
+    let window = reorder_window(workers, jobs.len());
     let next = AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<RunRecord>>> = Mutex::new(vec![None; jobs.len()]);
+    let ring = Mutex::new(ReorderRing {
+        slots: (0..window).map(|_| None).collect(),
+        next_emit: 0,
+        emitting: false,
+        poisoned: false,
+    });
+    let cursor_advanced = Condvar::new();
+    // The consumer is one `&mut`; the `emitting` flag already keeps users
+    // exclusive, but the mutex is what proves it to the compiler.
+    let consume = Mutex::new(consume);
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(job) = jobs.get(i) else { break };
-                let record = job.scenario.run(job.seed);
-                slots.lock().expect("no panicked worker")[i] = Some(record);
+            scope.spawn(|| {
+                let _guard = PoisonOnPanic {
+                    ring: &ring,
+                    cursor_advanced: &cursor_advanced,
+                };
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = jobs.get(i) else { break };
+                    let record = job.scenario.run_sharded(job.seed, shards);
+
+                    let mut state = ring.lock().expect("no panicked worker");
+                    // Backpressure: never overwrite a slot still awaiting
+                    // emission one lap behind. The worker owning the cursor
+                    // gap never waits here (its i < next_emit + window), so
+                    // the prefix always eventually fills — unless that worker
+                    // panicked, which poisons the ring and wakes us.
+                    while !state.poisoned && i >= state.next_emit + window {
+                        state = cursor_advanced.wait(state).expect("no panicked worker");
+                    }
+                    assert!(!state.poisoned, "a sweep worker panicked");
+                    state.slots[i % window] = Some(record);
+                    if state.emitting {
+                        // The active emitter will pick this up on its next
+                        // drain pass.
+                        continue;
+                    }
+                    state.emitting = true;
+                    loop {
+                        let base = state.next_emit;
+                        let mut batch = Vec::new();
+                        loop {
+                            let slot = state.next_emit % window;
+                            let Some(ready) = state.slots[slot].take() else {
+                                break;
+                            };
+                            batch.push(ready);
+                            state.next_emit += 1;
+                        }
+                        if batch.is_empty() {
+                            state.emitting = false;
+                            break;
+                        }
+                        drop(state);
+                        cursor_advanced.notify_all();
+                        {
+                            let mut consume = consume.lock().expect("no panicked consumer");
+                            for (offset, record) in batch.into_iter().enumerate() {
+                                consume(base + offset, record);
+                            }
+                        }
+                        state = ring.lock().expect("no panicked worker");
+                    }
+                }
             });
         }
     });
 
-    slots
-        .into_inner()
-        .expect("no panicked worker")
-        .into_iter()
-        .map(|r| r.expect("every job ran"))
-        .collect()
+    let state = ring.into_inner().expect("no panicked worker");
+    debug_assert_eq!(state.next_emit, jobs.len(), "every job was consumed");
+}
+
+/// Nearest-rank percentile (`q` in `(0, 1]`) over values pre-sorted by
+/// `f64::total_cmp` — a deterministic order even in the presence of
+/// equal or non-finite values, so summary JSON stays byte-stable.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// `(p50, p90, p99)` of `values`, which arrive in job order and are
+/// sorted on a copy here.
+fn percentiles(values: &[f64]) -> (f64, f64, f64) {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    (
+        percentile(&sorted, 0.50),
+        percentile(&sorted, 0.90),
+        percentile(&sorted, 0.99),
+    )
 }
 
 /// One metric's aggregate across the runs that emitted it.
 ///
 /// Metrics need not appear in every run (a probe may only report
-/// `rounds_to_converge` on converged seeds), so the mean is over
-/// [`runs`](MetricAgg::runs), not the scenario's run count.
+/// `rounds_to_converge` on converged seeds), so the mean and percentiles
+/// are over [`runs`](MetricAgg::runs), not the scenario's run count.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricAgg {
     /// Metric name.
@@ -180,8 +353,33 @@ pub struct MetricAgg {
     pub min: f64,
     /// Largest observed value.
     pub max: f64,
+    /// Median (nearest-rank 50th percentile).
+    pub p50: f64,
+    /// Nearest-rank 90th percentile.
+    pub p90: f64,
+    /// Nearest-rank 99th percentile.
+    pub p99: f64,
     /// Number of runs that emitted the metric.
     pub runs: u64,
+}
+
+impl MetricAgg {
+    /// Aggregates one metric's values (in job order).
+    fn from_values(name: String, values: &[f64]) -> MetricAgg {
+        // Sum in job order so the mean is bit-identical to the serial fold.
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let (p50, p90, p99) = percentiles(values);
+        MetricAgg {
+            name,
+            mean,
+            min: values.iter().copied().fold(f64::INFINITY, f64::min),
+            max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            p50,
+            p90,
+            p99,
+            runs: values.len() as u64,
+        }
+    }
 }
 
 /// Per-scenario aggregates plus the records behind them.
@@ -195,6 +393,12 @@ pub struct ScenarioSummary {
     pub passed: u64,
     /// Mean rounds per run.
     pub mean_rounds: f64,
+    /// Median rounds per run (nearest rank).
+    pub rounds_p50: f64,
+    /// 90th-percentile rounds per run (nearest rank).
+    pub rounds_p90: f64,
+    /// 99th-percentile rounds per run (nearest rank).
+    pub rounds_p99: f64,
     /// Mean loss-model drop rate.
     pub mean_drop_rate: f64,
     /// Per-metric aggregates, in first-appearance order.
@@ -208,12 +412,117 @@ impl ScenarioSummary {
     }
 }
 
+/// Incremental, order-sensitive aggregation state for one scenario.
+#[derive(Debug, Default)]
+struct ScenarioGather {
+    name: String,
+    passed: u64,
+    rounds: Vec<f64>,
+    drop_rate_sum: f64,
+    /// Per-metric values in job order, keyed in first-appearance order.
+    metrics: Vec<(String, Vec<f64>)>,
+}
+
+impl ScenarioGather {
+    fn finish(self) -> ScenarioSummary {
+        let runs = self.rounds.len() as u64;
+        let n = self.rounds.len().max(1) as f64;
+        let (rounds_p50, rounds_p90, rounds_p99) = if self.rounds.is_empty() {
+            (0.0, 0.0, 0.0)
+        } else {
+            percentiles(&self.rounds)
+        };
+        ScenarioSummary {
+            name: self.name,
+            runs,
+            passed: self.passed,
+            mean_rounds: self.rounds.iter().sum::<f64>() / n,
+            rounds_p50,
+            rounds_p90,
+            rounds_p99,
+            mean_drop_rate: self.drop_rate_sum / n,
+            metrics: self
+                .metrics
+                .into_iter()
+                .map(|(name, values)| MetricAgg::from_values(name, &values))
+                .collect(),
+        }
+    }
+}
+
+/// Streaming aggregator: folds records **in job order** into per-scenario
+/// summaries without retaining the records themselves — the memory-bounded
+/// path behind both [`SweepSummary::new`] and the record-sink sweeps.
+#[derive(Debug, Default)]
+pub struct SummaryBuilder {
+    scenarios: Vec<ScenarioGather>,
+}
+
+impl SummaryBuilder {
+    /// An empty aggregator.
+    pub fn new() -> SummaryBuilder {
+        SummaryBuilder::default()
+    }
+
+    /// Folds one record in; callers must push in job order.
+    pub fn push(&mut self, record: &RunRecord) {
+        let entry = match self
+            .scenarios
+            .iter_mut()
+            .find(|s| s.name == record.scenario)
+        {
+            Some(entry) => entry,
+            None => {
+                self.scenarios.push(ScenarioGather {
+                    name: record.scenario.clone(),
+                    ..ScenarioGather::default()
+                });
+                self.scenarios.last_mut().expect("just pushed")
+            }
+        };
+        entry.passed += u64::from(record.verdict.passed());
+        entry.rounds.push(record.rounds as f64);
+        entry.drop_rate_sum += record.messages.lossy_drop_rate;
+        for (name, value) in &record.metrics {
+            match entry.metrics.iter_mut().find(|(n, _)| n == name) {
+                Some((_, values)) => values.push(*value),
+                None => entry.metrics.push((name.clone(), vec![*value])),
+            }
+        }
+    }
+
+    /// Finishes aggregation. `records` may be empty (streaming sweeps that
+    /// already wrote them to a sink) or the full job-ordered record vector.
+    pub fn finish(self, name: impl Into<String>, records: Vec<RunRecord>) -> SweepSummary {
+        let mut total_runs = 0;
+        let scenarios: Vec<ScenarioSummary> = self
+            .scenarios
+            .into_iter()
+            .map(|g| {
+                let s = g.finish();
+                total_runs += s.runs;
+                s
+            })
+            .collect();
+        SweepSummary {
+            name: name.into(),
+            total_runs,
+            records,
+            scenarios,
+        }
+    }
+}
+
 /// The aggregated outcome of a sweep.
 #[derive(Debug, Clone)]
 pub struct SweepSummary {
     /// Suite or sweep name.
     pub name: String,
-    /// All run records, in job order.
+    /// Total runs aggregated (kept separately from `records`, which a
+    /// streaming sweep leaves empty).
+    total_runs: u64,
+    /// All run records, in job order — empty when the sweep streamed them
+    /// to a [`RecordSink`] instead of retaining them.
     pub records: Vec<RunRecord>,
     /// Per-scenario aggregates, in first-appearance order.
     pub scenarios: Vec<ScenarioSummary>,
@@ -222,63 +531,16 @@ pub struct SweepSummary {
 impl SweepSummary {
     /// Aggregates `records` (already in job order).
     pub fn new(name: impl Into<String>, records: Vec<RunRecord>) -> SweepSummary {
-        let mut scenarios: Vec<ScenarioSummary> = Vec::new();
+        let mut builder = SummaryBuilder::new();
         for r in &records {
-            let entry = match scenarios.iter_mut().find(|s| s.name == r.scenario) {
-                Some(e) => e,
-                None => {
-                    scenarios.push(ScenarioSummary {
-                        name: r.scenario.clone(),
-                        runs: 0,
-                        passed: 0,
-                        mean_rounds: 0.0,
-                        mean_drop_rate: 0.0,
-                        metrics: Vec::new(),
-                    });
-                    scenarios.last_mut().expect("just pushed")
-                }
-            };
-            entry.runs += 1;
-            entry.passed += u64::from(r.verdict.passed());
-            // Accumulate sums; normalized below.
-            entry.mean_rounds += r.rounds as f64;
-            entry.mean_drop_rate += r.messages.lossy_drop_rate;
-            for (name, value) in &r.metrics {
-                match entry.metrics.iter_mut().find(|m| &m.name == name) {
-                    Some(m) => {
-                        m.mean += value; // sum for now; normalized below
-                        m.min = m.min.min(*value);
-                        m.max = m.max.max(*value);
-                        m.runs += 1;
-                    }
-                    None => entry.metrics.push(MetricAgg {
-                        name: name.clone(),
-                        mean: *value,
-                        min: *value,
-                        max: *value,
-                        runs: 1,
-                    }),
-                }
-            }
+            builder.push(r);
         }
-        for s in &mut scenarios {
-            let n = s.runs as f64;
-            s.mean_rounds /= n;
-            s.mean_drop_rate /= n;
-            for m in &mut s.metrics {
-                m.mean /= m.runs as f64;
-            }
-        }
-        SweepSummary {
-            name: name.into(),
-            records,
-            scenarios,
-        }
+        builder.finish(name, records)
     }
 
     /// Total runs.
     pub fn runs(&self) -> u64 {
-        self.records.len() as u64
+        self.total_runs
     }
 
     /// Runs whose verdict passed.
@@ -303,6 +565,9 @@ impl SweepSummary {
                     ("runs", Json::Uint(s.runs)),
                     ("passed", Json::Uint(s.passed)),
                     ("mean_rounds", Json::Num(s.mean_rounds)),
+                    ("rounds_p50", Json::Num(s.rounds_p50)),
+                    ("rounds_p90", Json::Num(s.rounds_p90)),
+                    ("rounds_p99", Json::Num(s.rounds_p99)),
                     ("mean_drop_rate", Json::Num(s.mean_drop_rate)),
                     (
                         "metrics",
@@ -316,6 +581,9 @@ impl SweepSummary {
                                             ("mean", Json::Num(m.mean)),
                                             ("min", Json::Num(m.min)),
                                             ("max", Json::Num(m.max)),
+                                            ("p50", Json::Num(m.p50)),
+                                            ("p90", Json::Num(m.p90)),
+                                            ("p99", Json::Num(m.p99)),
                                             ("runs", Json::Uint(m.runs)),
                                         ]),
                                     )
@@ -350,9 +618,49 @@ pub fn sweep(
     seeds: std::ops::Range<u64>,
     workers: usize,
 ) -> SweepSummary {
+    sweep_sharded(name, scenarios, seeds, workers, 0)
+}
+
+/// [`sweep`] with every run's `Simulation::step` sharded across `shards`
+/// threads ([`Scenario::run_sharded`]; 0 defers to each scenario's own
+/// default, 1 forces serial). The summary is byte-identical at any
+/// `(workers, shards)` combination.
+pub fn sweep_sharded(
+    name: &str,
+    scenarios: &[Arc<dyn Scenario>],
+    seeds: std::ops::Range<u64>,
+    workers: usize,
+    shards: usize,
+) -> SweepSummary {
     let jobs = jobs_for(scenarios, seeds);
-    let records = run_jobs(&jobs, workers);
+    let records = {
+        let mut records = Vec::with_capacity(jobs.len());
+        run_jobs_ordered(&jobs, workers, shards, &mut |_, r| records.push(r));
+        records
+    };
     SweepSummary::new(name, records)
+}
+
+/// The streaming sweep: every finished record is handed to `sink` in job
+/// order and then **dropped** — the summary aggregates incrementally and
+/// carries no `records`, so memory stays bounded by the out-of-order
+/// window regardless of sweep size.
+pub fn sweep_stream(
+    name: &str,
+    scenarios: &[Arc<dyn Scenario>],
+    seeds: std::ops::Range<u64>,
+    workers: usize,
+    shards: usize,
+    sink: RecordSink<'_>,
+) -> SweepSummary {
+    let jobs = jobs_for(scenarios, seeds);
+    let mut builder = SummaryBuilder::new();
+    let mut consume = |i: usize, record: RunRecord| {
+        sink(i, &record);
+        builder.push(&record);
+    };
+    run_jobs_ordered(&jobs, workers, shards, &mut consume);
+    builder.finish(name, Vec::new())
 }
 
 #[cfg(test)]
@@ -461,6 +769,119 @@ mod tests {
         assert!((conv.mean - 11.0).abs() < 1e-12, "(10 + 12) / 2");
         assert!(conv.min <= conv.mean && conv.mean <= conv.max);
         assert!(summary.scenarios[0].metric("missing").is_none());
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let (p50, p90, p99) = percentiles(&[5.0, 1.0, 3.0, 2.0, 4.0]);
+        assert_eq!((p50, p90, p99), (3.0, 5.0, 5.0));
+        assert_eq!(percentiles(&[7.0]), (7.0, 7.0, 7.0));
+        let hundred: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentiles(&hundred), (50.0, 90.0, 99.0));
+    }
+
+    #[test]
+    fn summary_carries_percentiles() {
+        // Seeds 0..10 → metric x = seed, rounds = seed + 1.
+        let summary = sweep("s", &[toy("a")], 0..10, 3);
+        let a = &summary.scenarios[0];
+        assert_eq!((a.rounds_p50, a.rounds_p90, a.rounds_p99), (5.0, 9.0, 10.0));
+        let x = a.metric("x").unwrap();
+        assert_eq!((x.p50, x.p90, x.p99), (4.0, 8.0, 9.0));
+        assert!(x.min <= x.p50 && x.p50 <= x.p90 && x.p90 <= x.p99 && x.p99 <= x.max);
+        let json = summary.to_json(false).render();
+        assert!(json.contains("\"rounds_p50\":5"));
+        assert!(json.contains("\"p99\":9"));
+    }
+
+    #[test]
+    fn streamed_records_arrive_in_job_order_and_summary_matches() {
+        let scenarios = vec![toy("a"), toy("b")];
+        let batch = sweep("s", &scenarios, 0..6, 4);
+        for workers in [1, 3, 8] {
+            let mut seen: Vec<(usize, String, u64)> = Vec::new();
+            let mut sink = |i: usize, r: &RunRecord| {
+                seen.push((i, r.scenario.clone(), r.seed));
+            };
+            let streamed = sweep_stream("s", &scenarios, 0..6, workers, 1, &mut sink);
+            assert_eq!(
+                seen.iter().map(|(i, _, _)| *i).collect::<Vec<_>>(),
+                (0..12).collect::<Vec<_>>(),
+                "workers={workers}: emission is in job order"
+            );
+            assert_eq!(
+                seen.iter()
+                    .map(|(_, s, seed)| (s.clone(), *seed))
+                    .collect::<Vec<_>>(),
+                batch
+                    .records
+                    .iter()
+                    .map(|r| (r.scenario.clone(), r.seed))
+                    .collect::<Vec<_>>()
+            );
+            assert!(streamed.records.is_empty(), "streaming retains no records");
+            assert_eq!(streamed.runs(), batch.runs());
+            assert_eq!(
+                streamed.to_json(false).render(),
+                batch.to_json(false).render(),
+                "streaming aggregation matches batch aggregation"
+            );
+        }
+    }
+
+    #[test]
+    fn ordered_emission_survives_ring_wraparound() {
+        // 500 jobs through an 8-worker executor (reorder window 32) wrap
+        // the ring many times; emission must stay exactly job-ordered and
+        // lose nothing to backpressure.
+        let scenarios = vec![toy("a")];
+        let jobs = jobs_for(&scenarios, 0..500);
+        assert!(reorder_window(8, jobs.len()) < jobs.len());
+        let mut indexes = Vec::new();
+        run_jobs_ordered(&jobs, 8, 1, &mut |i, r| {
+            assert_eq!(r.seed, i as u64, "slot {i} holds its own job's record");
+            indexes.push(i);
+        });
+        assert_eq!(indexes, (0..500).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn panicking_run_propagates_instead_of_hanging() {
+        // A panicked job leaves a permanent gap at the emission cursor;
+        // the poison flag must wake parked workers and surface the panic
+        // through thread::scope rather than deadlock the sweep.
+        let bomb: Arc<dyn Scenario> = Arc::new(FnScenario::new("bomb", |seed| {
+            assert_ne!(seed, 10, "boom");
+            RunRecord::new("bomb", seed)
+        }));
+        let jobs = jobs_for(&[bomb], 0..200);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_jobs(&jobs, 8);
+        }));
+        assert!(outcome.is_err(), "the seed-10 panic must propagate");
+    }
+
+    #[test]
+    fn reorder_window_is_bounded_and_positive() {
+        assert_eq!(reorder_window(1, 0), 1);
+        assert_eq!(reorder_window(1, 5), 5);
+        assert_eq!(reorder_window(4, 1_000_000), 16);
+        assert_eq!(reorder_window(16, 1_000_000), 64);
+    }
+
+    #[test]
+    fn sharded_sweep_summary_is_byte_identical() {
+        let scenarios = vec![toy("a"), toy("b")];
+        let baseline = sweep("s", &scenarios, 0..4, 2).to_json(true).render();
+        for shards in [2, 4] {
+            assert_eq!(
+                sweep_sharded("s", &scenarios, 0..4, 2, shards)
+                    .to_json(true)
+                    .render(),
+                baseline,
+                "shards={shards}"
+            );
+        }
     }
 
     #[test]

@@ -65,6 +65,64 @@ fn smoke_suite_json_identical_across_worker_counts() {
 }
 
 #[test]
+fn smoke_suite_json_identical_across_shard_counts() {
+    // The intra-run sharding knob composes with sweep-level parallelism:
+    // any (workers, shards) combination must render the same summary.
+    let suite = suites::find("smoke").expect("smoke suite registered");
+    let baseline = suite.run_sharded(Some(2), 1, 1).to_json(true).render();
+    for (workers, shards) in [(1, 2), (1, 8), (4, 2), (2, 4)] {
+        assert_eq!(
+            suite
+                .run_sharded(Some(2), workers, shards)
+                .to_json(true)
+                .render(),
+            baseline,
+            "workers={workers} shards={shards}"
+        );
+    }
+}
+
+#[test]
+fn lossy_grid_records_identical_across_shard_counts() {
+    // Per-seed records — lossy drops included — must not depend on the
+    // shard count (the loss RNG is per-sender, not per-routing-order).
+    let scenarios = lossy_grid_scenarios();
+    let render = |shards: usize| {
+        sweep_sharded("det", &scenarios, 0..6, 4, shards)
+            .to_json(true)
+            .render()
+    };
+    let baseline = render(1);
+    assert_eq!(render(2), baseline, "2 shards diverged from serial");
+    assert_eq!(render(8), baseline, "8 shards diverged from serial");
+}
+
+#[test]
+fn streamed_sweep_matches_batch_aggregates() {
+    // The JSONL streaming path must re-render the identical aggregate
+    // summary while retaining no records.
+    let scenarios = lossy_grid_scenarios();
+    let batch = sweep("det", &scenarios, 0..4, 4);
+    let mut lines: Vec<String> = Vec::new();
+    let mut sink = |_i: usize, r: &RunRecord| lines.push(r.to_json().render());
+    let streamed = sweep_stream("det", &scenarios, 0..4, 4, 2, &mut sink);
+    assert_eq!(
+        streamed.to_json(false).render(),
+        batch.to_json(false).render()
+    );
+    assert!(streamed.records.is_empty());
+    assert_eq!(
+        lines,
+        batch
+            .records
+            .iter()
+            .map(|r| r.to_json().render())
+            .collect::<Vec<_>>(),
+        "streamed lines are the batch records, in job order"
+    );
+}
+
+#[test]
 fn schedule_events_are_reflected_identically_in_parallel_records() {
     // Churn + fault events fire from inside worker threads; their effects
     // (fault drops, stop rounds) must be identical to the serial run.

@@ -15,6 +15,10 @@ use parking_lot::Mutex;
 use rand::RngCore;
 
 use crate::process::{Context, Process};
+use crate::rng::labeled_rng_u64;
+
+/// Numeric RNG domain for cabal lie fabrication (see [`labeled_rng_u64`]).
+const CABAL_DOMAIN: u64 = 0xCABA_1CAB_A1CA_BA1C;
 
 /// The cabal's shared state: one agreed lie per round.
 #[derive(Debug, Default)]
@@ -27,15 +31,29 @@ struct Blackboard {
 }
 
 /// Shared coordination handle for a set of colluders.
-#[derive(Debug, Clone, Default)]
+///
+/// Construction is explicit about randomness: [`Cabal::seeded`] takes the
+/// key the round lies derive from. Deriving it from the run seed (plus a
+/// per-cabal discriminator when one run hosts several cabals) keeps runs
+/// a pure function of their seed, cabals mutually independent, and lie
+/// fabrication independent of which member — on which scheduler thread —
+/// asks first. No keyless constructor exists because no hidden key source
+/// can deliver all three at once.
+#[derive(Debug, Clone)]
 pub struct Cabal {
     board: Arc<Mutex<Blackboard>>,
+    key: u64,
 }
 
 impl Cabal {
-    /// Creates an empty cabal.
-    pub fn new() -> Cabal {
-        Cabal::default()
+    /// Creates a cabal whose per-round lies are derived from `key`: two
+    /// cabals with different keys fabricate independent lies, and equal
+    /// keys reproduce equal lies (run purity).
+    pub fn seeded(key: u64) -> Cabal {
+        Cabal {
+            board: Arc::default(),
+            key,
+        }
     }
 
     /// Spawns a member process. All members of one cabal broadcast the
@@ -46,11 +64,17 @@ impl Cabal {
         }
     }
 
-    /// The agreed lie for `round`, fabricating one (from the first
-    /// asker's randomness) if this is the round's first query.
-    fn lie_for(&self, round: u64, rng: &mut rand::rngs::StdRng) -> Bytes {
+    /// The agreed lie for `round`.
+    ///
+    /// The lie is a pure function of `(key, round)` — *not* of whichever
+    /// member happens to ask first — so colluders split across sharded
+    /// scheduler threads (see [`StepExec`](crate::sim::StepExec)) agree on
+    /// it without any ordering between them. The blackboard only caches
+    /// the round's allocation so the whole cabal shares one buffer.
+    fn lie_for(&self, round: u64) -> Bytes {
         let mut board = self.board.lock();
         if board.round != round || board.lie.is_empty() {
+            let mut rng = labeled_rng_u64(self.key, CABAL_DOMAIN, round);
             let mut lie = vec![0u8; 9];
             rng.fill_bytes(&mut lie);
             board.round = round;
@@ -68,11 +92,7 @@ pub struct Colluder {
 
 impl Process for Colluder {
     fn on_pulse(&mut self, ctx: &mut Context<'_>) {
-        let round = ctx.round().value();
-        let lie = {
-            let rng = ctx.rng();
-            self.cabal.lie_for(round, rng)
-        };
+        let lie = self.cabal.lie_for(ctx.round().value());
         ctx.broadcast(lie);
     }
 
@@ -117,7 +137,7 @@ mod tests {
 
     #[test]
     fn cabal_members_tell_identical_lies() {
-        let cabal = Cabal::new();
+        let cabal = Cabal::seeded(3);
         let mut sim = Simulation::builder(Topology::complete(4)).build_with(|id| {
             if id.index() >= 2 {
                 Box::new(cabal.member()) as Box<dyn Process>
@@ -138,7 +158,7 @@ mod tests {
 
     #[test]
     fn lies_change_between_rounds() {
-        let cabal = Cabal::new();
+        let cabal = Cabal::seeded(4);
         let mut sim = Simulation::builder(Topology::complete(3)).build_with(|id| {
             if id.index() == 2 {
                 Box::new(cabal.member()) as Box<dyn Process>
@@ -153,9 +173,27 @@ mod tests {
     }
 
     #[test]
+    fn equal_keys_reproduce_equal_lies() {
+        let observed = || {
+            let cabal = Cabal::seeded(9);
+            let mut sim =
+                Simulation::builder(Topology::complete(2)).build_with(|id| match id.index() {
+                    0 => Box::new(Recorder { seen: Vec::new() }) as Box<dyn Process>,
+                    _ => Box::new(cabal.member()),
+                });
+            sim.run(3);
+            sim.process_as::<Recorder>(ProcessId(0))
+                .unwrap()
+                .seen
+                .clone()
+        };
+        assert_eq!(observed(), observed(), "lies are a pure fn of (key, round)");
+    }
+
+    #[test]
     fn separate_cabals_do_not_share_lies() {
-        let a = Cabal::new();
-        let b = Cabal::new();
+        let a = Cabal::seeded(1);
+        let b = Cabal::seeded(2);
         let mut sim =
             Simulation::builder(Topology::complete(3)).build_with(|id| match id.index() {
                 0 => Box::new(Recorder { seen: Vec::new() }) as Box<dyn Process>,

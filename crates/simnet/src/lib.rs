@@ -37,11 +37,27 @@
 //!   vector reused across all processes and rounds, and messages are routed
 //!   inline per sender — there is no per-round flat staging vector.
 //! * **Derivation is numeric on the hot path.** The loss-model RNG comes
-//!   from [`rng::labeled_rng_u64`] (integer mixing, no `format!`) and is
-//!   only constructed when [`Delivery::Lossy`](sim::Delivery) is
-//!   configured; [`Simulation::disconnect`](sim::Simulation::disconnect)
+//!   from [`rng::labeled_rng_u64_pair`] (integer mixing, no `format!`),
+//!   keyed per `(round, sender)`, and is only constructed when
+//!   [`Delivery::Lossy`](sim::Delivery) is configured;
+//!   [`Simulation::disconnect`](sim::Simulation::disconnect)
 //!   mutates adjacency in place via
 //!   [`Topology::isolate`](topology::Topology::isolate).
+//!
+//! ## Sharded stepping
+//!
+//! [`Simulation::step`](sim::Simulation::step) splits every round into a
+//! **compute phase** (each contiguous shard of processes steps against the
+//! immutable prior-round inboxes, filtering its outboxes into per-shard
+//! scratch) and a **deterministic merge phase** (shards drained in
+//! ascending process-id order, counters summed in fixed order). With
+//! [`StepExec::Sharded`](sim::StepExec) the compute phase fans out over
+//! `std::thread::scope` workers; because every random draw is derived
+//! from `(seed, id, round)` coordinates, the resulting trace is
+//! byte-for-byte identical to serial stepping at any shard count
+//! (`tests/sharding.rs`). Select it with
+//! [`SimulationBuilder::shards`](sim::SimulationBuilder::shards) or
+//! [`Simulation::set_shards`](sim::Simulation::set_shards).
 //!
 //! ## Quickstart
 //!
@@ -90,7 +106,7 @@ pub mod prelude {
     pub use crate::message::Message;
     pub use crate::process::{Context, Process};
     pub use crate::schedule::{Schedule, ScheduledAction};
-    pub use crate::sim::{Delivery, Simulation, SimulationBuilder};
+    pub use crate::sim::{Delivery, Simulation, SimulationBuilder, StepExec};
     pub use crate::topology::Topology;
     pub use crate::trace::Trace;
 }

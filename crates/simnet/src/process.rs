@@ -21,7 +21,12 @@ use crate::message::Message;
 ///
 /// Implementors also expose `as_any`/`as_any_mut` so harnesses can inspect
 /// concrete protocol state after a run (decision values, clocks, ...).
-pub trait Process {
+///
+/// `Send` is a supertrait because the scheduler's sharded compute phase
+/// (see [`StepExec`](crate::sim::StepExec)) moves disjoint `&mut` process
+/// shards onto scoped worker threads. Processes are never *shared* between
+/// threads, so `Sync` is not required.
+pub trait Process: Send {
     /// Executes one synchronous step.
     fn on_pulse(&mut self, ctx: &mut Context<'_>);
 

@@ -55,6 +55,28 @@ pub fn labeled_rng_u64(seed: u64, domain: u64, index: u64) -> StdRng {
     StdRng::from_seed(material)
 }
 
+/// Derives an RNG from a `domain` plus **two** numeric coordinates — the
+/// two-coordinate sibling of [`labeled_rng_u64`], for consumers keyed by
+/// `(round, process)` rather than a single index.
+///
+/// The scheduler's loss model uses this to give every sender its own
+/// per-round loss stream: a sender's drops depend only on its coordinates,
+/// not on how many messages other senders routed first, which is what
+/// keeps sharded stepping (see
+/// [`StepExec`](crate::sim::StepExec)) byte-identical to serial stepping.
+pub fn labeled_rng_u64_pair(seed: u64, domain: u64, a: u64, b: u64) -> StdRng {
+    let mut material = [0u8; 32];
+    let x = mix(seed ^ mix(domain));
+    let y = mix(x ^ a);
+    let z = mix(y ^ b);
+    let w = mix(z);
+    material[..8].copy_from_slice(&x.to_le_bytes());
+    material[8..16].copy_from_slice(&y.to_le_bytes());
+    material[16..24].copy_from_slice(&z.to_le_bytes());
+    material[24..].copy_from_slice(&w.to_le_bytes());
+    StdRng::from_seed(material)
+}
+
 /// Derives an RNG for a labelled harness purpose (fault injection, workload
 /// generation) independent of any process stream.
 pub fn labeled_rng(seed: u64, label: &str) -> StdRng {
@@ -125,6 +147,28 @@ mod tests {
             labeled_rng_u64(7, 1, 0).next_u64(),
             labeled_rng_u64(7, 1, 0).next_u64(),
             "derivation is deterministic"
+        );
+    }
+
+    #[test]
+    fn pair_coordinates_separate_streams() {
+        let mut base = labeled_rng_u64_pair(7, 1, 2, 3);
+        assert_eq!(
+            base.next_u64(),
+            labeled_rng_u64_pair(7, 1, 2, 3).next_u64(),
+            "derivation is deterministic"
+        );
+        for (seed, domain, a, b) in [(8, 1, 2, 3), (7, 2, 2, 3), (7, 1, 9, 3), (7, 1, 2, 9)] {
+            assert_ne!(
+                labeled_rng_u64_pair(7, 1, 2, 3).next_u64(),
+                labeled_rng_u64_pair(seed, domain, a, b).next_u64(),
+                "every coordinate separates streams"
+            );
+        }
+        // Swapping the coordinates must not collide either.
+        assert_ne!(
+            labeled_rng_u64_pair(7, 1, 2, 3).next_u64(),
+            labeled_rng_u64_pair(7, 1, 3, 2).next_u64()
         );
     }
 

@@ -1,21 +1,81 @@
 //! The lock-step scheduler: [`Simulation`] and [`SimulationBuilder`].
 
 use bytes::Bytes;
+use rand::rngs::StdRng;
 use rand::Rng;
 
 use crate::fault::TransientFault;
 use crate::ids::{ProcessId, Round};
 use crate::message::Message;
 use crate::process::{Context, Process};
-use crate::rng::{labeled_rng_u64, process_rng};
+use crate::rng::{labeled_rng_u64_pair, process_rng};
 use crate::schedule::{Schedule, ScheduledAction};
 use crate::topology::Topology;
 use crate::trace::Trace;
 use crate::SimError;
 
 /// Numeric RNG domain for the message-loss model (see
-/// [`labeled_rng_u64`]).
+/// [`labeled_rng_u64_pair`](crate::rng::labeled_rng_u64_pair)).
+///
+/// The loss stream is derived per `(round, sender)`, never shared across
+/// senders, so a sender's drop pattern is independent of the order (or
+/// thread) in which senders are routed — the property that lets
+/// [`StepExec::Sharded`] reproduce serial traces byte-for-byte.
 const LOSS_DOMAIN: u64 = 0x1055_1055_1055_1055;
+
+/// How [`Simulation::step`] executes its compute phase.
+///
+/// Either way the observable round semantics are identical — sharded
+/// stepping is a pure throughput knob, verified byte-for-byte against
+/// serial stepping (`tests/sharding.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepExec {
+    /// One thread steps every process in id order.
+    Serial,
+    /// `std::thread::scope` workers step contiguous process shards in
+    /// parallel; a serial merge then routes shard outboxes in ascending
+    /// process-id order.
+    Sharded {
+        /// Number of shards (clamped to `[1, n]`; 1 behaves like
+        /// [`StepExec::Serial`]).
+        shards: usize,
+    },
+}
+
+impl StepExec {
+    /// Canonicalizes a shard-count knob: `0` and `1` mean serial.
+    pub fn from_shards(shards: usize) -> StepExec {
+        if shards <= 1 {
+            StepExec::Serial
+        } else {
+            StepExec::Sharded { shards }
+        }
+    }
+
+    /// The effective shard count for a system of `n` processes.
+    pub fn shard_count(self, n: usize) -> usize {
+        match self {
+            StepExec::Serial => 1,
+            StepExec::Sharded { shards } => shards.clamp(1, n.max(1)),
+        }
+    }
+}
+
+/// Per-shard scratch buffers, persisted across rounds so steady-state
+/// sharded stepping allocates nothing: the outbox is recycled through each
+/// process of the shard in turn, and `routed` carries the shard's
+/// loss-filtered messages (plus drop tallies) to the merge phase.
+#[derive(Debug, Default)]
+struct ShardScratch {
+    /// Outbox handed to each of the shard's processes in turn.
+    outbox: Vec<(ProcessId, Bytes)>,
+    /// Messages that survived link and loss filtering, in sender order.
+    routed: Vec<(ProcessId, Message)>,
+    /// Messages dropped because the destination was not a neighbor.
+    dropped_no_link: u64,
+    /// Messages dropped by the loss model.
+    dropped_lossy: u64,
+}
 
 /// Message-loss model applied on delivery.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -48,8 +108,11 @@ pub struct Simulation {
     /// consumed during [`step`](Simulation::step) and is recycled (swap +
     /// clear) every round, so steady-state stepping reallocates nothing.
     consumed: Vec<Vec<Message>>,
-    /// Recycled outbox handed to each process's [`Context`] in turn.
-    outbox_scratch: Vec<(ProcessId, Bytes)>,
+    /// Per-shard compute buffers, recycled across rounds (one entry when
+    /// stepping serially).
+    shard_scratch: Vec<ShardScratch>,
+    /// Compute-phase execution strategy.
+    exec: StepExec,
     round: Round,
     seed: u64,
     delivery: Delivery,
@@ -75,6 +138,7 @@ pub struct SimulationBuilder {
     seed: u64,
     delivery: Delivery,
     schedule: Schedule,
+    exec: StepExec,
 }
 
 impl SimulationBuilder {
@@ -97,22 +161,25 @@ impl SimulationBuilder {
         self
     }
 
+    /// Shards the compute phase of every [`step`](Simulation::step) across
+    /// this many threads (default 1 = serial). Traces are byte-identical
+    /// at any shard count.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.exec = StepExec::from_shards(shards);
+        self
+    }
+
+    /// Sets the compute-phase execution strategy directly.
+    pub fn exec(mut self, exec: StepExec) -> Self {
+        self.exec = exec;
+        self
+    }
+
     /// Builds the simulation, constructing each process from its id.
     pub fn build_with(self, mut make: impl FnMut(ProcessId) -> Box<dyn Process>) -> Simulation {
         let n = self.topology.len();
         let processes = (0..n).map(|i| make(ProcessId(i))).collect();
-        Simulation {
-            inboxes: vec![Vec::new(); n],
-            consumed: vec![Vec::new(); n],
-            outbox_scratch: Vec::new(),
-            topology: self.topology,
-            processes,
-            round: Round(0),
-            seed: self.seed,
-            delivery: self.delivery,
-            trace: Trace::new(n),
-            schedule: self.schedule,
-        }
+        self.build(processes)
     }
 
     /// Builds from an explicit process vector.
@@ -130,7 +197,8 @@ impl SimulationBuilder {
         Simulation {
             inboxes: vec![Vec::new(); n],
             consumed: vec![Vec::new(); n],
-            outbox_scratch: Vec::new(),
+            shard_scratch: Vec::new(),
+            exec: self.exec,
             topology: self.topology,
             processes,
             round: Round(0),
@@ -150,7 +218,19 @@ impl Simulation {
             seed: 0,
             delivery: Delivery::Reliable,
             schedule: Schedule::new(),
+            exec: StepExec::Serial,
         }
+    }
+
+    /// Re-shards the compute phase mid-run (`0`/`1` mean serial). Changing
+    /// the shard count never changes the trace.
+    pub fn set_shards(&mut self, shards: usize) {
+        self.exec = StepExec::from_shards(shards);
+    }
+
+    /// The current compute-phase execution strategy.
+    pub fn exec(&self) -> StepExec {
+        self.exec
     }
 
     /// Number of processes.
@@ -188,11 +268,30 @@ impl Simulation {
 
     /// Executes one pulse for every process.
     ///
+    /// The round is split into two phases:
+    ///
+    /// 1. **Compute** — every process steps against the immutable snapshot
+    ///    of last pulse's deliveries; its messages are link- and
+    ///    loss-filtered into per-shard `routed` buffers. Under
+    ///    [`StepExec::Sharded`] contiguous process shards run on
+    ///    `std::thread::scope` workers; every random draw is derived from
+    ///    `(seed, id, round)` coordinates, so nothing depends on shard
+    ///    boundaries or thread interleaving.
+    /// 2. **Merge** — shards are drained in ascending process-id order:
+    ///    drop counters are summed in shard order and surviving messages
+    ///    are appended to next-round inboxes sender-by-sender, exactly the
+    ///    order serial stepping produces. Traces are therefore
+    ///    byte-identical at any shard count.
+    ///
+    /// Scheduled churn/fault events fire once, before the compute phase,
+    /// so the whole round sees the post-event topology and delivery model.
+    ///
     /// Allocation-free in steady state: the two inbox buffer sets are
     /// swapped and cleared (retaining capacity) rather than reallocated,
-    /// one outbox buffer is recycled across all processes and rounds, and
-    /// payloads move as refcounted [`Bytes`] — a broadcast's single buffer
-    /// is shared by every recipient's [`Message`].
+    /// each shard recycles one outbox and one routed buffer across all its
+    /// processes and rounds, and payloads move as refcounted [`Bytes`] — a
+    /// broadcast's single buffer is shared by every recipient's
+    /// [`Message`].
     pub fn step(&mut self) {
         // Fire scheduled churn/fault events first: the round's deliveries
         // and steps see the post-event topology, delivery model and
@@ -208,45 +307,67 @@ impl Simulation {
         for inbox in &mut self.inboxes {
             inbox.clear();
         }
-        // The loss RNG is only derived when the loss model can use it.
-        let mut loss_rng = match self.delivery {
-            Delivery::Lossy { .. } => {
-                Some(labeled_rng_u64(self.seed, LOSS_DOMAIN, self.round.value()))
-            }
-            Delivery::Reliable => None,
-        };
 
-        for i in 0..n {
-            let id = ProcessId(i);
-            let mut ctx = Context {
-                id,
-                round: self.round,
-                neighbors: self.topology.neighbors(id),
-                inbox: &self.consumed[i],
-                outbox: std::mem::take(&mut self.outbox_scratch),
-                rng: process_rng(self.seed, id, self.round),
-                n,
-            };
-            self.processes[i].on_pulse(&mut ctx);
+        let shards = self.exec.shard_count(n);
+        if self.shard_scratch.len() < shards {
+            self.shard_scratch
+                .resize_with(shards, ShardScratch::default);
+        }
+        let chunk = n.div_ceil(shards).max(1);
 
-            // Route this sender's messages inline: only topology edges
-            // carry them, and they are read no earlier than the next pulse.
-            let Context { mut outbox, .. } = ctx;
-            for (to, payload) in outbox.drain(..) {
-                if to.index() >= n || !self.topology.connected(id, to) {
-                    self.trace.messages_dropped_no_link += 1;
-                    continue;
+        // Compute phase: disjoint &mut process shards against shared
+        // immutable round state.
+        let topology = &self.topology;
+        let consumed = &self.consumed;
+        let (seed, round, delivery) = (self.seed, self.round, self.delivery);
+        if shards == 1 {
+            compute_shard(
+                &mut self.processes,
+                0,
+                &mut self.shard_scratch[0],
+                consumed,
+                topology,
+                seed,
+                round,
+                delivery,
+            );
+        } else {
+            std::thread::scope(|scope| {
+                for ((si, processes), scratch) in self
+                    .processes
+                    .chunks_mut(chunk)
+                    .enumerate()
+                    .zip(self.shard_scratch.iter_mut())
+                {
+                    scope.spawn(move || {
+                        compute_shard(
+                            processes,
+                            si * chunk,
+                            scratch,
+                            consumed,
+                            topology,
+                            seed,
+                            round,
+                            delivery,
+                        );
+                    });
                 }
-                if let (Delivery::Lossy { p }, Some(rng)) = (self.delivery, loss_rng.as_mut()) {
-                    if rng.gen_bool(p.clamp(0.0, 1.0)) {
-                        self.trace.messages_dropped_lossy += 1;
-                        continue;
-                    }
-                }
-                self.trace.record_delivery(to, payload.len());
-                self.inboxes[to.index()].push(Message::new(id, self.round, payload));
+            });
+        }
+
+        // Merge phase: shards hold contiguous ascending sender ranges, so
+        // draining them in shard order appends every inbox's messages in
+        // ascending sender order — the serial order. Counters are summed
+        // in the same fixed order.
+        for scratch in &mut self.shard_scratch {
+            self.trace.messages_dropped_no_link += scratch.dropped_no_link;
+            self.trace.messages_dropped_lossy += scratch.dropped_lossy;
+            scratch.dropped_no_link = 0;
+            scratch.dropped_lossy = 0;
+            for (to, message) in scratch.routed.drain(..) {
+                self.trace.record_delivery(to, message.payload.len());
+                self.inboxes[to.index()].push(message);
             }
-            self.outbox_scratch = outbox;
         }
 
         self.trace.record_round(self.round);
@@ -358,6 +479,65 @@ impl Simulation {
     }
 }
 
+/// Steps one contiguous shard of processes (`base..base + processes.len()`)
+/// against the immutable prior-round inboxes, link- and loss-filtering
+/// each sender's outbox into the shard's `routed` buffer.
+///
+/// Shard-boundary independence: every draw a sender makes — its process
+/// RNG and its loss stream — is derived from `(seed, id, round)` alone, so
+/// the routed output for a sender is the same whichever shard (or thread)
+/// executes it.
+#[allow(clippy::too_many_arguments)]
+fn compute_shard(
+    processes: &mut [Box<dyn Process>],
+    base: usize,
+    scratch: &mut ShardScratch,
+    consumed: &[Vec<Message>],
+    topology: &Topology,
+    seed: u64,
+    round: Round,
+    delivery: Delivery,
+) {
+    let n = consumed.len();
+    for (offset, process) in processes.iter_mut().enumerate() {
+        let id = ProcessId(base + offset);
+        let mut ctx = Context {
+            id,
+            round,
+            neighbors: topology.neighbors(id),
+            inbox: &consumed[id.index()],
+            outbox: std::mem::take(&mut scratch.outbox),
+            rng: process_rng(seed, id, round),
+            n,
+        };
+        process.on_pulse(&mut ctx);
+
+        // Route this sender's messages: only topology edges carry them,
+        // and they are read no earlier than the next pulse. The loss RNG
+        // is per-sender (derived lazily, only under a lossy model and only
+        // for senders that actually send).
+        let Context { mut outbox, .. } = ctx;
+        let mut loss_rng: Option<StdRng> = None;
+        for (to, payload) in outbox.drain(..) {
+            if to.index() >= n || !topology.connected(id, to) {
+                scratch.dropped_no_link += 1;
+                continue;
+            }
+            if let Delivery::Lossy { p } = delivery {
+                let rng = loss_rng.get_or_insert_with(|| {
+                    labeled_rng_u64_pair(seed, LOSS_DOMAIN, round.value(), id.index() as u64)
+                });
+                if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                    scratch.dropped_lossy += 1;
+                    continue;
+                }
+            }
+            scratch.routed.push((to, Message::new(id, round, payload)));
+        }
+        scratch.outbox = outbox;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -444,6 +624,50 @@ mod tests {
         a.run(10);
         b.run(10);
         assert_eq!(a.trace(), b.trace());
+    }
+
+    #[test]
+    fn step_exec_canonicalizes_and_clamps() {
+        assert_eq!(StepExec::from_shards(0), StepExec::Serial);
+        assert_eq!(StepExec::from_shards(1), StepExec::Serial);
+        assert_eq!(StepExec::from_shards(3), StepExec::Sharded { shards: 3 });
+        assert_eq!(StepExec::Serial.shard_count(8), 1);
+        assert_eq!(StepExec::Sharded { shards: 3 }.shard_count(8), 3);
+        assert_eq!(
+            StepExec::Sharded { shards: 64 }.shard_count(8),
+            8,
+            "never more shards than processes"
+        );
+    }
+
+    #[test]
+    fn sharded_step_matches_serial_trace() {
+        for shards in [2, 3, 8, 64] {
+            let mut serial = counters(Topology::complete(9), 42);
+            let mut sharded = Simulation::builder(Topology::complete(9))
+                .seed(42)
+                .shards(shards)
+                .build_with(|_| Box::new(Counter { received: 0 }) as Box<dyn Process>);
+            serial.run(10);
+            sharded.run(10);
+            assert_eq!(serial.trace(), sharded.trace(), "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn resharding_mid_run_preserves_the_trace() {
+        let mut reference = counters(Topology::complete(6), 7);
+        reference.run(9);
+
+        let mut resharded = counters(Topology::complete(6), 7);
+        resharded.run(3);
+        resharded.set_shards(4);
+        assert_eq!(resharded.exec(), StepExec::Sharded { shards: 4 });
+        resharded.run(3);
+        resharded.set_shards(1);
+        assert_eq!(resharded.exec(), StepExec::Serial);
+        resharded.run(3);
+        assert_eq!(reference.trace(), resharded.trace());
     }
 
     #[test]

@@ -5,7 +5,12 @@
 # The snapshot contains, among others:
 #   substrate/step_loop_bytes/n64        — zero-copy steady-state step
 #   substrate/step_loop_naive_substrate/n64 — pre-rewrite baseline
-# whose ratio is the substrate speedup claimed by the zero-copy PR.
+# whose ratio is the substrate speedup claimed by the zero-copy PR, plus
+# the scaling series:
+#   substrate/step_loop_bytes/n{256,1024}   — serial large-n step loops
+#   substrate/step_loop_sharded/n1024s{1,2,4} — intra-run sharded variants
+# whose ratio vs the serial n1024 row is the sharding speedup (bounded by
+# the host's core count; s2/s4 ≈ s1 on a single-core machine).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,12 +27,20 @@ echo
 echo "wrote $OUT"
 if command -v python3 >/dev/null; then
     python3 - "$OUT" <<'EOF'
-import json, sys
+import json, os, sys
 data = json.load(open(sys.argv[1]))
 ns = {b["name"]: b["ns_per_iter"] for b in data["benchmarks"]}
 new = ns.get("substrate/step_loop_bytes/n64")
 old = ns.get("substrate/step_loop_naive_substrate/n64")
 if new and old:
     print(f"step-loop speedup vs naive substrate: {old / new:.2f}x")
+serial = ns.get("substrate/step_loop_bytes/n1024")
+if serial:
+    cores = os.cpu_count() or 1
+    for s in (1, 2, 4):
+        sharded = ns.get(f"substrate/step_loop_sharded/n1024s{s}")
+        if sharded:
+            print(f"n1024 sharded x{s} vs serial: {serial / sharded:.2f}x "
+                  f"(host has {cores} core(s))")
 EOF
 fi

@@ -15,6 +15,12 @@ echo "==> scenario smoke suite (verdicts + cross-process summary determinism)"
 ./target/release/scenario run --suite smoke --workers 1 > target/scenario_smoke_b.json
 cmp target/scenario_smoke_a.json target/scenario_smoke_b.json
 
+echo "==> scenario smoke suite (serial vs sharded step byte-identity)"
+./target/release/scenario run --suite smoke --workers 4 --shards 1 > target/scenario_smoke_s1.json
+./target/release/scenario run --suite smoke --workers 4 --shards 4 > target/scenario_smoke_s4.json
+cmp target/scenario_smoke_s1.json target/scenario_smoke_s4.json
+cmp target/scenario_smoke_a.json target/scenario_smoke_s1.json
+
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
