@@ -68,6 +68,14 @@ pub enum AgentMode {
     /// Never commits or reveals (but still participates in agreement —
     /// a lazy free-rider rather than a crashed node).
     Mute,
+    /// Plays honestly but frames processor 0 in the foul agreement:
+    /// its BA 3 proposal always carries agent 0's foul bit, evidence or
+    /// not. The executive's `f`-quorum is what keeps this harmless.
+    Framer,
+    /// Commits to — and faithfully reveals — an action outside its own
+    /// action space (the commitment verifies; only the range audit can
+    /// catch it).
+    OutOfRangeReveal,
 }
 
 /// One play's transient state.
@@ -77,6 +85,12 @@ struct PlayState {
     my_opening: Option<Opening>,
     commitments: HashMap<usize, Commitment>,
     reveals: HashMap<usize, (usize, Opening)>,
+    /// Agents whose harvested reveal named an action outside their
+    /// action space. Quarantined foul evidence: such a reveal never
+    /// enters `reveals` (and thus never the outcome) and is proposed as
+    /// a foul in this processor's BA 3 input, so conviction flows
+    /// through the agreed quorum like every other foul.
+    invalid: u64,
 }
 
 /// The complete outcome of one finished play, as recorded by a processor.
@@ -228,6 +242,10 @@ impl AuthorityProcess {
             if self.punished[agent] {
                 continue; // already out; no fresh foul
             }
+            if self.play.invalid & (1 << agent) != 0 {
+                mask |= 1 << agent; // revealed outside the action space
+                continue;
+            }
             let fouled = match (
                 self.play.commitments.get(&agent),
                 self.play.reveals.get(&agent),
@@ -255,12 +273,13 @@ impl AuthorityProcess {
     fn choose_action(&self) -> usize {
         let actions = self.game.num_actions(self.me);
         match self.mode {
-            AgentMode::Honest | AgentMode::EquivocalReveal | AgentMode::Mute => {
-                match &self.prev_outcome {
-                    Some(prev) => best_response(self.game.as_ref(), self.me, prev),
-                    None => 0,
-                }
-            }
+            AgentMode::Honest
+            | AgentMode::EquivocalReveal
+            | AgentMode::Mute
+            | AgentMode::Framer => match &self.prev_outcome {
+                Some(prev) => best_response(self.game.as_ref(), self.me, prev),
+                None => 0,
+            },
             AgentMode::WorstResponse => match &self.prev_outcome {
                 Some(prev) => {
                     // Deliberately pick a non-best response if one exists.
@@ -269,6 +288,8 @@ impl AuthorityProcess {
                 }
                 None => 0,
             },
+            // The smallest action outside the agent's space.
+            AgentMode::OutOfRangeReveal => actions,
         }
     }
 
@@ -304,6 +325,88 @@ impl AuthorityProcess {
             w.put_bytes(&inner);
             out.push((to, w.finish().into()));
         }
+    }
+
+    /// Records a harvested commitment digest (the first one per agent
+    /// wins; commitments are binding, not amendable).
+    fn harvest_commit(&mut self, from: usize, digest: [u8; 32]) {
+        self.play
+            .commitments
+            .entry(from)
+            .or_insert_with(|| Commitment::from_digest(digest));
+    }
+
+    /// Records a harvested reveal. An action outside the agent's action
+    /// space is foul evidence, not input: it is quarantined into
+    /// `PlayState::invalid` so it can never be laundered into the
+    /// outcome as the null action.
+    fn harvest_reveal(&mut self, from: usize, action: usize, opening: Opening) {
+        if from >= self.n {
+            return;
+        }
+        if action >= self.game.num_actions(from) {
+            self.play.invalid |= 1 << from;
+            return;
+        }
+        self.play.reveals.entry(from).or_insert((action, opening));
+    }
+
+    /// Folds BA 3's interactive-consistency vector into the agreed foul
+    /// mask. A bit convicts only when **more than `f`** of the agreed
+    /// per-source proposals carry it — i.e. at least one honest auditor
+    /// — so up to `f` Byzantine processors can never frame a correct
+    /// agent on their own, and resilience degrades with the threshold
+    /// exactly as §3.3 states it (at `f = 0` a single accusation
+    /// convicts). Already-punished agents are skipped: they are out, no
+    /// fresh foul (a persistent accuser must not re-stamp their bit into
+    /// every later play record).
+    fn agreed_foul_mask(&self) -> u64 {
+        let proposals: Vec<u64> = self.ba[2].vector().into_iter().flatten().collect();
+        let mut mask = 0u64;
+        for agent in 0..self.n {
+            if self.punished[agent] {
+                continue;
+            }
+            let votes = proposals.iter().filter(|&&p| p & (1 << agent) != 0).count();
+            if votes > self.f {
+                mask |= 1 << agent;
+            }
+        }
+        mask
+    }
+
+    /// The executive phase: convict the agreed fouls, disconnect them,
+    /// and record the play.
+    ///
+    /// Conviction flows **only** through the agreed mask — local
+    /// evidence (`PlayState::invalid`) enters via this processor's BA 3
+    /// proposal, never unilaterally, so a reveal delivered selectively
+    /// to some processors can not split the executives' `punished`
+    /// state. The quarantine still guarantees an invalid reveal is
+    /// never adopted as an outcome action.
+    fn conclude_play(&mut self) {
+        let fouls = self.agreed_foul_mask();
+        for agent in 0..self.n {
+            if fouls & (1 << agent) != 0 {
+                self.punished[agent] = true;
+            }
+        }
+        // Outcome: revealed actions of surviving agents whose reveals
+        // audit clean; null action 0 otherwise.
+        let actions: Vec<usize> = (0..self.n)
+            .map(|agent| {
+                if self.punished[agent] {
+                    return 0;
+                }
+                match self.play.reveals.get(&agent) {
+                    Some((a, _)) if *a < self.game.num_actions(agent) => *a,
+                    _ => 0,
+                }
+            })
+            .collect();
+        let outcome = PureProfile::new(actions);
+        self.prev_outcome = Some(outcome.clone());
+        self.records.push(PlayRecord { outcome, fouls });
     }
 }
 
@@ -343,10 +446,7 @@ impl Process for AuthorityProcess {
                 Some(t) if t == tag::COMMIT => {
                     if let Some(digest) = rd.get_bytes().and_then(|b| <[u8; 32]>::try_from(b).ok())
                     {
-                        self.play
-                            .commitments
-                            .entry(*from)
-                            .or_insert_with(|| Commitment::from_digest(digest));
+                        self.harvest_commit(*from, digest);
                     }
                 }
                 Some(t) if t == tag::REVEAL => {
@@ -354,10 +454,7 @@ impl Process for AuthorityProcess {
                         rd.get_u64(),
                         rd.get_bytes().and_then(|b| <[u8; 32]>::try_from(b).ok()),
                     ) {
-                        self.play
-                            .reveals
-                            .entry(*from)
-                            .or_insert((action as usize, Opening::from_nonce(nonce)));
+                        self.harvest_reveal(*from, action as usize, Opening::from_nonce(nonce));
                     }
                 }
                 _ => {}
@@ -425,9 +522,9 @@ impl Process for AuthorityProcess {
                     }
                     _ => action,
                 };
-                self.play
-                    .reveals
-                    .insert(self.me, (revealed_action, opening));
+                // Same quarantine as harvested reveals: an out-of-range
+                // self-reveal is foul evidence, never outcome input.
+                self.harvest_reveal(self.me, revealed_action, opening);
                 let mut w = Writer::new();
                 w.put_u8(tag::REVEAL);
                 w.put_u64(revealed_action as u64);
@@ -442,7 +539,11 @@ impl Process for AuthorityProcess {
             }
         } else if v == 2 * r + 3 {
             // Start BA3 on the locally audited foul mask.
-            self.ba[2].begin(self.local_foul_mask());
+            let mut proposal = self.local_foul_mask();
+            if self.mode == AgentMode::Framer {
+                proposal |= 1; // the false accusation against agent 0
+            }
+            self.ba[2].begin(proposal);
             self.ba_progress[2] = Some(0);
             self.step_ba(2, 0, &traffic, &mut out);
         } else if v >= 2 * r + 4 && v <= 3 * r + 2 {
@@ -454,35 +555,12 @@ impl Process for AuthorityProcess {
                 }
             }
         } else if v == 3 * r + 3 {
-            // Executive phase: apply the agreed fouls, record the outcome.
-            let fouls = self.ba[2].decided().unwrap_or(0);
-            for agent in 0..self.n {
-                if fouls & (1 << agent) != 0 {
-                    self.punished[agent] = true;
-                }
-            }
-            // Outcome: revealed actions of surviving agents whose reveals
-            // audit clean; null action 0 otherwise.
-            let actions: Vec<usize> = (0..self.n)
-                .map(|agent| {
-                    if self.punished[agent] {
-                        return 0;
-                    }
-                    match self.play.reveals.get(&agent) {
-                        Some((a, _)) if *a < self.game.num_actions(agent) => *a,
-                        _ => 0,
-                    }
-                })
-                .collect();
-            let outcome = PureProfile::new(actions);
-            self.prev_outcome = Some(outcome.clone());
-            self.records.push(PlayRecord { outcome, fouls });
+            self.conclude_play();
         }
 
         for (to, payload) in out {
             ctx.send(ProcessId(to), payload);
         }
-        let _ = self.f;
     }
 
     fn scramble(&mut self, rng: &mut rand::rngs::StdRng) {
@@ -508,27 +586,119 @@ impl Process for AuthorityProcess {
     }
 }
 
-/// Builds and runs a distributed authority over a complete graph; returns
-/// the simulation for inspection.
+/// The construction half of a distributed authority, decoupled from
+/// simulator wiring: which game is played, the fault threshold, and each
+/// agent's [`AgentMode`].
+///
+/// Spec-driven frontends (e.g. the scenario engine) own the topology,
+/// delivery model, churn schedule and run seed themselves and call
+/// [`process`](AuthorityCluster::process) from their own factory;
+/// [`build_authority_sim`] remains the classic complete-graph wiring for
+/// direct use.
+#[derive(Clone)]
+pub struct AuthorityCluster {
+    game: Arc<dyn Game + Send + Sync>,
+    f: usize,
+    modes: Vec<AgentMode>,
+}
+
+impl std::fmt::Debug for AuthorityCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AuthorityCluster")
+            .field("n", &self.modes.len())
+            .field("f", &self.f)
+            .field("modes", &self.modes)
+            .finish_non_exhaustive()
+    }
+}
+
+impl AuthorityCluster {
+    /// An all-honest cluster playing `game` (one agent per game player)
+    /// and tolerating `f` Byzantine agents.
+    ///
+    /// # Panics
+    ///
+    /// Same contracts as [`AuthorityProcess::new`]: `n > 3f`, `n ≤ 64`.
+    pub fn new(game: Arc<dyn Game + Send + Sync>, f: usize) -> AuthorityCluster {
+        let n = game.num_agents();
+        assert!(n > 3 * f, "distributed authority requires n > 3f");
+        assert!(n <= 64, "foul bitmask supports up to 64 agents");
+        AuthorityCluster {
+            game,
+            f,
+            modes: vec![AgentMode::Honest; n],
+        }
+    }
+
+    /// Sets one agent's mode (builder-style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn mode(mut self, id: usize, mode: AgentMode) -> Self {
+        self.modes[id] = mode;
+        self
+    }
+
+    /// Replaces the whole mode vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `modes.len()` matches the game arity.
+    #[must_use]
+    pub fn modes(mut self, modes: Vec<AgentMode>) -> Self {
+        assert_eq!(modes.len(), self.modes.len(), "one mode per agent");
+        self.modes = modes;
+        self
+    }
+
+    /// Number of agents.
+    pub fn n(&self) -> usize {
+        self.modes.len()
+    }
+
+    /// The fault threshold.
+    pub fn f(&self) -> usize {
+        self.f
+    }
+
+    /// Pulses per play: the clock modulus `3R + 4` for this cluster's
+    /// OM round count.
+    pub fn play_len(&self) -> u64 {
+        AuthorityProcess::schedule_len(OmConsensus::new(0, self.n(), self.f).rounds())
+    }
+
+    /// Constructs processor `id`, deriving its nonce stream from `seed`
+    /// (pass the run seed so sweeps vary commitment nonces per run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn process(&self, id: usize, seed: u64) -> Box<dyn Process> {
+        Box::new(AuthorityProcess::new(
+            self.game.clone(),
+            id,
+            self.n(),
+            self.f,
+            self.modes[id],
+            seed,
+        ))
+    }
+}
+
+/// Builds a distributed authority over a complete graph; returns the
+/// simulation for inspection. Thin wiring over [`AuthorityCluster`].
 pub fn build_authority_sim(
     game: Arc<dyn Game + Send + Sync>,
     modes: Vec<AgentMode>,
     f: usize,
     seed: u64,
 ) -> Simulation {
-    let n = modes.len();
-    Simulation::builder(Topology::complete(n))
+    let cluster = AuthorityCluster::new(game, f).modes(modes);
+    Simulation::builder(Topology::complete(cluster.n()))
         .seed(seed)
-        .build_with(|id| {
-            Box::new(AuthorityProcess::new(
-                game.clone(),
-                id.index(),
-                n,
-                f,
-                modes[id.index()],
-                seed,
-            )) as Box<dyn Process>
-        })
+        .build_with(|id| cluster.process(id.index(), seed))
 }
 
 #[cfg(test)]
@@ -635,6 +805,105 @@ mod tests {
         assert!(r0[0].fouls & (1 << 3) != 0, "mute agent flagged");
         // Later plays still complete among the survivors.
         assert!(r0.last().unwrap().fouls & 0b0111 == 0);
+    }
+
+    #[test]
+    fn fault_threshold_gates_false_accusations() {
+        // One Byzantine agent frames agent 0 in every foul agreement.
+        // With f = 1, its lone vote is below the f+1 conviction quorum
+        // and agent 0 survives; with f = 0 the same single accusation
+        // convicts — resilience degrades with the threshold exactly as
+        // the paper states it. (Regression: `f` used to be dead state,
+        // so both configurations behaved identically.)
+        let n = 4;
+        for (f, framed) in [(1usize, false), (0usize, true)] {
+            let modulus = AuthorityProcess::schedule_len(OmConsensus::new(0, n, f).rounds());
+            let modes = vec![
+                AgentMode::Honest,
+                AgentMode::Honest,
+                AgentMode::Honest,
+                AgentMode::Framer,
+            ];
+            let mut sim = build_authority_sim(congestion(), modes, f, 13);
+            sim.run(modulus * 3 + 2);
+            let r1 = records(&sim, 1);
+            assert!(r1.len() >= 2, "plays complete at f={f}");
+            assert_eq!(
+                r1.iter().any(|rec| rec.fouls & 1 != 0),
+                framed,
+                "agent 0 framed iff f=0 (f={f}): {r1:?}"
+            );
+            let convictions = r1.iter().filter(|rec| rec.fouls & 1 != 0).count();
+            assert!(
+                convictions <= 1,
+                "a persistent accuser must not re-stamp the foul into \
+                 later records (f={f}): {r1:?}"
+            );
+            for i in 1..3 {
+                let p = sim.process_as::<AuthorityProcess>(ProcessId(i)).unwrap();
+                assert_eq!(p.punished()[0], framed, "p{i} punished agent 0 (f={f})");
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_reveal_is_quarantined_not_laundered() {
+        // A reveal naming an action outside the agent's space must be
+        // quarantined as foul evidence — never silently become the null
+        // action in the outcome. (Regression: it used to sit in
+        // `reveals` and be mapped to 0 with no foul whenever the foul
+        // agreement had not decided.)
+        let mut p = AuthorityProcess::new(congestion(), 0, 4, 1, AgentMode::Honest, 1);
+        p.harvest_reveal(2, 9, Opening::from_nonce([0u8; 32]));
+        assert_eq!(p.play.invalid, 1 << 2, "quarantined, not stored");
+        assert!(!p.play.reveals.contains_key(&2));
+        assert!(
+            p.local_foul_mask() & (1 << 2) != 0,
+            "invalid reveal is proposed as a foul"
+        );
+        // Conviction flows only through the agreed quorum: with BA 3
+        // undecided the executive must NOT punish unilaterally (a
+        // selectively delivered reveal would otherwise split honest
+        // executives' state) — but the quarantine still keeps the
+        // invalid action out of the outcome.
+        p.conclude_play();
+        let rec = p.records().last().unwrap();
+        assert_eq!(rec.outcome.action(2), 0, "never adopted as an outcome");
+        assert!(!p.punished()[2], "no unilateral conviction");
+        // An in-range reveal still lands in the outcome path.
+        p.harvest_reveal(1, 1, Opening::from_nonce([1u8; 32]));
+        assert_eq!(p.play.reveals.get(&1).map(|(a, _)| *a), Some(1));
+    }
+
+    #[test]
+    fn out_of_range_revealer_is_convicted_by_quorum() {
+        // End to end: agent 3 commits to (and faithfully reveals) an
+        // action outside its space, so the commitment verifies and only
+        // the range audit can catch it. Every honest auditor proposes
+        // the foul, the quorum convicts, and the outcome records the
+        // null action — identically everywhere.
+        let n = 4;
+        let modulus = AuthorityProcess::schedule_len(OmConsensus::new(0, n, 1).rounds());
+        let modes = vec![
+            AgentMode::Honest,
+            AgentMode::Honest,
+            AgentMode::Honest,
+            AgentMode::OutOfRangeReveal,
+        ];
+        let sim = run_plays(modes, modulus * 3 + 2, 21);
+        let r0 = records(&sim, 0);
+        assert!(!r0.is_empty());
+        assert_eq!(
+            r0[0].fouls & (1 << 3),
+            1 << 3,
+            "convicted in play 0: {r0:?}"
+        );
+        assert_eq!(r0[0].outcome.action(3), 0, "never adopted as an outcome");
+        for i in 0..3 {
+            assert_eq!(records(&sim, i), r0, "identical play records at p{i}");
+            let p = sim.process_as::<AuthorityProcess>(ProcessId(i)).unwrap();
+            assert!(p.punished()[3], "agent 3 disconnected at p{i}");
+        }
     }
 
     #[test]

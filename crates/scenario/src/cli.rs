@@ -21,6 +21,12 @@
 //! and records throughput —
 //! timing lives only in the bench output, never in run summaries, so
 //! summaries stay reproducible.
+//!
+//! `scenario list` names every suite: `paper` (the e1–e8 experiment
+//! ports), `authority` (the §3.3 distributed-authority plays — honest,
+//! selfish-cluster, mute, churn, and a noise adversary placed per seed
+//! by `PlacementStrategy::RandomF`), `examples`, `smoke` (the tier-1
+//! gate), and the `bench64`/`bench256` throughput workloads.
 
 use std::io::Write;
 use std::time::Instant;

@@ -17,7 +17,11 @@
 //!   result slot, so aggregated [`SweepSummary`](sweep::SweepSummary) JSON
 //!   is **byte-identical at any worker count**.
 //! * [`suites`] — named suites for the `scenario` CLI: `paper` (the e1–e8
-//!   experiment ports, see [`ports`]), `examples`, `smoke`, `bench64`.
+//!   experiment ports, see [`ports`]), `authority` (the §3.3 distributed-
+//!   authority plays, see [`authority`]), `examples`, `smoke`, `bench64`.
+//! * [`spec::PlacementStrategy`] — seed-derived adversary placement
+//!   families (`RandomF`, `WorstCaseByDegree`), so one spec covers every
+//!   adversary position instead of one pinned id.
 //!
 //! ## Quickstart
 //!
@@ -77,6 +81,7 @@
 //! assert!(spec.run(0).stopped_at.is_some(), "gossip survives the outage");
 //! ```
 
+pub mod authority;
 pub mod cli;
 pub mod json;
 pub mod ports;
@@ -89,7 +94,7 @@ pub mod workload;
 /// Convenient glob import for scenario authors.
 pub mod prelude {
     pub use crate::record::{FnScenario, MessageStats, RunRecord, Scenario, Verdict};
-    pub use crate::spec::{Role, ScenarioSpec, TopologyFamily};
+    pub use crate::spec::{PlacementStrategy, Role, ScenarioSpec, TopologyFamily};
     pub use crate::suites::Suite;
     pub use crate::sweep::{
         expand_grid, sweep, sweep_sharded, sweep_stream, MetricAgg, ParamGrid, RecordSink,

@@ -14,6 +14,7 @@ use ga_simnet::colluding::Cabal;
 use ga_simnet::prelude::*;
 use ga_simnet::rng::labeled_rng;
 use ga_simnet::sim::Delivery;
+use rand::seq::SliceRandom;
 
 use crate::record::{MessageStats, RunRecord, Verdict};
 
@@ -112,7 +113,66 @@ pub enum Role {
     Colluder,
 }
 
-type ProtocolFactory = Arc<dyn Fn(ProcessId, usize) -> Box<dyn Process> + Send + Sync>;
+/// A seed-derived adversary placement family.
+///
+/// Per-id placements ([`ScenarioSpec::adversary`]) pin Byzantine
+/// processors to fixed positions; a strategy instead picks them per run
+/// from the run's graph and seed, so one spec covers the whole
+/// adversary-position family. Strategies resolve after the fixed
+/// placements and the last write per id wins.
+#[derive(Debug, Clone)]
+pub enum PlacementStrategy {
+    /// Exactly these per-id placements — what `adversary`/`colluders`
+    /// append, factored out as data.
+    Fixed(Vec<(usize, Role)>),
+    /// `f` distinct processors drawn uniformly from the run seed.
+    RandomF {
+        /// Number of adversaries to place.
+        f: usize,
+        /// The role each drawn processor plays.
+        role: Role,
+    },
+    /// The `f` highest-degree processors of the run's graph (ties go to
+    /// the lower id) — the worst case for protocols leaning on
+    /// well-connected relays.
+    WorstCaseByDegree {
+        /// Number of adversaries to place.
+        f: usize,
+        /// The role each picked processor plays.
+        role: Role,
+    },
+}
+
+impl PlacementStrategy {
+    /// Resolves the family to concrete per-id placements for one run
+    /// (ascending id order). Pure in `(self, topology, seed, salt)`;
+    /// `salt` decorrelates the random draws of multiple strategies on
+    /// one spec ([`ScenarioSpec::place`] passes the strategy's index),
+    /// so two `RandomF` families never shadow each other's picks.
+    pub fn resolve(&self, topology: &Topology, seed: u64, salt: u64) -> Vec<(usize, Role)> {
+        let place = |mut ids: Vec<usize>, f: usize, role: &Role| {
+            ids.truncate(f.min(topology.len()));
+            ids.sort_unstable();
+            ids.into_iter().map(|id| (id, role.clone())).collect()
+        };
+        match self {
+            PlacementStrategy::Fixed(placements) => placements.clone(),
+            PlacementStrategy::RandomF { f, role } => {
+                let mut ids: Vec<usize> = (0..topology.len()).collect();
+                let label = format!("scenario-placement-{salt}");
+                ids.shuffle(&mut labeled_rng(seed, &label));
+                place(ids, *f, role)
+            }
+            PlacementStrategy::WorstCaseByDegree { f, role } => {
+                let mut ids: Vec<usize> = (0..topology.len()).collect();
+                ids.sort_by_key(|&id| (std::cmp::Reverse(topology.degree(ProcessId(id))), id));
+                place(ids, *f, role)
+            }
+        }
+    }
+}
+
+type ProtocolFactory = Arc<dyn Fn(ProcessId, usize, u64) -> Box<dyn Process> + Send + Sync>;
 type StopPredicate = Arc<dyn Fn(&Simulation) -> bool + Send + Sync>;
 type VerdictFn = Arc<dyn Fn(&Simulation, &RunRecord) -> Verdict + Send + Sync>;
 type ProbeFn = Arc<dyn Fn(&Simulation, &mut RunRecord) + Send + Sync>;
@@ -127,6 +187,7 @@ pub struct ScenarioSpec {
     topology: TopologyFamily,
     delivery: Delivery,
     placements: Vec<(usize, Role)>,
+    strategies: Vec<PlacementStrategy>,
     schedule: Schedule,
     max_rounds: u64,
     shards: usize,
@@ -156,11 +217,23 @@ impl ScenarioSpec {
         topology: TopologyFamily,
         protocol: impl Fn(ProcessId, usize) -> Box<dyn Process> + Send + Sync + 'static,
     ) -> ScenarioSpec {
+        Self::new_seeded(name, topology, move |id, n, _seed| protocol(id, n))
+    }
+
+    /// Like [`new`](ScenarioSpec::new), but the protocol factory also
+    /// receives the run seed — for protocols whose processes derive
+    /// per-run randomness (commitment nonces, PRG streams) from it.
+    pub fn new_seeded(
+        name: impl Into<String>,
+        topology: TopologyFamily,
+        protocol: impl Fn(ProcessId, usize, u64) -> Box<dyn Process> + Send + Sync + 'static,
+    ) -> ScenarioSpec {
         ScenarioSpec {
             name: name.into(),
             topology,
             delivery: Delivery::Reliable,
             placements: Vec::new(),
+            strategies: Vec::new(),
             schedule: Schedule::new(),
             max_rounds: 100,
             shards: 1,
@@ -191,21 +264,51 @@ impl ScenarioSpec {
         self
     }
 
-    /// Assigns a Byzantine `role` to processor `id`.
+    /// Assigns a Byzantine `role` to processor `id`. Re-assigning the
+    /// same id overrides the earlier role (last write wins).
     #[must_use]
     pub fn adversary(mut self, id: usize, role: Role) -> Self {
-        self.placements.push((id, role));
+        Self::assign(&mut self.placements, id, role);
         self
     }
 
     /// Assigns [`Role::Colluder`] to every listed processor (they share
-    /// one cabal per run).
+    /// one cabal per run; last write per id wins).
     #[must_use]
     pub fn colluders(mut self, ids: impl IntoIterator<Item = usize>) -> Self {
         for id in ids {
-            self.placements.push((id, Role::Colluder));
+            Self::assign(&mut self.placements, id, Role::Colluder);
         }
         self
+    }
+
+    /// Adds a seed-derived adversary placement family, resolved against
+    /// each run's graph and seed and overlaid on the fixed
+    /// `adversary`/`colluders` placements (last write per id wins).
+    #[must_use]
+    pub fn place(mut self, strategy: PlacementStrategy) -> Self {
+        self.strategies.push(strategy);
+        self
+    }
+
+    /// Upserts a placement: one role per id, the latest assignment wins.
+    fn assign(placements: &mut Vec<(usize, Role)>, id: usize, role: Role) {
+        match placements.iter_mut().find(|(existing, _)| *existing == id) {
+            Some((_, slot)) => *slot = role,
+            None => placements.push((id, role)),
+        }
+    }
+
+    /// Concrete per-id placements for one run: the fixed list overlaid
+    /// with every strategy's seed-resolved picks, in insertion order.
+    fn resolve_placements(&self, topology: &Topology, seed: u64) -> Vec<(usize, Role)> {
+        let mut placements = self.placements.clone();
+        for (salt, strategy) in self.strategies.iter().enumerate() {
+            for (id, role) in strategy.resolve(topology, seed, salt as u64) {
+                Self::assign(&mut placements, id, role);
+            }
+        }
+        placements
     }
 
     /// Attaches the churn/fault schedule.
@@ -302,6 +405,7 @@ impl ScenarioSpec {
         let shards = if shards == 0 { self.shards } else { shards };
         let topology = self.topology.build(seed);
         let n = topology.len();
+        let placements = self.resolve_placements(&topology, seed);
         // The cabal's per-round lies derive from the run seed, so records
         // stay a pure function of (spec, seed) and colluders split across
         // step shards tell identical lies.
@@ -312,9 +416,9 @@ impl ScenarioSpec {
             .schedule(self.schedule.clone())
             .shards(shards)
             .build_with(
-                |id| match self.placements.iter().find(|(byz, _)| *byz == id.index()) {
+                |id| match placements.iter().find(|(byz, _)| *byz == id.index()) {
                     Some((_, role)) => Self::role_process(role, &cabal),
-                    None => (self.protocol)(id, n),
+                    None => (self.protocol)(id, n, seed),
                 },
             );
 
@@ -469,5 +573,148 @@ mod tests {
         let spec = flood_spec(TopologyFamily::Ring(4))
             .verdict(|_, record| Verdict::check(record.rounds > 100, "too few rounds"));
         assert_eq!(spec.run(0).verdict, Verdict::Fail("too few rounds".into()));
+    }
+
+    #[test]
+    fn duplicate_adversary_is_last_write_wins() {
+        // Regression: re-assigning an id used to be silently ignored
+        // because role lookup took the first match. p0 on Complete(3)
+        // hears 1/round if processor 2 stays Silent, 2/round once the
+        // later Equivocator assignment actually overrides it.
+        let heard = |spec: ScenarioSpec| {
+            spec.max_rounds(10)
+                .probe(|sim, r| {
+                    let heard = sim
+                        .process_as::<Flood>(ProcessId(0))
+                        .map(|f| f.heard)
+                        .unwrap_or(0);
+                    r.metric("p0_heard", heard as f64);
+                })
+                .run(0)
+                .get_metric("p0_heard")
+        };
+        let overridden = flood_spec(TopologyFamily::Complete(3))
+            .adversary(2, Role::Silent)
+            .adversary(
+                2,
+                Role::Equivocator {
+                    a: vec![1],
+                    b: vec![2],
+                },
+            );
+        assert_eq!(heard(overridden), Some(18.0), "9 delivery rounds × 2");
+        let silent = flood_spec(TopologyFamily::Complete(3)).adversary(2, Role::Silent);
+        assert_eq!(heard(silent), Some(9.0), "9 delivery rounds × 1");
+        // colluders() participates in the same upsert rule.
+        let spec = flood_spec(TopologyFamily::Complete(4))
+            .adversary(3, Role::Silent)
+            .colluders([3]);
+        assert_eq!(spec.placements.len(), 1);
+        assert!(matches!(spec.placements[0], (3, Role::Colluder)));
+    }
+
+    #[test]
+    fn placement_strategies_resolve_deterministically() {
+        let star = TopologyFamily::Star(9).build(0);
+        let hub = PlacementStrategy::WorstCaseByDegree {
+            f: 1,
+            role: Role::Silent,
+        };
+        let resolved = hub.resolve(&star, 5, 0);
+        assert_eq!(resolved.len(), 1);
+        assert_eq!(resolved[0].0, 0, "the star's hub is the max-degree pick");
+
+        let complete = TopologyFamily::Complete(12).build(0);
+        let random = PlacementStrategy::RandomF {
+            f: 3,
+            role: Role::Silent,
+        };
+        let a = random.resolve(&complete, 7, 0);
+        assert_eq!(a.len(), 3);
+        assert!(a.windows(2).all(|w| w[0].0 < w[1].0), "ascending ids");
+        assert_eq!(
+            a.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+            random
+                .resolve(&complete, 7, 0)
+                .iter()
+                .map(|(id, _)| *id)
+                .collect::<Vec<_>>(),
+            "same seed, same picks"
+        );
+        let distinct: std::collections::HashSet<Vec<usize>> = (0..8)
+            .map(|seed| {
+                random
+                    .resolve(&complete, seed, 0)
+                    .iter()
+                    .map(|(id, _)| *id)
+                    .collect()
+            })
+            .collect();
+        assert!(distinct.len() > 1, "the family varies across seeds");
+        // Oversized f clamps to n.
+        let all = PlacementStrategy::RandomF {
+            f: 99,
+            role: Role::Silent,
+        }
+        .resolve(&complete, 0, 0);
+        assert_eq!(all.len(), 12);
+    }
+
+    #[test]
+    fn stacked_random_strategies_are_decorrelated() {
+        // Two RandomF families on one spec draw from salt-distinct RNG
+        // streams, so the second must not simply shadow the first's
+        // picks on every seed (they'd collide and last-write-wins would
+        // erase the first family entirely).
+        let spec = flood_spec(TopologyFamily::Complete(12))
+            .place(PlacementStrategy::RandomF {
+                f: 1,
+                role: Role::Silent,
+            })
+            .place(PlacementStrategy::RandomF {
+                f: 1,
+                role: Role::Noise { max_len: 4 },
+            });
+        let topology = TopologyFamily::Complete(12).build(0);
+        let both = (0..8).any(|seed| spec.resolve_placements(&topology, seed).len() == 2);
+        assert!(both, "salted draws place two distinct adversaries");
+    }
+
+    #[test]
+    fn strategy_placements_shape_the_run() {
+        // Silencing the star's hub by degree cuts every leaf off.
+        let spec = flood_spec(TopologyFamily::Star(8))
+            .place(PlacementStrategy::WorstCaseByDegree {
+                f: 1,
+                role: Role::Silent,
+            })
+            .probe(|sim, r| {
+                let heard = sim
+                    .process_as::<Flood>(ProcessId(1))
+                    .map(|f| f.heard)
+                    .unwrap_or(99);
+                r.metric("leaf_heard", heard as f64);
+            });
+        assert_eq!(spec.run(3).get_metric("leaf_heard"), Some(0.0));
+    }
+
+    #[test]
+    fn seeded_protocol_factory_receives_the_run_seed() {
+        let spec =
+            ScenarioSpec::new_seeded("seeded", TopologyFamily::Complete(4), |id, _n, seed| {
+                Box::new(crate::workload::MaxGossip::new(
+                    seed * 10 + id.index() as u64,
+                )) as Box<dyn Process>
+            })
+            .max_rounds(5)
+            .probe(|sim, r| {
+                let v = sim
+                    .process_as::<crate::workload::MaxGossip>(ProcessId(0))
+                    .map(|p| p.current)
+                    .unwrap_or(0);
+                r.metric("converged_max", v as f64);
+            });
+        assert_eq!(spec.run(2).get_metric("converged_max"), Some(23.0));
+        assert_eq!(spec.run(5).get_metric("converged_max"), Some(53.0));
     }
 }

@@ -14,9 +14,10 @@ use std::sync::Arc;
 use ga_simnet::prelude::*;
 use ga_simnet::sim::Delivery;
 
+use crate::authority;
 use crate::ports;
 use crate::record::{Scenario, Verdict};
-use crate::spec::{Role, ScenarioSpec, TopologyFamily};
+use crate::spec::{PlacementStrategy, Role, ScenarioSpec, TopologyFamily};
 use crate::sweep::{self, ParamGrid, SweepSummary};
 use crate::workload::{gossip_agreed, Flood, MaxGossip};
 
@@ -91,6 +92,14 @@ pub fn all() -> Vec<Suite> {
             seed_base: 2010,
             default_seeds: 2,
             build: paper,
+        },
+        Suite {
+            name: "authority",
+            description:
+                "§3.3 distributed-authority plays: honest, selfish-cluster, mute, churn, noise",
+            seed_base: 40,
+            default_seeds: 2,
+            build: authority::suite,
         },
         Suite {
             name: "examples",
@@ -258,6 +267,30 @@ fn smoke() -> Vec<Arc<dyn Scenario>> {
             }),
     ));
 
+    // Worst-case-by-degree placement: the star's hub is the max-degree
+    // vertex, so the strategy must silence it and cut every leaf off.
+    scenarios.push(Arc::new(
+        ScenarioSpec::new("smoke_worst_case_hub", TopologyFamily::Star(8), flood)
+            .place(PlacementStrategy::WorstCaseByDegree {
+                f: 1,
+                role: Role::Silent,
+            })
+            .max_rounds(10)
+            .probe(|sim, record| {
+                let heard = sim
+                    .process_as::<Flood>(ProcessId(1))
+                    .map(|f| f.heard)
+                    .unwrap_or(99);
+                record.metric("leaf_heard", heard as f64);
+            })
+            .verdict(|_, r| {
+                Verdict::check(
+                    r.get_metric("leaf_heard") == Some(0.0),
+                    "silencing the hub by degree must cut every leaf off",
+                )
+            }),
+    ));
+
     // A well-formed equivocator: different lies to even/odd neighbors.
     // Max-gossip absorbs the disagreement — everyone converges to the
     // larger lie.
@@ -410,7 +443,23 @@ mod tests {
                 .map(|r| (&r.scenario, r.seed, &r.verdict))
                 .collect::<Vec<_>>()
         );
-        assert_eq!(summary.runs(), 7 * 3, "7 scenarios × 3 seeds");
+        assert_eq!(summary.runs(), 8 * 3, "8 scenarios × 3 seeds");
+    }
+
+    #[test]
+    fn authority_suite_passes_at_one_seed() {
+        let summary = find("authority").unwrap().run(Some(1), 4);
+        assert_eq!(summary.runs(), 5, "5 play families");
+        assert!(
+            summary.all_passed(),
+            "authority failures: {:?}",
+            summary
+                .records
+                .iter()
+                .filter(|r| !r.verdict.passed())
+                .map(|r| (&r.scenario, r.seed, &r.verdict))
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]

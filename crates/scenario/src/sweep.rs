@@ -781,6 +781,73 @@ mod tests {
     }
 
     #[test]
+    fn percentiles_single_element_and_all_equal_are_pinned() {
+        // Nearest-rank on degenerate inputs: a single element is every
+        // percentile, and all-equal vectors collapse to that value.
+        assert_eq!(percentiles(&[0.0]), (0.0, 0.0, 0.0));
+        assert_eq!(percentiles(&[2.5, 2.5, 2.5]), (2.5, 2.5, 2.5));
+        // Two elements: rank ceil(0.5·2)=1 → first, ceil(0.9·2)=2 → last.
+        assert_eq!(percentiles(&[1.0, 2.0]), (1.0, 2.0, 2.0));
+        // Negative and unsorted input sorts before ranking.
+        assert_eq!(percentiles(&[3.0, -1.0]), (-1.0, 3.0, 3.0));
+    }
+
+    #[test]
+    fn summary_builder_with_no_records_is_empty() {
+        // The empty-metric-vector edge: finishing an untouched builder
+        // must produce a well-formed, renderable summary with zero runs
+        // (and trivially all_passed), not divide by zero.
+        let summary = SummaryBuilder::new().finish("empty", Vec::new());
+        assert_eq!(summary.runs(), 0);
+        assert_eq!(summary.passed(), 0);
+        assert!(summary.all_passed(), "vacuously true");
+        assert!(summary.scenarios.is_empty());
+        let json = summary.to_json(true).render();
+        assert!(json.contains("\"runs\":0"));
+        assert!(json.contains("\"records\":[]"));
+    }
+
+    #[test]
+    fn summary_builder_single_run_and_metricless_records() {
+        // One record, no metrics: rounds percentiles pin to that run and
+        // the metrics object stays empty rather than inventing entries.
+        let mut builder = SummaryBuilder::new();
+        let mut r = RunRecord::new("solo", 3);
+        r.rounds = 9;
+        builder.push(&r);
+        let summary = builder.finish("s", Vec::new());
+        let solo = &summary.scenarios[0];
+        assert_eq!((solo.runs, solo.passed), (1, 1));
+        assert_eq!(solo.mean_rounds, 9.0);
+        assert_eq!(
+            (solo.rounds_p50, solo.rounds_p90, solo.rounds_p99),
+            (9.0, 9.0, 9.0)
+        );
+        assert!(solo.metrics.is_empty());
+        assert!(solo.metric("anything").is_none());
+    }
+
+    #[test]
+    fn summary_builder_all_equal_metric_values() {
+        // All-equal metric values: mean, min, max and every percentile
+        // must coincide exactly (no float drift from the fold order).
+        let mut builder = SummaryBuilder::new();
+        for seed in 0..5 {
+            let mut r = RunRecord::new("const", seed);
+            r.rounds = 4;
+            r.metric("x", 1.25);
+            builder.push(&r);
+        }
+        let summary = builder.finish("s", Vec::new());
+        let x = summary.scenarios[0].metric("x").unwrap();
+        assert_eq!(
+            (x.mean, x.min, x.max, x.p50, x.p90, x.p99),
+            (1.25, 1.25, 1.25, 1.25, 1.25, 1.25)
+        );
+        assert_eq!(x.runs, 5);
+    }
+
+    #[test]
     fn summary_carries_percentiles() {
         // Seeds 0..10 → metric x = seed, rounds = seed + 1.
         let summary = sweep("s", &[toy("a")], 0..10, 3);

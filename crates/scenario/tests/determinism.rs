@@ -83,6 +83,27 @@ fn smoke_suite_json_identical_across_shard_counts() {
 }
 
 #[test]
+fn authority_suite_json_identical_across_workers_and_shards() {
+    // The §3.3 distributed-authority plays run under the same plumbing:
+    // any (workers, shards) combination must render the same summary —
+    // the clock RNG, commitment nonces and BA traffic are all
+    // (seed, id, round) derived.
+    let suite = suites::find("authority").expect("authority suite registered");
+    let baseline = suite.run_sharded(Some(1), 1, 1).to_json(true).render();
+    assert!(baseline.contains("authority_selfish_cluster"));
+    for (workers, shards) in [(4, 1), (2, 2), (1, 4), (4, 4)] {
+        assert_eq!(
+            suite
+                .run_sharded(Some(1), workers, shards)
+                .to_json(true)
+                .render(),
+            baseline,
+            "workers={workers} shards={shards}"
+        );
+    }
+}
+
+#[test]
 fn lossy_grid_records_identical_across_shard_counts() {
     // Per-seed records — lossy drops included — must not depend on the
     // shard count (the loss RNG is per-sender, not per-routing-order).

@@ -195,6 +195,12 @@ impl Topology {
         &self.adj[id.index()]
     }
 
+    /// Degree of processor `id` — the basis for worst-case-by-degree
+    /// adversary placement.
+    pub fn degree(&self, id: ProcessId) -> usize {
+        self.adj[id.index()].len()
+    }
+
     /// Whether `a` and `b` share an edge — O(1) via the adjacency bitmask.
     pub fn connected(&self, a: ProcessId, b: ProcessId) -> bool {
         let b = b.index();
@@ -620,5 +626,18 @@ mod tests {
     fn neighbors_sorted_and_correct() {
         let t = Topology::from_edges(4, &[(2, 0), (2, 3), (2, 1)]).unwrap();
         assert_eq!(t.neighbors(ProcessId(2)), &[0, 1, 3]);
+    }
+
+    #[test]
+    fn degree_matches_neighbor_counts() {
+        let t = Topology::star(5);
+        assert_eq!(t.degree(ProcessId(0)), 4, "hub");
+        for leaf in 1..5 {
+            assert_eq!(t.degree(ProcessId(leaf)), 1);
+        }
+        let mut t = Topology::complete(4);
+        assert_eq!(t.degree(ProcessId(2)), 3);
+        t.isolate(ProcessId(2));
+        assert_eq!(t.degree(ProcessId(2)), 0);
     }
 }

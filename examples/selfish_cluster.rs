@@ -83,4 +83,24 @@ fn main() {
         last.outcome.actions(),
         last.fouls
     );
+
+    // The same §3.3 play families, spec-driven: the scenario engine's
+    // `authority` suite sweeps honest / selfish-cluster / mute / churn /
+    // noise variants (seed-derived adversary placement included) with
+    // deterministic summaries — `scenario run --suite authority`.
+    let suite = game_authority_suite::scenario::suites::find("authority").expect("registered");
+    let summary = suite.run(Some(1), 2);
+    println!(
+        "\nscenario suite `authority`: {}/{} runs passed",
+        summary.passed(),
+        summary.runs()
+    );
+    for scenario in &summary.scenarios {
+        println!(
+            "  {:<26} plays {:>2}  punished {}",
+            scenario.name,
+            scenario.metric("plays").map_or(0.0, |m| m.mean),
+            scenario.metric("punished").map_or(0.0, |m| m.mean),
+        );
+    }
 }

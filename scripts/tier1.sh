@@ -21,6 +21,11 @@ echo "==> scenario smoke suite (serial vs sharded step byte-identity)"
 cmp target/scenario_smoke_s1.json target/scenario_smoke_s4.json
 cmp target/scenario_smoke_a.json target/scenario_smoke_s1.json
 
+echo "==> scenario authority suite (§3.3 plays; workers×shards byte-identity)"
+./target/release/scenario run --suite authority --seeds 1 --workers 1 --shards 1 > target/scenario_auth_a.json
+./target/release/scenario run --suite authority --seeds 1 --workers 4 --shards 4 > target/scenario_auth_b.json
+cmp target/scenario_auth_a.json target/scenario_auth_b.json
+
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
