@@ -168,10 +168,10 @@ fn bench_substrate(c: &mut Criterion) {
     );
 
     // Intra-run sharding at n=1024: the same step loop with the compute
-    // phase fanned out over 1/2/4 scoped threads. The s1 row prices the
-    // shard plumbing itself (same code path, no thread spawns); speedup of
-    // s2/s4 over `step_loop_bytes/n1024` tracks the host's core count —
-    // traces stay byte-identical regardless.
+    // phase fanned out over 1/2/4 persistent-pool workers. The s1 row
+    // prices the shard plumbing itself (same code path, no batch
+    // submission); speedup of s2/s4 over `step_loop_bytes/n1024` tracks
+    // the host's core count — traces stay byte-identical regardless.
     let n = 1024;
     g.throughput(Throughput::Elements((n * (n - 1)) as u64));
     for shards in [1usize, 2, 4] {
@@ -186,12 +186,42 @@ fn bench_substrate(c: &mut Criterion) {
             },
         );
     }
+
+    // Small-n sharding on an explicit persistent pool: at n=64/256 the
+    // old per-round `thread::scope` spawn (~tens of µs) used to eat the
+    // entire parallel win; with the pool the only per-round cost is batch
+    // submission, so these rows record whether small populations now
+    // shard profitably (vs the serial `step_loop_bytes/n{64,256}` rows;
+    // still bounded by the host's core count).
+    for n in [64usize, 256] {
+        let shards = 4;
+        g.throughput(Throughput::Elements((n * (n - 1)) as u64));
+        g.bench_function(
+            BenchmarkId::new("step_loop_pooled", format!("n{n}s{shards}")),
+            |b| {
+                let runtime = Runtime::new(shards);
+                let mut sim = Simulation::builder(Topology::complete(n))
+                    .shards(shards)
+                    .runtime(runtime)
+                    .build_with(|_| {
+                        Box::new(BytesBroadcaster {
+                            payload: Bytes::from(vec![0xEEu8; 8]),
+                        }) as Box<dyn Process>
+                    });
+                sim.run(2);
+                b.iter(|| {
+                    sim.step();
+                    std::hint::black_box(sim.round())
+                })
+            },
+        );
+    }
     g.finish();
 }
 
 /// A complete-graph simulation of 8-byte broadcasters, warmed into steady
-/// state (recycled buffers populated) so iterations measure only the
-/// per-round cost.
+/// state (recycled buffers populated; sharded sims on the process-wide
+/// pool) so iterations measure only the per-round cost.
 fn broadcaster_sim(n: usize, shards: usize) -> Simulation {
     let mut sim = Simulation::builder(Topology::complete(n))
         .shards(shards)

@@ -4,23 +4,32 @@
 //! scenario list
 //! scenario run --suite paper [--seeds N] [--workers N] [--shards N]
 //!              [--out FILE] [--records FILE.jsonl] [--no-records]
-//! scenario bench [--suite bench64] [--seeds N] [--workers N] [--shards N] [--out FILE]
+//!              [--table METRIC]
+//! scenario bench [--suite bench64] [--seeds N] [--workers N] [--shards N]
+//!                [--out FILE] [--table METRIC]
 //! ```
 //!
 //! `run` prints the suite's deterministic JSON summary to stdout (and
 //! optionally a file): byte-identical across repeated invocations, worker
-//! counts and shard counts. `--shards N` shards each run's
-//! `Simulation::step` across N threads (absent: each scenario's own
-//! setting applies; `--shards 1` forces serial); the `--workers` value is
-//! treated as a **total** thread budget, so sweep-level parallelism is
-//! scaled down to `workers / shards` — only for suites whose scenarios
-//! actually step the simulator; pure-computation suites keep the whole
-//! budget and the ignored flag is noted on stderr. `--records FILE`
-//! streams one JSON line per run to FILE as runs complete (stable job
-//! order), without holding the records in memory. `bench` times a sweep
-//! and records throughput —
-//! timing lives only in the bench output, never in run summaries, so
-//! summaries stay reproducible.
+//! counts, shard counts and pool sizes. `--workers N` is a **global
+//! thread budget**: the CLI builds one persistent
+//! [`Runtime`](ga_simnet::runtime::Runtime) pool of N threads, and both
+//! sweep-level parallelism (concurrent runs) and intra-run parallelism
+//! (`--shards`) draw from it — never more than N threads total, enforced
+//! by the pool rather than estimated. `--shards N` shards each run's
+//! `Simulation::step` across N of those threads (absent: each scenario's
+//! own setting applies; `--shards 1` forces serial); concurrent runs are
+//! scaled down to `workers / shards` so the two levels share the budget —
+//! only for suites whose scenarios actually step the simulator;
+//! pure-computation suites keep the whole budget and the ignored flag is
+//! noted on stderr. `--records FILE` streams one JSON line per run to
+//! FILE as runs complete (stable job order), without holding the records
+//! in memory. `--table METRIC` appends a cross-run convergence table
+//! (one row per scenario/grid point: parameter values, pass rate, and
+//! p50/p90/p99 of METRIC — `rounds` for rounds-to-stop) so E4-style
+//! plots read straight off the CLI output. `bench` times a sweep and
+//! records throughput — timing lives only in the bench output, never in
+//! run summaries, so summaries stay reproducible.
 //!
 //! `scenario list` names every suite: `paper` (the e1–e8 experiment
 //! ports), `authority` (the §3.3 distributed-authority plays — honest,
@@ -31,8 +40,11 @@
 use std::io::Write;
 use std::time::Instant;
 
+use ga_simnet::runtime::Runtime;
+
 use crate::json::Json;
 use crate::suites;
+use crate::sweep::{ScenarioSummary, SweepSummary};
 
 /// Entry point; returns the process exit code (0 = all verdicts passed,
 /// 1 = failures, 2 = usage error).
@@ -65,6 +77,9 @@ struct Options {
     out: Option<String>,
     records: bool,
     record_sink: Option<String>,
+    /// Metric to render as a cross-run convergence table (`rounds` for
+    /// rounds-to-stop).
+    table: Option<String>,
 }
 
 impl Options {
@@ -77,6 +92,7 @@ impl Options {
             out: None,
             records: true,
             record_sink: None,
+            table: None,
         };
         let mut i = 0;
         while i < args.len() {
@@ -128,15 +144,21 @@ impl Options {
                     opts.records = false;
                     i += 1;
                 }
+                "--table" => {
+                    opts.table = Some(take(i)?.clone());
+                    i += 2;
+                }
                 other => return Err(format!("unknown argument: {other}")),
             }
         }
         Ok(opts)
     }
 
-    /// Sweep-level worker count under the combined budget: `--workers` is
-    /// the total thread allowance, and each concurrent run occupies
-    /// `--shards` of it (runs × shards ≤ workers, with at least one run).
+    /// Sweep-level worker count under the global budget: `--workers` is
+    /// the size of the one shared [`Runtime`] pool, and each concurrent
+    /// run occupies `--shards` of it (runs × shards ≤ workers, with at
+    /// least one run) — the remaining pool threads serve the runs' nested
+    /// shard batches.
     ///
     /// Suites whose scenarios cannot shard (pure-computation ports) keep
     /// the full budget — carving it up would slow the sweep for nothing —
@@ -182,15 +204,22 @@ fn usage(err: &str) -> i32 {
     eprintln!("  list                      show every named suite");
     eprintln!("  run   --suite NAME        run a suite, print its JSON summary");
     eprintln!("        [--seeds N]         seeds per scenario (default: suite plan)");
-    eprintln!("        [--workers N]       total thread budget (default: min(cores, 16))");
-    eprintln!("        [--shards N]        threads per run's step loop (default: each");
-    eprintln!("                            scenario's own setting; 1 forces serial; for");
-    eprintln!("                            simulator suites, runs scale to workers/shards)");
+    eprintln!("        [--workers N]       global thread budget, N >= 1 (default:");
+    eprintln!("                            min(cores, 16)): one persistent worker pool");
+    eprintln!("                            of N threads serves both concurrent runs and");
+    eprintln!("                            each run's sharded step loop — never more");
+    eprintln!("                            than N threads in total");
+    eprintln!("        [--shards N]        pool threads per run's step loop (default:");
+    eprintln!("                            each scenario's own setting; 1 forces serial;");
+    eprintln!("                            for simulator suites, concurrent runs scale");
+    eprintln!("                            to workers/shards inside the same budget)");
     eprintln!("        [--out FILE]        also write the summary to FILE");
     eprintln!("        [--records FILE]    stream one JSONL record per run to FILE");
     eprintln!("        [--no-records]      aggregates only, omit per-run records");
+    eprintln!("        [--table METRIC]    append a convergence-vs-param table of METRIC");
+    eprintln!("                            ('rounds' for rounds-to-stop percentiles)");
     eprintln!("  bench [--suite NAME]      time a sweep, write throughput JSON");
-    eprintln!("        [--seeds N] [--workers N] [--shards N]");
+    eprintln!("        [--seeds N] [--workers N] [--shards N] [--table METRIC]");
     eprintln!("        [--out FILE (default BENCH_scenarios.json)]");
     2
 }
@@ -216,6 +245,9 @@ fn run(opts: &Options) -> i32 {
             opts.suite
         ));
     };
+    // The one pool behind the whole invocation: concurrent runs and their
+    // sharded step loops all draw from these `--workers` threads.
+    let runtime = Runtime::new(opts.workers);
     let mut failures: Vec<String> = Vec::new();
     let summary = match &opts.record_sink {
         Some(path) => {
@@ -239,7 +271,8 @@ fn run(opts: &Options) -> i32 {
                     io_err = writeln!(out, "{}", record.to_json().render()).err();
                 }
             };
-            let summary = suite.run_stream(
+            let summary = suite.run_stream_on(
+                &runtime,
                 opts.seeds,
                 opts.sweep_workers(&suite),
                 opts.shard_hint(),
@@ -255,8 +288,12 @@ fn run(opts: &Options) -> i32 {
             summary
         }
         None => {
-            let summary =
-                suite.run_sharded(opts.seeds, opts.sweep_workers(&suite), opts.shard_hint());
+            let summary = suite.run_on(
+                &runtime,
+                opts.seeds,
+                opts.sweep_workers(&suite),
+                opts.shard_hint(),
+            );
             failures = summary
                 .records
                 .iter()
@@ -278,6 +315,9 @@ fn run(opts: &Options) -> i32 {
             return 2;
         }
     }
+    if let Some(metric) = &opts.table {
+        print!("{}", render_table(&summary, metric));
+    }
     if summary.all_passed() {
         0
     } else {
@@ -296,8 +336,11 @@ fn bench(opts: &Options) -> i32 {
     // Resolve the budget split once: it also prints the ignored---shards
     // note, and the bench region must not re-trigger it.
     let workers = opts.sweep_workers(&suite);
+    // Build the pool *outside* the timed region: its spawn cost is paid
+    // once per process, which is the steady state benches should price.
+    let runtime = Runtime::new(opts.workers);
     let start = Instant::now();
-    let summary = suite.run_sharded(opts.seeds, workers, opts.shard_hint());
+    let summary = suite.run_on(&runtime, opts.seeds, workers, opts.shard_hint());
     let elapsed = start.elapsed().as_secs_f64();
     let runs = summary.runs();
     // `workers` records the *effective* sweep thread count (the --workers
@@ -314,6 +357,9 @@ fn bench(opts: &Options) -> i32 {
     ])
     .render();
     println!("{json}");
+    if let Some(metric) = &opts.table {
+        print!("{}", render_table(&summary, metric));
+    }
     let path = opts.out.as_deref().unwrap_or("BENCH_scenarios.json");
     if let Err(err) = std::fs::write(path, format!("{json}\n")) {
         eprintln!("error: cannot write {path}: {err}");
@@ -321,6 +367,89 @@ fn bench(opts: &Options) -> i32 {
     }
     eprintln!("wrote {path}");
     i32::from(!summary.all_passed())
+}
+
+/// Renders the cross-run convergence table: one row per scenario (i.e.
+/// per grid point), with a column per swept parameter axis, the pass
+/// ("convergence") rate, and the p50/p90/p99 of `metric` — `rounds`
+/// selects the rounds-to-stop percentiles the summary always carries;
+/// any other name selects that probe metric (absent values render `-`).
+/// Rows keep the summary's deterministic first-appearance order, so the
+/// table is as byte-stable as the JSON above it.
+fn render_table(summary: &SweepSummary, metric: &str) -> String {
+    let mut axes: Vec<&str> = Vec::new();
+    for s in &summary.scenarios {
+        for (name, _) in &s.params {
+            if !axes.contains(&name.as_str()) {
+                axes.push(name);
+            }
+        }
+    }
+    let percentiles = |s: &ScenarioSummary| -> Option<(f64, f64, f64)> {
+        if metric == "rounds" {
+            Some((s.rounds_p50, s.rounds_p90, s.rounds_p99))
+        } else {
+            s.metric(metric).map(|m| (m.p50, m.p90, m.p99))
+        }
+    };
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut header = vec!["scenario".to_string()];
+    header.extend(axes.iter().map(|a| a.to_string()));
+    for col in ["runs", "rate", "p50", "p90", "p99"] {
+        header.push(col.to_string());
+    }
+    rows.push(header);
+    for s in &summary.scenarios {
+        let mut row = vec![s.name.clone()];
+        for axis in &axes {
+            row.push(
+                s.params
+                    .iter()
+                    .find(|(n, _)| n == axis)
+                    .map(|&(_, v)| v.to_string())
+                    .unwrap_or_else(|| "-".to_string()),
+            );
+        }
+        row.push(s.runs.to_string());
+        let rate = if s.runs == 0 {
+            0.0
+        } else {
+            s.passed as f64 / s.runs as f64
+        };
+        row.push(format!("{rate:.2}"));
+        match percentiles(s) {
+            Some((p50, p90, p99)) => {
+                // f64 Display renders integral values without a trailing
+                // `.0` (`40`, not `40.0`), so round counts read cleanly.
+                row.extend([p50.to_string(), p90.to_string(), p99.to_string()]);
+            }
+            None => row.extend(["-".to_string(), "-".to_string(), "-".to_string()]),
+        }
+        rows.push(row);
+    }
+
+    let columns = rows[0].len();
+    let widths: Vec<usize> = (0..columns)
+        .map(|c| rows.iter().map(|r| r[c].len()).max().unwrap_or(0))
+        .collect();
+    let mut out = format!("table: {metric} (p50/p90/p99) by scenario\n");
+    for row in &rows {
+        let mut line = String::new();
+        for (c, cell) in row.iter().enumerate() {
+            if c > 0 {
+                line.push_str("  ");
+            }
+            if c == 0 {
+                line.push_str(&format!("{cell:<width$}", width = widths[c]));
+            } else {
+                line.push_str(&format!("{cell:>width$}", width = widths[c]));
+            }
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
 }
 
 #[cfg(test)]
@@ -471,5 +600,62 @@ mod tests {
     fn unknown_suite_is_usage_error() {
         let code = main(args(&["run", "--suite", "no-such-suite"]));
         assert_eq!(code, 2);
+    }
+
+    #[test]
+    fn parse_table_option() {
+        let opts = Options::parse(&args(&["--table", "rounds"]), "paper").unwrap();
+        assert_eq!(opts.table.as_deref(), Some("rounds"));
+        assert!(Options::parse(&args(&["--table"]), "paper").is_err());
+        assert!(Options::parse(&[], "paper").unwrap().table.is_none());
+    }
+
+    #[test]
+    fn table_reads_params_rate_and_percentiles_off_the_summary() {
+        use crate::record::{RunRecord, Verdict};
+        // Two grid points over p, three seeds each; seeds diverge in
+        // rounds, p=0.3 fails one verdict, and only p=0.1 emits "conv".
+        let mut records = Vec::new();
+        for (p, fail_seed) in [(0.1, None), (0.3, Some(2))] {
+            for seed in 0..3u64 {
+                let mut r = RunRecord::new(format!("lossy[p={p}]"), seed);
+                r.params = vec![("p".to_string(), p)];
+                r.rounds = 10 + seed;
+                if fail_seed == Some(seed) {
+                    r.verdict = Verdict::Fail("x".into());
+                }
+                if p == 0.1 {
+                    r.metric("conv", 5.0 + seed as f64);
+                }
+                records.push(r);
+            }
+        }
+        let summary = SweepSummary::new("t", records);
+
+        let rounds = render_table(&summary, "rounds");
+        let lines: Vec<&str> = rounds.lines().collect();
+        assert_eq!(lines[0], "table: rounds (p50/p90/p99) by scenario");
+        assert!(lines[1].starts_with("scenario"));
+        assert!(lines[1].contains("p  runs  rate  p50  p90  p99"));
+        // p=0.1: all pass, rounds 10/11/12 → p50 11, p90/p99 12.
+        assert!(lines[2].contains("lossy[p=0.1]"));
+        assert!(lines[2].contains("0.1"));
+        assert!(
+            lines[2].ends_with("3  1.00   11   12   12"),
+            "{:?}",
+            lines[2]
+        );
+        // p=0.3: one failed verdict → rate 0.67.
+        assert!(lines[3].contains("0.67"));
+
+        // A probe metric present only on p=0.1: the other row renders '-'.
+        let conv = render_table(&summary, "conv");
+        let lines: Vec<&str> = conv.lines().collect();
+        assert!(
+            lines[2].ends_with("3  1.00    6    7    7"),
+            "{:?}",
+            lines[2]
+        );
+        assert!(lines[3].ends_with("-    -    -"), "{:?}", lines[3]);
     }
 }

@@ -12,10 +12,13 @@
 //!   and stop/verdict predicates. [`run(seed)`](spec::ScenarioSpec::run)
 //!   is a pure function of the seed.
 //! * [`sweep`] — fans scenarios out over seed ranges and
-//!   [`ParamGrid`](sweep::ParamGrid)s across `std::thread::scope` workers.
-//!   Each run derives all randomness from its seed and lands in its own
-//!   result slot, so aggregated [`SweepSummary`](sweep::SweepSummary) JSON
-//!   is **byte-identical at any worker count**.
+//!   [`ParamGrid`](sweep::ParamGrid)s across a persistent
+//!   [`Runtime`](ga_simnet::runtime::Runtime) worker pool — the same pool
+//!   each run's sharded `Simulation::step` draws from, so one `--workers`
+//!   budget covers both levels. Each run derives all randomness from its
+//!   seed and lands in its own result slot, so aggregated
+//!   [`SweepSummary`](sweep::SweepSummary) JSON is **byte-identical at
+//!   any worker count and pool size**.
 //! * [`suites`] — named suites for the `scenario` CLI: `paper` (the e1–e8
 //!   experiment ports, see [`ports`]), `authority` (the §3.3 distributed-
 //!   authority plays, see [`authority`]), `examples`, `smoke`, `bench64`.
@@ -97,8 +100,8 @@ pub mod prelude {
     pub use crate::spec::{PlacementStrategy, Role, ScenarioSpec, TopologyFamily};
     pub use crate::suites::Suite;
     pub use crate::sweep::{
-        expand_grid, sweep, sweep_sharded, sweep_stream, MetricAgg, ParamGrid, RecordSink,
-        SummaryBuilder, SweepSummary,
+        expand_grid, sweep, sweep_on, sweep_sharded, sweep_stream, sweep_stream_on, MetricAgg,
+        ParamGrid, RecordSink, SummaryBuilder, SweepSummary,
     };
     pub use crate::workload::{Flood, MaxGossip};
     pub use ga_simnet::prelude::*;

@@ -1,6 +1,7 @@
 //! Structured per-run results: [`RunRecord`], [`Verdict`] and the
 //! [`Scenario`] abstraction the sweep engine executes.
 
+use ga_simnet::runtime::Runtime;
 use ga_simnet::trace::Trace;
 
 use crate::json::Json;
@@ -212,6 +213,18 @@ pub trait Scenario: Send + Sync {
     fn run_sharded(&self, seed: u64, shards: usize) -> RunRecord {
         let _ = shards;
         self.run(seed)
+    }
+
+    /// [`run_sharded`](Scenario::run_sharded) drawing intra-run
+    /// parallelism from `runtime` — the sweep engine calls this so one
+    /// persistent pool backs both the sweep's workers and every run's
+    /// sharded stepping (`--workers` is one global thread budget). The
+    /// pool is an execution detail: records are identical whichever pool
+    /// executes them. The default ignores the handle, which is trivially
+    /// conformant for pure computations.
+    fn run_on(&self, seed: u64, shards: usize, runtime: &Runtime) -> RunRecord {
+        let _ = runtime;
+        self.run_sharded(seed, shards)
     }
 
     /// Whether [`run_sharded`](Scenario::run_sharded) actually honors the

@@ -13,6 +13,7 @@ use ga_simnet::adversary::{ByzantineProcess, Equivocator, RandomNoise, Silent};
 use ga_simnet::colluding::Cabal;
 use ga_simnet::prelude::*;
 use ga_simnet::rng::labeled_rng;
+use ga_simnet::runtime::Runtime;
 use ga_simnet::sim::Delivery;
 use rand::seq::SliceRandom;
 
@@ -399,6 +400,18 @@ impl ScenarioSpec {
     /// [`shards`](ScenarioSpec::shards) default included) — sharding only
     /// changes wall-clock time.
     pub fn run_sharded(&self, seed: u64, shards: usize) -> RunRecord {
+        self.run_inner(seed, shards, None)
+    }
+
+    /// [`run_sharded`](ScenarioSpec::run_sharded) with the sharded
+    /// compute phase drawing from `runtime` — the sweep engine passes its
+    /// own pool here so sweep- and shard-level parallelism share one
+    /// thread budget. The pool never changes the record.
+    pub fn run_on(&self, seed: u64, shards: usize, runtime: &Runtime) -> RunRecord {
+        self.run_inner(seed, shards, Some(runtime))
+    }
+
+    fn run_inner(&self, seed: u64, shards: usize, runtime: Option<&Runtime>) -> RunRecord {
         // A hint of 0 means "unspecified" (the sweep default): fall back
         // to the spec's own knob so `.shards(n)` survives every sweep
         // path. Any explicit hint — including 1 = force serial — wins.
@@ -410,12 +423,16 @@ impl ScenarioSpec {
         // stay a pure function of (spec, seed) and colluders split across
         // step shards tell identical lies.
         let cabal = Cabal::seeded(seed);
-        let mut sim = Simulation::builder(topology)
+        let mut builder = Simulation::builder(topology)
             .seed(seed)
             .delivery(self.delivery)
             .schedule(self.schedule.clone())
-            .shards(shards)
-            .build_with(
+            .shards(shards);
+        if let Some(runtime) = runtime {
+            builder = builder.runtime(runtime.clone());
+        }
+        let mut sim =
+            builder.build_with(
                 |id| match placements.iter().find(|(byz, _)| *byz == id.index()) {
                     Some((_, role)) => Self::role_process(role, &cabal),
                     None => (self.protocol)(id, n, seed),
@@ -453,6 +470,10 @@ impl crate::record::Scenario for ScenarioSpec {
 
     fn run_sharded(&self, seed: u64, shards: usize) -> RunRecord {
         ScenarioSpec::run_sharded(self, seed, shards)
+    }
+
+    fn run_on(&self, seed: u64, shards: usize, runtime: &Runtime) -> RunRecord {
+        ScenarioSpec::run_on(self, seed, shards, runtime)
     }
 
     fn supports_sharding(&self) -> bool {

@@ -5,13 +5,15 @@
 //! * **examples** — ports of the repository's `examples/` walkthroughs.
 //! * **smoke** — fast simulator-backed specs exercising every declarative
 //!   axis: topology families, lossy delivery, adversaries, colluders,
-//!   churn schedules and transient faults. Wired into `scripts/tier1.sh`.
+//!   churn schedules (healable partitions included) and transient faults.
+//!   Wired into `scripts/tier1.sh`.
 //! * **bench64** — 64-processor workloads used by
 //!   `scripts/bench_scenarios.sh` to track sweep throughput.
 
 use std::sync::Arc;
 
 use ga_simnet::prelude::*;
+use ga_simnet::runtime::Runtime;
 use ga_simnet::sim::Delivery;
 
 use crate::authority;
@@ -52,8 +54,23 @@ impl Suite {
     /// 1 forces serial). Summaries are byte-identical at any
     /// `(workers, shards)` combination.
     pub fn run_sharded(&self, seeds: Option<u64>, workers: usize, shards: usize) -> SweepSummary {
+        self.run_on(&Runtime::global(), seeds, workers, shards)
+    }
+
+    /// [`run_sharded`](Suite::run_sharded) drawing sweep workers *and*
+    /// every run's shard tasks from `runtime` — the CLI builds one pool
+    /// from `--workers` and passes it here, so the flag is a true global
+    /// thread budget. The pool never changes a summary.
+    pub fn run_on(
+        &self,
+        runtime: &Runtime,
+        seeds: Option<u64>,
+        workers: usize,
+        shards: usize,
+    ) -> SweepSummary {
         let count = seeds.unwrap_or(self.default_seeds).max(1);
-        sweep::sweep_sharded(
+        sweep::sweep_on(
+            runtime,
             self.name,
             &self.scenarios(),
             self.seed_base..self.seed_base + count,
@@ -71,8 +88,21 @@ impl Suite {
         shards: usize,
         sink: sweep::RecordSink<'_>,
     ) -> SweepSummary {
+        self.run_stream_on(&Runtime::global(), seeds, workers, shards, sink)
+    }
+
+    /// [`run_stream`](Suite::run_stream) on an explicit [`Runtime`] pool.
+    pub fn run_stream_on(
+        &self,
+        runtime: &Runtime,
+        seeds: Option<u64>,
+        workers: usize,
+        shards: usize,
+        sink: sweep::RecordSink<'_>,
+    ) -> SweepSummary {
         let count = seeds.unwrap_or(self.default_seeds).max(1);
-        sweep::sweep_stream(
+        sweep::sweep_stream_on(
+            runtime,
             self.name,
             &self.scenarios(),
             self.seed_base..self.seed_base + count,
@@ -267,6 +297,30 @@ fn smoke() -> Vec<Arc<dyn Scenario>> {
             }),
     ));
 
+    // Edge-level partition churn: a healable bisection splits the
+    // complete graph into two silent halves at round 0 and rejoins them
+    // at round 6. The lower half can only learn the global maximum (id 9,
+    // in the upper half) after the heal, so convergence is provably
+    // delayed past it.
+    scenarios.push(Arc::new(
+        ScenarioSpec::new("smoke_partition_heal", TopologyFamily::Complete(10), gossip)
+            .schedule(Schedule::new().bisect(&Topology::complete(10), 0, 6))
+            .max_rounds(30)
+            .stop_when(|sim| {
+                gossip_agreed(sim, 0..10)
+                    && sim
+                        .process_as::<MaxGossip>(ProcessId(0))
+                        .map(|p| p.current == 9)
+                        .unwrap_or(false)
+            })
+            .verdict(|_, r| {
+                Verdict::check(
+                    r.stopped_at.is_some_and(|round| round > 6),
+                    "the halves must re-agree on the global max only after the heal",
+                )
+            }),
+    ));
+
     // Worst-case-by-degree placement: the star's hub is the max-degree
     // vertex, so the strategy must silence it and cut every leaf off.
     scenarios.push(Arc::new(
@@ -443,7 +497,7 @@ mod tests {
                 .map(|r| (&r.scenario, r.seed, &r.verdict))
                 .collect::<Vec<_>>()
         );
-        assert_eq!(summary.runs(), 8 * 3, "8 scenarios × 3 seeds");
+        assert_eq!(summary.runs(), 9 * 3, "9 scenarios × 3 seeds");
     }
 
     #[test]

@@ -1,8 +1,11 @@
 //! The deterministic parallel sweep engine.
 //!
 //! A sweep fans scenarios out over seed ranges (and, via [`ParamGrid`],
-//! parameter grids) across `std::thread::scope` workers. Determinism is
-//! structural, not incidental:
+//! parameter grids) as worker-loop tasks on a persistent
+//! [`Runtime`] pool — the same pool every run's sharded
+//! `Simulation::step` draws from, so a thread budget is one number shared
+//! by inter-run and intra-run parallelism. Determinism is structural, not
+//! incidental:
 //!
 //! * every job is a pure function of `(scenario, seed)` — scenarios derive
 //!   all randomness from the seed;
@@ -12,11 +15,18 @@
 //! * aggregation folds records in job order, fixing float summation order.
 //!
 //! Consequently the summary JSON is **byte-identical** at any worker
-//! count and across process invocations — verified by
+//! count, any pool size, and across process invocations — verified by
 //! `tests/determinism.rs` and re-checked by `scripts/tier1.sh`.
+//!
+//! Nested submission is safe by the runtime's contract (see
+//! [`ga_simnet::runtime`]): a sweep worker's job may itself submit shard
+//! batches; even at a total budget of 1 the nesting runs inline and never
+//! deadlocks.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+
+use ga_simnet::runtime::{BatchTask, Runtime};
 
 use crate::json::Json;
 use crate::record::{RunRecord, Scenario};
@@ -117,6 +127,10 @@ impl<S: Scenario> Scenario for GridPoint<S> {
         self.stamp(self.inner.run_sharded(seed, shards))
     }
 
+    fn run_on(&self, seed: u64, shards: usize, runtime: &Runtime) -> RunRecord {
+        self.stamp(self.inner.run_on(seed, shards, runtime))
+    }
+
     fn supports_sharding(&self) -> bool {
         self.inner.supports_sharding()
     }
@@ -209,10 +223,27 @@ pub fn run_jobs(jobs: &[Job], workers: usize) -> Vec<RunRecord> {
     records
 }
 
-/// The fully-general executor behind [`run_jobs`] and the sweeps: `shards`
-/// is passed to every scenario as the intra-run parallelism hint
-/// ([`Scenario::run_sharded`]), and `consume` receives every record
-/// **owned, in job order**.
+/// [`run_jobs_on`] on the process-wide [`Runtime::global`] pool.
+///
+/// # Panics
+///
+/// Propagates panics from scenario runs (see [`run_jobs_on`]).
+pub fn run_jobs_ordered(
+    jobs: &[Job],
+    workers: usize,
+    shards: usize,
+    consume: &mut (dyn FnMut(usize, RunRecord) + Send),
+) {
+    run_jobs_on(&Runtime::global(), jobs, workers, shards, consume);
+}
+
+/// The fully-general executor behind [`run_jobs`] and the sweeps:
+/// `workers` worker-loop tasks are submitted to `runtime` (so sweep-level
+/// parallelism shares the pool's thread budget with everything else),
+/// `shards` is passed to every scenario as the intra-run parallelism hint
+/// ([`Scenario::run_on`] — sharded runs submit *nested* batches to the
+/// same pool), and `consume` receives every record **owned, in job
+/// order**.
 ///
 /// Two properties make the streaming path scale:
 ///
@@ -226,15 +257,22 @@ pub fn run_jobs(jobs: &[Job], workers: usize) -> Vec<RunRecord> {
 ///   `emitting` flag keeps emitters exclusive and ordered, and other
 ///   workers keep computing instead of queueing behind the sink.
 ///
-/// Everything the consumer observes is independent of both knobs:
-/// `workers`/`shards` change wall-clock time only.
+/// Everything the consumer observes is independent of all three knobs:
+/// `runtime`/`workers`/`shards` change wall-clock time only.
+///
+/// Parking on the ring's backpressure condvar inside a pool task is safe
+/// under the runtime's nested-submission contract: the worker owning the
+/// cursor gap is *running* (never parked), so the wait is always
+/// satisfied by a live task.
 ///
 /// # Panics
 ///
 /// Propagates panics from scenario runs: the panicking worker poisons the
 /// reorder ring and wakes every parked worker (see [`PoisonOnPanic`]), so
-/// the whole sweep panics instead of deadlocking on the never-filled slot.
-pub fn run_jobs_ordered(
+/// the whole sweep drains and re-raises instead of deadlocking on the
+/// never-filled slot.
+pub fn run_jobs_on(
+    runtime: &Runtime,
     jobs: &[Job],
     workers: usize,
     shards: usize,
@@ -254,17 +292,18 @@ pub fn run_jobs_ordered(
     // exclusive, but the mutex is what proves it to the compiler.
     let consume = Mutex::new(consume);
 
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
+    let worker_tasks: Vec<BatchTask<'_>> = (0..workers)
+        .map(|_| {
+            let (ring, cursor_advanced, next, consume) = (&ring, &cursor_advanced, &next, &consume);
+            Box::new(move || {
                 let _guard = PoisonOnPanic {
-                    ring: &ring,
-                    cursor_advanced: &cursor_advanced,
+                    ring,
+                    cursor_advanced,
                 };
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(job) = jobs.get(i) else { break };
-                    let record = job.scenario.run_sharded(job.seed, shards);
+                    let record = job.scenario.run_on(job.seed, shards, runtime);
 
                     let mut state = ring.lock().expect("no panicked worker");
                     // Backpressure: never overwrite a slot still awaiting
@@ -309,9 +348,10 @@ pub fn run_jobs_ordered(
                         state = ring.lock().expect("no panicked worker");
                     }
                 }
-            });
-        }
-    });
+            }) as BatchTask<'_>
+        })
+        .collect();
+    runtime.run_batch(worker_tasks);
 
     let state = ring.into_inner().expect("no panicked worker");
     debug_assert_eq!(state.next_emit, jobs.len(), "every job was consumed");
@@ -387,6 +427,11 @@ impl MetricAgg {
 pub struct ScenarioSummary {
     /// Scenario name.
     pub name: String,
+    /// Sweep-parameter values shared by this scenario's runs (a grid
+    /// point's axis values, in axis order; empty off-grid) — what lets
+    /// cross-run tables plot aggregates against parameters without
+    /// re-parsing scenario names. Not serialized into summary JSON.
+    pub params: Vec<(String, f64)>,
     /// Number of runs.
     pub runs: u64,
     /// Runs whose verdict passed.
@@ -416,6 +461,9 @@ impl ScenarioSummary {
 #[derive(Debug, Default)]
 struct ScenarioGather {
     name: String,
+    /// Axis values stamped on the scenario's records (taken from the
+    /// first one; identical across a grid point's runs by construction).
+    params: Vec<(String, f64)>,
     passed: u64,
     rounds: Vec<f64>,
     drop_rate_sum: f64,
@@ -434,6 +482,7 @@ impl ScenarioGather {
         };
         ScenarioSummary {
             name: self.name,
+            params: self.params,
             runs,
             passed: self.passed,
             mean_rounds: self.rounds.iter().sum::<f64>() / n,
@@ -475,6 +524,7 @@ impl SummaryBuilder {
             None => {
                 self.scenarios.push(ScenarioGather {
                     name: record.scenario.clone(),
+                    params: record.params.clone(),
                     ..ScenarioGather::default()
                 });
                 self.scenarios.last_mut().expect("just pushed")
@@ -632,10 +682,24 @@ pub fn sweep_sharded(
     workers: usize,
     shards: usize,
 ) -> SweepSummary {
+    sweep_on(&Runtime::global(), name, scenarios, seeds, workers, shards)
+}
+
+/// [`sweep_sharded`] drawing both sweep workers and every run's shard
+/// tasks from `runtime` — one pool, one thread budget. The summary is
+/// byte-identical at any `(pool size, workers, shards)` combination.
+pub fn sweep_on(
+    runtime: &Runtime,
+    name: &str,
+    scenarios: &[Arc<dyn Scenario>],
+    seeds: std::ops::Range<u64>,
+    workers: usize,
+    shards: usize,
+) -> SweepSummary {
     let jobs = jobs_for(scenarios, seeds);
     let records = {
         let mut records = Vec::with_capacity(jobs.len());
-        run_jobs_ordered(&jobs, workers, shards, &mut |_, r| records.push(r));
+        run_jobs_on(runtime, &jobs, workers, shards, &mut |_, r| records.push(r));
         records
     };
     SweepSummary::new(name, records)
@@ -653,13 +717,35 @@ pub fn sweep_stream(
     shards: usize,
     sink: RecordSink<'_>,
 ) -> SweepSummary {
+    sweep_stream_on(
+        &Runtime::global(),
+        name,
+        scenarios,
+        seeds,
+        workers,
+        shards,
+        sink,
+    )
+}
+
+/// [`sweep_stream`] on an explicit [`Runtime`] pool.
+#[allow(clippy::too_many_arguments)]
+pub fn sweep_stream_on(
+    runtime: &Runtime,
+    name: &str,
+    scenarios: &[Arc<dyn Scenario>],
+    seeds: std::ops::Range<u64>,
+    workers: usize,
+    shards: usize,
+    sink: RecordSink<'_>,
+) -> SweepSummary {
     let jobs = jobs_for(scenarios, seeds);
     let mut builder = SummaryBuilder::new();
     let mut consume = |i: usize, record: RunRecord| {
         sink(i, &record);
         builder.push(&record);
     };
-    run_jobs_ordered(&jobs, workers, shards, &mut consume);
+    run_jobs_on(runtime, &jobs, workers, shards, &mut consume);
     builder.finish(name, Vec::new())
 }
 
@@ -915,8 +1001,9 @@ mod tests {
     #[test]
     fn panicking_run_propagates_instead_of_hanging() {
         // A panicked job leaves a permanent gap at the emission cursor;
-        // the poison flag must wake parked workers and surface the panic
-        // through thread::scope rather than deadlock the sweep.
+        // the poison flag must wake parked workers so the batch drains
+        // and the runtime re-raises the panic rather than deadlock the
+        // sweep on the never-filled slot.
         let bomb: Arc<dyn Scenario> = Arc::new(FnScenario::new("bomb", |seed| {
             assert_ne!(seed, 10, "boom");
             RunRecord::new("bomb", seed)

@@ -144,6 +144,74 @@ fn streamed_sweep_matches_batch_aggregates() {
 }
 
 #[test]
+fn sweep_json_identical_at_pool_sizes_1_2_8_with_reuse() {
+    // The persistent-runtime guarantee: summaries are byte-identical at
+    // any pool size, and a pool *reused* across consecutive sweeps (the
+    // stale-scratch / leftover-queue regression) reproduces the fresh
+    // result exactly.
+    let scenarios = lossy_grid_scenarios();
+    let baseline = ga_scenario::sweep::sweep_on(&Runtime::serial(), "det", &scenarios, 0..6, 2, 2)
+        .to_json(true)
+        .render();
+    for threads in [2, 8] {
+        let pool = Runtime::new(threads);
+        for attempt in 0..3 {
+            assert_eq!(
+                ga_scenario::sweep::sweep_on(&pool, "det", &scenarios, 0..6, 2, 2)
+                    .to_json(true)
+                    .render(),
+                baseline,
+                "pool size {threads}, reuse {attempt}"
+            );
+        }
+    }
+}
+
+#[test]
+fn nested_sweep_and_shard_submission_completes_at_budget_1() {
+    // The deadlock regression the runtime's nested-submission contract
+    // rules out: a budget-1 pool (zero background threads) running a
+    // sweep whose every job itself submits 4-shard step batches to the
+    // *same* pool must run to completion inline. A watchdog turns a
+    // regression into a failure instead of a hung test run.
+    let (tx, rx) = std::sync::mpsc::channel();
+    let worker = std::thread::spawn(move || {
+        let pool = Runtime::new(1);
+        let suite = suites::find("smoke").expect("smoke suite registered");
+        let nested = suite.run_on(&pool, Some(2), 1, 4).to_json(true).render();
+        let serial = suite.run_on(&pool, Some(2), 1, 1).to_json(true).render();
+        tx.send((nested, serial)).ok();
+    });
+    let (nested, serial) = rx
+        .recv_timeout(std::time::Duration::from_secs(120))
+        .expect("budget-1 nested sweep x shard submission deadlocked");
+    worker.join().expect("sweep thread panicked");
+    assert_eq!(nested, serial, "budget never changes the summary");
+}
+
+#[test]
+fn one_pool_shared_by_sweep_workers_and_shard_tasks_is_deterministic() {
+    // Oversubscribed on purpose: 4 sweep workers x 4-shard runs on a
+    // 4-thread pool exercises nested batches queueing behind worker
+    // loops; the summary must still match the fully-serial render.
+    let suite = suites::find("smoke").expect("smoke suite registered");
+    let pool = Runtime::new(4);
+    let baseline = suite
+        .run_on(&Runtime::serial(), Some(2), 1, 1)
+        .to_json(true)
+        .render();
+    assert_eq!(
+        suite.run_on(&pool, Some(2), 4, 4).to_json(true).render(),
+        baseline
+    );
+    assert_eq!(
+        suite.run_on(&pool, Some(2), 2, 8).to_json(true).render(),
+        baseline,
+        "pool reused by a second differently-split sweep"
+    );
+}
+
+#[test]
 fn schedule_events_are_reflected_identically_in_parallel_records() {
     // Churn + fault events fire from inside worker threads; their effects
     // (fault drops, stop rounds) must be identical to the serial run.

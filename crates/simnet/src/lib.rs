@@ -44,20 +44,24 @@
 //!   mutates adjacency in place via
 //!   [`Topology::isolate`](topology::Topology::isolate).
 //!
-//! ## Sharded stepping
+//! ## Sharded stepping on the persistent runtime
 //!
 //! [`Simulation::step`](sim::Simulation::step) splits every round into a
 //! **compute phase** (each contiguous shard of processes steps against the
 //! immutable prior-round inboxes, filtering its outboxes into per-shard
 //! scratch) and a **deterministic merge phase** (shards drained in
 //! ascending process-id order, counters summed in fixed order). With
-//! [`StepExec::Sharded`](sim::StepExec) the compute phase fans out over
-//! `std::thread::scope` workers; because every random draw is derived
+//! [`StepExec::Sharded`](sim::StepExec) the compute phase is submitted as
+//! one indexed batch to a persistent [`Runtime`](runtime::Runtime) worker
+//! pool — created once, shared with the scenario sweep engine, zero
+//! threads spawned per round; because every random draw is derived
 //! from `(seed, id, round)` coordinates, the resulting trace is
-//! byte-for-byte identical to serial stepping at any shard count
-//! (`tests/sharding.rs`). Select it with
-//! [`SimulationBuilder::shards`](sim::SimulationBuilder::shards) or
-//! [`Simulation::set_shards`](sim::Simulation::set_shards).
+//! byte-for-byte identical to serial stepping at any shard count and any
+//! pool size (`tests/sharding.rs`, `tests/runtime.rs`). Select it with
+//! [`SimulationBuilder::shards`](sim::SimulationBuilder::shards) /
+//! [`Simulation::set_shards`](sim::Simulation::set_shards) and attach a
+//! pool with [`SimulationBuilder::runtime`](sim::SimulationBuilder::runtime)
+//! (default: the process-wide [`Runtime::global`](runtime::Runtime::global)).
 //!
 //! ## Quickstart
 //!
@@ -93,6 +97,7 @@ pub mod message;
 pub mod process;
 pub mod relay;
 pub mod rng;
+pub mod runtime;
 pub mod schedule;
 pub mod sim;
 pub mod topology;
@@ -105,6 +110,7 @@ pub mod prelude {
     pub use crate::ids::{ProcessId, Round};
     pub use crate::message::Message;
     pub use crate::process::{Context, Process};
+    pub use crate::runtime::Runtime;
     pub use crate::schedule::{Schedule, ScheduledAction};
     pub use crate::sim::{Delivery, Simulation, SimulationBuilder, StepExec};
     pub use crate::topology::Topology;

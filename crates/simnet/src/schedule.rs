@@ -13,6 +13,7 @@
 use crate::fault::TransientFault;
 use crate::ids::{ProcessId, Round};
 use crate::sim::Delivery;
+use crate::topology::Topology;
 
 /// One environment change, applied at the start of a scheduled round.
 #[derive(Debug, Clone)]
@@ -24,6 +25,24 @@ pub enum ScheduledAction {
     /// recovery). Peers that are already linked, out of range, or equal to
     /// the processor itself are skipped.
     Reconnect(ProcessId, Vec<ProcessId>),
+    /// Remove the single edge `(a, b)` (partition churn at edge
+    /// granularity — [`Topology::cut_link`]). Absent, reflexive or
+    /// out-of-range edges are skipped.
+    CutLink {
+        /// One endpoint of the edge.
+        a: ProcessId,
+        /// The other endpoint.
+        b: ProcessId,
+    },
+    /// Re-add the single edge `(a, b)` (a partition healing —
+    /// [`Topology::heal_link`]). Already-present, reflexive or
+    /// out-of-range edges are skipped.
+    HealLink {
+        /// One endpoint of the edge.
+        a: ProcessId,
+        /// The other endpoint.
+        b: ProcessId,
+    },
     /// Inject a transient fault (arbitrary-configuration scrambling).
     Inject(TransientFault),
     /// Switch the delivery model (e.g. a lossy interval mid-run).
@@ -54,6 +73,53 @@ impl Schedule {
     #[must_use]
     pub fn at(mut self, round: u64, action: ScheduledAction) -> Schedule {
         self.push(round, action);
+        self
+    }
+
+    /// Schedules a healable bisection of `topology` (builder-style): every
+    /// edge crossing the lower-half/upper-half id split (`0..n/2` vs
+    /// `n/2..n`) is [cut](ScheduledAction::CutLink) at the start of
+    /// `round` and [healed](ScheduledAction::HealLink) at the start of
+    /// `heal_round` — the canonical partition-tolerance event: the network
+    /// splits into two silent halves, then rejoins.
+    ///
+    /// The crossing edges are computed against `topology` as passed;
+    /// edges cut or added by *earlier* scheduled events are not tracked
+    /// (the cut/heal entries are plain data, so absent edges are skipped
+    /// at fire time like every other churn action).
+    #[must_use]
+    pub fn bisect(mut self, topology: &Topology, round: u64, heal_round: u64) -> Schedule {
+        let half = topology.len() / 2;
+        let crossing: Vec<(ProcessId, ProcessId)> = (0..half)
+            .flat_map(|a| {
+                topology
+                    .neighbors(ProcessId(a))
+                    .iter()
+                    .filter(move |&&b| b >= half)
+                    .map(move |&b| (ProcessId(a), ProcessId(b)))
+            })
+            .collect();
+        // Push all entries of the earlier round first: each push then
+        // appends at the end of its equal-round run, keeping construction
+        // linear in crossing edges (interleaving cut/heal pushes would
+        // shift every already-inserted later-round entry — O(E²)).
+        let mut batch = |r: u64, heal: bool| {
+            for &(a, b) in &crossing {
+                let action = if heal {
+                    ScheduledAction::HealLink { a, b }
+                } else {
+                    ScheduledAction::CutLink { a, b }
+                };
+                self.push(r, action);
+            }
+        };
+        if round <= heal_round {
+            batch(round, false);
+            batch(heal_round, true);
+        } else {
+            batch(heal_round, true);
+            batch(round, false);
+        }
         self
     }
 
@@ -147,6 +213,49 @@ mod tests {
         ));
         assert!(s.next_due(Round(7)).is_none());
         assert_eq!(s.pending(), 0);
+    }
+
+    #[test]
+    fn bisect_cuts_and_heals_every_crossing_edge() {
+        let topology = Topology::complete(6);
+        let s = Schedule::new().bisect(&topology, 2, 7);
+        // K6 split 3|3: nine crossing edges, each cut once and healed once.
+        assert_eq!(s.len(), 18);
+        let cuts: Vec<(u64, usize, usize)> = s
+            .entries
+            .iter()
+            .filter_map(|(r, a)| match a {
+                ScheduledAction::CutLink { a, b } => Some((*r, a.index(), b.index())),
+                _ => None,
+            })
+            .collect();
+        let heals: Vec<(u64, usize, usize)> = s
+            .entries
+            .iter()
+            .filter_map(|(r, a)| match a {
+                ScheduledAction::HealLink { a, b } => Some((*r, a.index(), b.index())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(cuts.len(), 9);
+        assert_eq!(heals.len(), 9);
+        assert!(cuts.iter().all(|&(r, a, b)| r == 2 && a < 3 && b >= 3));
+        assert!(heals.iter().all(|&(r, a, b)| r == 7 && a < 3 && b >= 3));
+        // The same edges are healed that were cut.
+        let mut cut_edges: Vec<(usize, usize)> = cuts.iter().map(|&(_, a, b)| (a, b)).collect();
+        let mut healed_edges: Vec<(usize, usize)> = heals.iter().map(|&(_, a, b)| (a, b)).collect();
+        cut_edges.sort_unstable();
+        healed_edges.sort_unstable();
+        assert_eq!(cut_edges, healed_edges);
+    }
+
+    #[test]
+    fn bisect_on_a_ring_cuts_the_two_bridges() {
+        // ring(6) halves {0,1,2} | {3,4,5}: only edges (2,3) and (0,5)
+        // cross, so the bisection is exactly those two cuts (plus heals).
+        let topology = Topology::ring(6);
+        let s = Schedule::new().bisect(&topology, 1, 4);
+        assert_eq!(s.len(), 4);
     }
 
     #[test]

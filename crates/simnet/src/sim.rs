@@ -9,6 +9,7 @@ use crate::ids::{ProcessId, Round};
 use crate::message::Message;
 use crate::process::{Context, Process};
 use crate::rng::{labeled_rng_u64_pair, process_rng};
+use crate::runtime::{BatchTask, Runtime};
 use crate::schedule::{Schedule, ScheduledAction};
 use crate::topology::Topology;
 use crate::trace::Trace;
@@ -32,9 +33,9 @@ const LOSS_DOMAIN: u64 = 0x1055_1055_1055_1055;
 pub enum StepExec {
     /// One thread steps every process in id order.
     Serial,
-    /// `std::thread::scope` workers step contiguous process shards in
-    /// parallel; a serial merge then routes shard outboxes in ascending
-    /// process-id order.
+    /// The persistent [`Runtime`] pool's workers step contiguous process
+    /// shards in parallel; a serial merge then routes shard outboxes in
+    /// ascending process-id order.
     Sharded {
         /// Number of shards (clamped to `[1, n]`; 1 behaves like
         /// [`StepExec::Serial`]).
@@ -113,6 +114,10 @@ pub struct Simulation {
     shard_scratch: Vec<ShardScratch>,
     /// Compute-phase execution strategy.
     exec: StepExec,
+    /// The persistent worker pool the sharded compute phase submits to.
+    /// `None` until first needed; a sharded step without an explicit
+    /// handle adopts [`Runtime::global`] — serial sims never touch a pool.
+    runtime: Option<Runtime>,
     round: Round,
     seed: u64,
     delivery: Delivery,
@@ -139,6 +144,7 @@ pub struct SimulationBuilder {
     delivery: Delivery,
     schedule: Schedule,
     exec: StepExec,
+    runtime: Option<Runtime>,
 }
 
 impl SimulationBuilder {
@@ -175,6 +181,16 @@ impl SimulationBuilder {
         self
     }
 
+    /// Hands the simulation a persistent [`Runtime`] pool for its sharded
+    /// compute phase (default: the process-wide [`Runtime::global`] pool,
+    /// adopted lazily on the first sharded step). Sharing one handle
+    /// across simulations — and with the sweep engine — keeps the whole
+    /// process on one thread budget. The pool size never changes a trace.
+    pub fn runtime(mut self, runtime: Runtime) -> Self {
+        self.runtime = Some(runtime);
+        self
+    }
+
     /// Builds the simulation, constructing each process from its id.
     pub fn build_with(self, mut make: impl FnMut(ProcessId) -> Box<dyn Process>) -> Simulation {
         let n = self.topology.len();
@@ -199,6 +215,7 @@ impl SimulationBuilder {
             consumed: vec![Vec::new(); n],
             shard_scratch: Vec::new(),
             exec: self.exec,
+            runtime: self.runtime,
             topology: self.topology,
             processes,
             round: Round(0),
@@ -219,6 +236,7 @@ impl Simulation {
             delivery: Delivery::Reliable,
             schedule: Schedule::new(),
             exec: StepExec::Serial,
+            runtime: None,
         }
     }
 
@@ -226,6 +244,12 @@ impl Simulation {
     /// the shard count never changes the trace.
     pub fn set_shards(&mut self, shards: usize) {
         self.exec = StepExec::from_shards(shards);
+    }
+
+    /// Re-targets the sharded compute phase at `runtime` (the pool size
+    /// never changes the trace) — see [`SimulationBuilder::runtime`].
+    pub fn set_runtime(&mut self, runtime: Runtime) {
+        self.runtime = Some(runtime);
     }
 
     /// The current compute-phase execution strategy.
@@ -273,8 +297,9 @@ impl Simulation {
     /// 1. **Compute** — every process steps against the immutable snapshot
     ///    of last pulse's deliveries; its messages are link- and
     ///    loss-filtered into per-shard `routed` buffers. Under
-    ///    [`StepExec::Sharded`] contiguous process shards run on
-    ///    `std::thread::scope` workers; every random draw is derived from
+    ///    [`StepExec::Sharded`] contiguous process shards run as one
+    ///    indexed batch on the persistent [`Runtime`] pool — no threads
+    ///    are spawned per round; every random draw is derived from
     ///    `(seed, id, round)` coordinates, so nothing depends on shard
     ///    boundaries or thread interleaving.
     /// 2. **Merge** — shards are drained in ascending process-id order:
@@ -286,12 +311,15 @@ impl Simulation {
     /// Scheduled churn/fault events fire once, before the compute phase,
     /// so the whole round sees the post-event topology and delivery model.
     ///
-    /// Allocation-free in steady state: the two inbox buffer sets are
-    /// swapped and cleared (retaining capacity) rather than reallocated,
-    /// each shard recycles one outbox and one routed buffer across all its
-    /// processes and rounds, and payloads move as refcounted [`Bytes`] — a
-    /// broadcast's single buffer is shared by every recipient's
-    /// [`Message`].
+    /// Allocation-free in steady state on the serial path: the two inbox
+    /// buffer sets are swapped and cleared (retaining capacity) rather
+    /// than reallocated, each shard recycles one outbox and one routed
+    /// buffer across all its processes and rounds, and payloads move as
+    /// refcounted [`Bytes`] — a broadcast's single buffer is shared by
+    /// every recipient's [`Message`]. The sharded path additionally boxes
+    /// one task header per shard per round (a few ns each — the point of
+    /// the persistent pool is eliminating the ~tens of µs of per-round
+    /// thread spawn/join the old `thread::scope` compute phase paid).
     pub fn step(&mut self) {
         // Fire scheduled churn/fault events first: the round's deliveries
         // and steps see the post-event topology, delivery model and
@@ -332,14 +360,19 @@ impl Simulation {
                 delivery,
             );
         } else {
-            std::thread::scope(|scope| {
-                for ((si, processes), scratch) in self
-                    .processes
-                    .chunks_mut(chunk)
-                    .enumerate()
-                    .zip(self.shard_scratch.iter_mut())
-                {
-                    scope.spawn(move || {
+            // Submit the shards as one indexed batch to the persistent
+            // pool (adopting the process-wide pool if none was attached).
+            // Each task owns its shard's scratch slot; the merge below
+            // drains slots in ascending shard order, so results are
+            // byte-identical at any pool size.
+            let runtime = &*self.runtime.get_or_insert_with(Runtime::global);
+            let tasks: Vec<BatchTask<'_>> = self
+                .processes
+                .chunks_mut(chunk)
+                .enumerate()
+                .zip(self.shard_scratch.iter_mut())
+                .map(|((si, processes), scratch)| {
+                    Box::new(move || {
                         compute_shard(
                             processes,
                             si * chunk,
@@ -350,9 +383,10 @@ impl Simulation {
                             round,
                             delivery,
                         );
-                    });
-                }
-            });
+                    }) as BatchTask<'_>
+                })
+                .collect();
+            runtime.run_batch(tasks);
         }
 
         // Merge phase: shards hold contiguous ascending sender ranges, so
@@ -451,6 +485,14 @@ impl Simulation {
                     // documented as skipped.
                     let _ = self.topology.link(id, peer);
                 }
+            }
+            // Absent/invalid edges are documented as skipped, mirroring
+            // Reconnect — partition schedules may race earlier churn.
+            ScheduledAction::CutLink { a, b } => {
+                let _ = self.topology.cut_link(a, b);
+            }
+            ScheduledAction::HealLink { a, b } => {
+                let _ = self.topology.heal_link(a, b);
             }
             ScheduledAction::Inject(fault) => self.inject(&fault),
             ScheduledAction::SetDelivery(delivery) => self.delivery = delivery,
@@ -757,6 +799,27 @@ mod tests {
             sim.process_as::<Counter>(ProcessId(1)).unwrap().received > at_round_2 + 1,
             "deliveries resume after reconnection"
         );
+    }
+
+    #[test]
+    fn scheduled_bisection_partitions_and_heals() {
+        // Complete(4) bisected into {0,1} | {2,3} at round 1, healed at
+        // round 4: while cut, each process hears only its half-mate.
+        let topo = Topology::complete(4);
+        let schedule = Schedule::new().bisect(&topo, 1, 4);
+        let mut sim = Simulation::builder(Topology::complete(4))
+            .schedule(schedule)
+            .build_with(|_| Box::new(Counter { received: 0 }) as Box<dyn Process>);
+        // Round 0 (pre-cut): 3 broadcasts each, land at round 1.
+        // Rounds 1-3 (cut): 1 broadcast each (the half-mate), landing at
+        // rounds 2-4 — the round-1 sends were already filtered post-cut.
+        sim.run(4);
+        let heard = sim.process_as::<Counter>(ProcessId(0)).unwrap().received;
+        assert_eq!(heard, 3 + 1 + 1, "3 pre-cut, then one per cut round");
+        // Round 4 heals: its broadcasts land everywhere at round 5.
+        sim.run(2);
+        let after = sim.process_as::<Counter>(ProcessId(0)).unwrap().received;
+        assert_eq!(after, heard + 1 + 3, "full fan-in resumes post-heal");
     }
 
     #[test]

@@ -261,6 +261,55 @@ impl Topology {
         Ok(true)
     }
 
+    /// Removes the single undirected edge `(a, b)` in place, keeping the
+    /// sorted adjacency lists and the bitmasks in sync — the edge-level
+    /// counterpart of [`isolate`](Topology::isolate), used by partition
+    /// churn schedules ([`ScheduledAction::CutLink`]).
+    ///
+    /// Returns `Ok(true)` if the edge was removed, `Ok(false)` if it was
+    /// not present.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadTopology`] for self-loops or out-of-range
+    /// endpoints.
+    ///
+    /// [`ScheduledAction::CutLink`]: crate::schedule::ScheduledAction::CutLink
+    pub fn cut_link(&mut self, a: ProcessId, b: ProcessId) -> Result<bool, SimError> {
+        let (a, b) = (a.index(), b.index());
+        if a == b {
+            return Err(SimError::BadTopology(format!("self loop at {a}")));
+        }
+        if a >= self.n || b >= self.n {
+            return Err(SimError::BadTopology(format!(
+                "edge ({a},{b}) out of range for n={}",
+                self.n
+            )));
+        }
+        let Ok(pos_a) = self.adj[a].binary_search(&b) else {
+            return Ok(false);
+        };
+        self.adj[a].remove(pos_a);
+        if let Ok(pos_b) = self.adj[b].binary_search(&a) {
+            self.adj[b].remove(pos_b);
+        }
+        self.bits[a][b / 64] &= !(1 << (b % 64));
+        self.bits[b][a / 64] &= !(1 << (a % 64));
+        Ok(true)
+    }
+
+    /// Re-adds the single undirected edge `(a, b)` — the healing inverse
+    /// of [`cut_link`](Topology::cut_link), with the same contract as
+    /// [`link`](Topology::link) (`Ok(false)` when already present).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadTopology`] for self-loops or out-of-range
+    /// endpoints.
+    pub fn heal_link(&mut self, a: ProcessId, b: ProcessId) -> Result<bool, SimError> {
+        self.link(a, b)
+    }
+
     /// Minimum degree over all vertices — an upper bound on connectivity.
     pub fn min_degree(&self) -> usize {
         self.adj.iter().map(Vec::len).min().unwrap_or(0)
@@ -515,6 +564,34 @@ mod tests {
         }
         assert_eq!(t, before, "reconnecting every spoke restores the star");
         assert_bitmask_parity(&t);
+    }
+
+    #[test]
+    fn cut_link_removes_one_edge_and_keeps_parity() {
+        let mut t = Topology::complete(5);
+        assert_eq!(t.cut_link(ProcessId(1), ProcessId(3)), Ok(true));
+        assert!(!t.connected(ProcessId(1), ProcessId(3)));
+        assert!(!t.connected(ProcessId(3), ProcessId(1)));
+        assert_eq!(t.edge_count(), 9);
+        assert_eq!(
+            t.cut_link(ProcessId(1), ProcessId(3)),
+            Ok(false),
+            "already cut"
+        );
+        // Other edges untouched.
+        assert!(t.connected(ProcessId(1), ProcessId(2)));
+        assert_bitmask_parity(&t);
+        // heal_link is the exact inverse.
+        assert_eq!(t.heal_link(ProcessId(3), ProcessId(1)), Ok(true));
+        assert_eq!(t, Topology::complete(5));
+    }
+
+    #[test]
+    fn cut_link_rejects_bad_input() {
+        let mut t = Topology::ring(4);
+        assert!(t.cut_link(ProcessId(2), ProcessId(2)).is_err());
+        assert!(t.cut_link(ProcessId(0), ProcessId(9)).is_err());
+        assert!(t.heal_link(ProcessId(0), ProcessId(9)).is_err());
     }
 
     #[test]

@@ -10,7 +10,10 @@
 #   substrate/step_loop_bytes/n{256,1024}   — serial large-n step loops
 #   substrate/step_loop_sharded/n1024s{1,2,4} — intra-run sharded variants
 # whose ratio vs the serial n1024 row is the sharding speedup (bounded by
-# the host's core count; s2/s4 ≈ s1 on a single-core machine).
+# the host's core count; s2/s4 ≈ s1 on a single-core machine), and
+#   substrate/step_loop_pooled/n{64,256}s4  — small-n sharding on an
+# explicit persistent Runtime pool, recording the win the old per-round
+# thread::scope spawn overhead previously ate at these populations.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -35,12 +38,18 @@ old = ns.get("substrate/step_loop_naive_substrate/n64")
 if new and old:
     print(f"step-loop speedup vs naive substrate: {old / new:.2f}x")
 serial = ns.get("substrate/step_loop_bytes/n1024")
+cores = os.cpu_count() or 1
 if serial:
-    cores = os.cpu_count() or 1
     for s in (1, 2, 4):
         sharded = ns.get(f"substrate/step_loop_sharded/n1024s{s}")
         if sharded:
             print(f"n1024 sharded x{s} vs serial: {serial / sharded:.2f}x "
                   f"(host has {cores} core(s))")
+for n in (64, 256):
+    base = ns.get(f"substrate/step_loop_bytes/n{n}")
+    pooled = ns.get(f"substrate/step_loop_pooled/n{n}s4")
+    if base and pooled:
+        print(f"n{n} pooled 4-shard vs serial: {base / pooled:.2f}x "
+              f"(host has {cores} core(s))")
 EOF
 fi

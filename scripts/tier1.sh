@@ -21,7 +21,10 @@ echo "==> scenario smoke suite (serial vs sharded step byte-identity)"
 cmp target/scenario_smoke_s1.json target/scenario_smoke_s4.json
 cmp target/scenario_smoke_a.json target/scenario_smoke_s1.json
 
-echo "==> scenario authority suite (§3.3 plays; workers×shards byte-identity)"
+echo "==> scenario authority suite (§3.3 plays; pooled workers 4/shards 4 vs serial 1/1 byte-identity)"
+# --workers sizes the one persistent runtime pool: the serial side runs
+# inline on the caller, the pooled side nests sweep workers and shard
+# batches in the same 4-thread pool — outputs must be byte-identical.
 ./target/release/scenario run --suite authority --seeds 1 --workers 1 --shards 1 > target/scenario_auth_a.json
 ./target/release/scenario run --suite authority --seeds 1 --workers 4 --shards 4 > target/scenario_auth_b.json
 cmp target/scenario_auth_a.json target/scenario_auth_b.json
