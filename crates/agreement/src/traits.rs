@@ -85,6 +85,17 @@ impl BaProcess {
 }
 
 impl Process for BaProcess {
+    /// A transient fault leaves the executor mid-protocol with an
+    /// arbitrary input: the wrapped instance is restarted (via its
+    /// hard-reset `begin`) on a random value, so any prior decision is
+    /// discarded — observable as `decided()` reverting to `None`.
+    fn scramble(&mut self, rng: &mut rand::rngs::StdRng) {
+        use rand::Rng;
+        self.input = rng.gen();
+        self.instance.begin(self.input);
+        self.started = true;
+    }
+
     fn on_pulse(&mut self, ctx: &mut Context<'_>) {
         if !self.started {
             self.instance.begin(self.input);
@@ -200,6 +211,30 @@ mod tests {
             let p = sim.process_as::<BaProcess>(ProcessId(i)).unwrap();
             assert_eq!(p.decided(), Some(10), "1+2+3+4 everywhere");
         }
+    }
+
+    #[test]
+    fn scramble_discards_the_decision_and_changes_input() {
+        let mut p = BaProcess::new(
+            Box::new(Echo {
+                me: 0,
+                n: 4,
+                value: 0,
+                seen: 0,
+                decided: None,
+            }),
+            7,
+        );
+        p.instance.begin(7);
+        p.started = true;
+        p.instance.step(0, &[], &mut |_, _| {});
+        p.instance.step(1, &[], &mut |_, _| {});
+        assert!(p.decided().is_some());
+
+        let mut rng = ga_simnet::rng::process_rng(1, ProcessId(0), Round(3));
+        Process::scramble(&mut p, &mut rng);
+        assert_eq!(p.decided(), None, "stale decision discarded");
+        assert_ne!(p.input, 7, "input perturbed");
     }
 
     #[test]

@@ -11,9 +11,11 @@
 //! exactly what [`SsbaProcess`](crate::ssba::SsbaProcess) and the
 //! distributed authority do with their inline clocks.
 
+use ga_simnet::prelude::*;
 use rand::Rng;
 
 use crate::clock::ClockRule;
+use crate::process::ClockProcess;
 
 /// What one generator step observed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,6 +85,76 @@ impl PulseGenerator {
     }
 }
 
+/// Runs a [`PulseGenerator`] over `ga-simnet`: broadcasts the clock value
+/// every pulse (the same [`tags::CLOCK`](crate::tags::CLOCK) wire format
+/// as [`ClockProcess`]) and steps the generator on what arrived — the
+/// simulator citizen the `stabilize` scenario suite sweeps.
+///
+/// State is scrambleable for transient-fault experiments: a fault leaves
+/// the underlying clock at an arbitrary value, from which the generator
+/// must re-synchronize before wraps are trustworthy again.
+#[derive(Debug, Clone)]
+pub struct PulseProcess {
+    generator: PulseGenerator,
+    n: usize,
+}
+
+impl PulseProcess {
+    /// Creates the process for one processor (same contracts as
+    /// [`PulseGenerator::new`]).
+    pub fn new(n: usize, f: usize, modulus: u64, start_value: u64) -> PulseProcess {
+        PulseProcess {
+            generator: PulseGenerator::new(n, f, modulus, start_value),
+            n,
+        }
+    }
+
+    /// Current clock value.
+    pub fn value(&self) -> u64 {
+        self.generator.value()
+    }
+
+    /// Number of wraps observed so far.
+    pub fn periods(&self) -> u64 {
+        self.generator.periods()
+    }
+}
+
+impl Process for PulseProcess {
+    fn on_pulse(&mut self, ctx: &mut Context<'_>) {
+        // One claim per sender: Byzantine floods must not multiply votes.
+        let mut claims: Vec<Option<u64>> = vec![None; self.n];
+        for m in ctx.inbox() {
+            if let Some(v) = ClockProcess::decode(m.bytes()) {
+                let idx = m.from.index();
+                if idx < self.n && claims[idx].is_none() {
+                    claims[idx] = Some(v);
+                }
+            }
+        }
+        let received: Vec<u64> = claims.into_iter().flatten().collect();
+        let rng = ctx.rng();
+        self.generator.step(&received, rng);
+        ctx.broadcast(ClockProcess::encode(self.generator.value()));
+    }
+
+    fn scramble(&mut self, rng: &mut rand::rngs::StdRng) {
+        self.generator.set_arbitrary(rng.gen());
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn name(&self) -> &'static str {
+        "pulse-generator"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -129,5 +201,33 @@ mod tests {
     #[should_panic(expected = "start value")]
     fn start_value_must_be_in_range() {
         PulseGenerator::new(4, 1, 4, 4);
+    }
+
+    #[test]
+    fn pulse_process_wraps_in_unison_over_simnet() {
+        let n = 4;
+        let mut sim = Simulation::builder(Topology::complete(n))
+            .seed(4)
+            .build_with(|_| Box::new(PulseProcess::new(n, 1, 5, 1)) as Box<dyn Process>);
+        // Synchronized start: every generator sees the quorum and wraps
+        // once per 5-pulse period.
+        sim.run(21);
+        let periods: Vec<u64> = (0..n)
+            .map(|i| {
+                sim.process_as::<PulseProcess>(ProcessId(i))
+                    .unwrap()
+                    .periods()
+            })
+            .collect();
+        assert!(periods.iter().all(|&p| p >= 3), "{periods:?}");
+        assert!(periods.windows(2).all(|w| w[0] == w[1]), "{periods:?}");
+    }
+
+    #[test]
+    fn pulse_process_scramble_changes_value() {
+        let mut p = PulseProcess::new(4, 1, 1 << 30, 1);
+        let mut rng = StdRng::seed_from_u64(3);
+        Process::scramble(&mut p, &mut rng);
+        assert_ne!(p.value(), 0, "random value almost surely nonzero");
     }
 }

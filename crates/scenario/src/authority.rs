@@ -40,8 +40,9 @@ use crate::spec::{PlacementStrategy, Role, ScenarioSpec, TopologyFamily};
 
 /// The n-agent, 2-resource congestion game every authority spec plays:
 /// an agent's cost is the number of agents sharing its resource, so the
-/// best response is always the less crowded resource.
-fn congestion(n: usize) -> Arc<dyn Game + Send + Sync> {
+/// best response is always the less crowded resource. Shared with the
+/// `stabilize` suite's authority-recovery port.
+pub(crate) fn congestion(n: usize) -> Arc<dyn Game + Send + Sync> {
     Arc::new(ClosureGame::new(
         "authority-congestion",
         n,

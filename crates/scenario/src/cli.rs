@@ -34,8 +34,12 @@
 //! `scenario list` names every suite: `paper` (the e1–e8 experiment
 //! ports), `authority` (the §3.3 distributed-authority plays — honest,
 //! selfish-cluster, mute, churn, and a noise adversary placed per seed
-//! by `PlacementStrategy::RandomF`), `examples`, `smoke` (the tier-1
-//! gate), and the `bench64`/`bench256` throughput workloads.
+//! by `PlacementStrategy::RandomF`), `stabilize` (the recovery frontier:
+//! scheduled corruption over a loss × intensity × n grid; run it with
+//! `--table rounds_to_stabilize` — censored points surface as failed
+//! verdicts, so a nonzero exit there means "frontier charted", not
+//! "suite broken"), `examples`, `smoke` (the tier-1 gate), and the
+//! `bench64`/`bench256` throughput workloads.
 
 use std::io::Write;
 use std::time::Instant;

@@ -21,10 +21,39 @@
 //!   any worker count and pool size**.
 //! * [`suites`] — named suites for the `scenario` CLI: `paper` (the e1–e8
 //!   experiment ports, see [`ports`]), `authority` (the §3.3 distributed-
-//!   authority plays, see [`authority`]), `examples`, `smoke`, `bench64`.
+//!   authority plays, see [`authority`]), `stabilize` (the recovery
+//!   frontier, see [`stabilize`]), `examples`, `smoke`, `bench64`.
 //! * [`spec::PlacementStrategy`] — seed-derived adversary placement
 //!   families (`RandomF`, `WorstCaseByDegree`), so one spec covers every
 //!   adversary position instead of one pinned id.
+//!
+//! ## Stabilization probes and the recovery frontier
+//!
+//! Self-stabilization claims are recovery-time statements, so
+//! [`ScenarioSpec::stabilization`](spec::ScenarioSpec::stabilization)
+//! makes the measurement declarative: the spec schedules a
+//! [`CorruptionFamily`](ga_simnet::fault::CorruptionFamily) (a
+//! [`ScheduledAction::Corrupt`](ga_simnet::schedule::ScheduledAction)
+//! entry — corruption is spec data, exactly like churn) and declares the
+//! protocol's *legal set* as a predicate. The probe evaluates legality
+//! after every round and emits
+//!
+//! * `rounds_to_stabilize = last_illegal_round − corruption_round` when
+//!   the run ends legal, and
+//! * `censored = 1` (and **no** `rounds_to_stabilize`) when the budget
+//!   runs out while the state is still illegal — percentiles aggregate
+//!   over emitting runs only, so a diverged run never masquerades as a
+//!   slow one.
+//!
+//! `scenario run --suite stabilize --table rounds_to_stabilize` renders
+//! the frontier: each row is one `loss × corruption-intensity × n` grid
+//! point, the `rate` column is the fraction of runs that stabilized
+//! (censored runs fail their verdict) and the p50/p90/p99 columns are
+//! stabilization-time percentiles over the runs that recovered. Reading
+//! it: at `loss=0` the legal sets are closed, so rates are `1.00` and the
+//! percentiles are pure recovery times; as loss and intensity grow the
+//! percentiles widen and the rate falls below one — that boundary is the
+//! protocol's stabilization frontier. See [`stabilize`].
 //!
 //! ## Quickstart
 //!
@@ -90,6 +119,7 @@ pub mod json;
 pub mod ports;
 pub mod record;
 pub mod spec;
+pub mod stabilize;
 pub mod suites;
 pub mod sweep;
 pub mod workload;

@@ -177,6 +177,18 @@ type ProtocolFactory = Arc<dyn Fn(ProcessId, usize, u64) -> Box<dyn Process> + S
 type StopPredicate = Arc<dyn Fn(&Simulation) -> bool + Send + Sync>;
 type VerdictFn = Arc<dyn Fn(&Simulation, &RunRecord) -> Verdict + Send + Sync>;
 type ProbeFn = Arc<dyn Fn(&Simulation, &mut RunRecord) + Send + Sync>;
+type LegalFn = Arc<dyn Fn(&Simulation) -> bool + Send + Sync>;
+
+/// A per-round legality probe measuring recovery after scheduled
+/// corruption — see [`ScenarioSpec::stabilization`].
+#[derive(Clone)]
+struct StabilizationProbe {
+    /// The round the spec's corruption event fires at (the measurement
+    /// origin for `rounds_to_stabilize`).
+    corruption_round: u64,
+    /// The legitimacy predicate of the protocol's state space.
+    legal: LegalFn,
+}
 
 /// A declarative description of a family of simulator executions.
 ///
@@ -196,6 +208,7 @@ pub struct ScenarioSpec {
     stop: Option<StopPredicate>,
     verdict: Option<VerdictFn>,
     probe: Option<ProbeFn>,
+    stabilization: Option<StabilizationProbe>,
 }
 
 impl std::fmt::Debug for ScenarioSpec {
@@ -242,6 +255,7 @@ impl ScenarioSpec {
             stop: None,
             verdict: None,
             probe: None,
+            stabilization: None,
         }
     }
 
@@ -370,6 +384,36 @@ impl ScenarioSpec {
         self
     }
 
+    /// Attaches a stabilization probe measuring recovery from the
+    /// corruption the spec schedules at `corruption_round`.
+    ///
+    /// `legal` — the protocol's legitimacy predicate — is evaluated after
+    /// every pulse, and the run tracks the *last illegal round*. If the
+    /// final state is legal the run emits
+    ///
+    /// * `rounds_to_stabilize` = `last_illegal_round − corruption_round`
+    ///   (saturating; `0` when no post-corruption round was ever illegal),
+    /// * `censored` = `0`.
+    ///
+    /// If the budget runs out while the state is still illegal the run is
+    /// **censored**: it emits only `censored = 1` and *no*
+    /// `rounds_to_stabilize` — the sweep aggregator computes percentiles
+    /// over emitting runs only, so a diverged run can never masquerade as
+    /// a slow one. Both metrics land before the [`probe`](Self::probe) and
+    /// [`verdict`](Self::verdict) callbacks, which may read them.
+    #[must_use]
+    pub fn stabilization(
+        mut self,
+        corruption_round: u64,
+        legal: impl Fn(&Simulation) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        self.stabilization = Some(StabilizationProbe {
+            corruption_round,
+            legal: Arc::new(legal),
+        });
+        self
+    }
+
     /// Number of processors per run.
     pub fn n(&self) -> usize {
         self.topology.len()
@@ -440,11 +484,53 @@ impl ScenarioSpec {
             );
 
         let mut record = RunRecord::new(self.name.clone(), seed);
-        match &self.stop {
-            Some(stop) => {
-                record.stopped_at = sim.run_until(self.max_rounds, |s| stop(s));
+        match &self.stabilization {
+            Some(stab) => {
+                // Manual loop mirroring `run_until` (stop checked before
+                // each pulse, once more after the budget) with the
+                // legality predicate evaluated after every pulse.
+                let mut last_illegal: Option<u64> = None;
+                let mut stopped = None;
+                for executed in 0..self.max_rounds {
+                    if let Some(stop) = &self.stop {
+                        if stop(&sim) {
+                            stopped = Some(executed);
+                            break;
+                        }
+                    }
+                    sim.step();
+                    if !(stab.legal)(&sim) {
+                        // step() already advanced the round counter; the
+                        // pulse just executed is the previous one.
+                        last_illegal = Some(sim.round().value() - 1);
+                    }
+                }
+                if stopped.is_none() {
+                    if let Some(stop) = &self.stop {
+                        if stop(&sim) {
+                            stopped = Some(self.max_rounds);
+                        }
+                    }
+                }
+                record.stopped_at = stopped;
+                if (stab.legal)(&sim) {
+                    let rounds_to_stabilize =
+                        last_illegal.map_or(0, |l| l.saturating_sub(stab.corruption_round));
+                    record.metric("rounds_to_stabilize", rounds_to_stabilize as f64);
+                    record.metric("censored", 0.0);
+                } else {
+                    // Censored: still illegal when the budget ran out. No
+                    // rounds_to_stabilize is emitted, keeping diverged
+                    // runs out of the stabilization-time percentiles.
+                    record.metric("censored", 1.0);
+                }
             }
-            None => sim.run(self.max_rounds),
+            None => match &self.stop {
+                Some(stop) => {
+                    record.stopped_at = sim.run_until(self.max_rounds, |s| stop(s));
+                }
+                None => sim.run(self.max_rounds),
+            },
         }
         record.rounds = sim.round().value();
         record.messages = MessageStats::from_trace(sim.trace());
@@ -717,6 +803,68 @@ mod tests {
                 r.metric("leaf_heard", heard as f64);
             });
         assert_eq!(spec.run(3).get_metric("leaf_heard"), Some(0.0));
+    }
+
+    fn gossip_recovery_spec() -> ScenarioSpec {
+        // Ring(6): a scrambled maximum takes up to diameter (3) rounds to
+        // re-propagate, so the stabilization time is visibly non-zero.
+        ScenarioSpec::new("stab", TopologyFamily::Ring(6), |id, _| {
+            Box::new(crate::workload::MaxGossip::new(id.index() as u64))
+        })
+        .schedule(Schedule::new().at(
+            5,
+            ScheduledAction::Corrupt(CorruptionFamily {
+                targets: CorruptionTargets::All,
+                corrupt_messages_p: 0.0,
+                drop_messages_p: 0.0,
+                salt: 1,
+            }),
+        ))
+        .max_rounds(20)
+        .stabilization(5, |sim| crate::workload::gossip_agreed(sim, 0..6))
+    }
+
+    #[test]
+    fn stabilization_probe_measures_recovery() {
+        let r = gossip_recovery_spec().run(3);
+        assert_eq!(r.get_metric("censored"), Some(0.0));
+        let rts = r.get_metric("rounds_to_stabilize").expect("emitted");
+        assert!(
+            (1.0..=5.0).contains(&rts),
+            "ring gossip re-agrees within a few propagation rounds, got {rts}"
+        );
+        assert_eq!(gossip_recovery_spec().run(3), r, "pure in the seed");
+    }
+
+    #[test]
+    fn stabilization_censors_diverged_runs() {
+        // gossip_agreed over an id range including a non-gossiper is
+        // always false: the run can never re-enter the legal set.
+        let r = ScenarioSpec::new("stab", TopologyFamily::Complete(5), |id, _| {
+            Box::new(crate::workload::MaxGossip::new(id.index() as u64))
+        })
+        .max_rounds(8)
+        .stabilization(2, |_| false)
+        .run(0);
+        assert_eq!(r.get_metric("censored"), Some(1.0));
+        assert_eq!(
+            r.get_metric("rounds_to_stabilize"),
+            None,
+            "a diverged run must not masquerade as a slow one"
+        );
+    }
+
+    #[test]
+    fn stabilization_without_illegal_rounds_reports_zero() {
+        // No corruption scheduled and the predicate always holds.
+        let r = ScenarioSpec::new("stab", TopologyFamily::Complete(3), |id, _| {
+            Box::new(crate::workload::MaxGossip::new(id.index() as u64))
+        })
+        .max_rounds(6)
+        .stabilization(2, |_| true)
+        .run(0);
+        assert_eq!(r.get_metric("rounds_to_stabilize"), Some(0.0));
+        assert_eq!(r.get_metric("censored"), Some(0.0));
     }
 
     #[test]

@@ -2,6 +2,9 @@
 //! run --suite <name>`.
 //!
 //! * **paper** — the e1–e8 experiment ports (see [`crate::ports`]).
+//! * **stabilize** — the self-stabilization recovery frontier: scheduled
+//!   corruption families swept over loss × intensity × n with
+//!   stabilization-time probes (see [`crate::stabilize`]).
 //! * **examples** — ports of the repository's `examples/` walkthroughs.
 //! * **smoke** — fast simulator-backed specs exercising every declarative
 //!   axis: topology families, lossy delivery, adversaries, colluders,
@@ -20,6 +23,7 @@ use crate::authority;
 use crate::ports;
 use crate::record::{Scenario, Verdict};
 use crate::spec::{PlacementStrategy, Role, ScenarioSpec, TopologyFamily};
+use crate::stabilize;
 use crate::sweep::{self, ParamGrid, SweepSummary};
 use crate::workload::{gossip_agreed, Flood, MaxGossip};
 
@@ -130,6 +134,14 @@ pub fn all() -> Vec<Suite> {
             seed_base: 40,
             default_seeds: 2,
             build: authority::suite,
+        },
+        Suite {
+            name: "stabilize",
+            description:
+                "recovery frontier: scheduled corruption × loss × n with stabilization-time probes",
+            seed_base: 60,
+            default_seeds: 2,
+            build: stabilize::suite,
         },
         Suite {
             name: "examples",
@@ -514,6 +526,30 @@ mod tests {
                 .map(|r| (&r.scenario, r.seed, &r.verdict))
                 .collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn stabilize_suite_is_registered_with_full_frontier() {
+        let suite = find("stabilize").unwrap();
+        assert_eq!(suite.seed_base, 60);
+        let scenarios = suite.scenarios();
+        assert_eq!(scenarios.len(), 27, "2 families × 12 points + 3 ports");
+        // The benign edge of the frontier and every port must pass; the
+        // harsh (lossy, high-intensity) points are allowed to censor —
+        // that is the frontier the suite exists to chart.
+        let summary = suite.run(Some(1), 4);
+        assert_eq!(summary.runs(), 27);
+        for r in &summary.records {
+            if r.scenario.contains("[loss=0,") || r.scenario.starts_with("stabilize_port_") {
+                assert!(
+                    r.verdict.passed(),
+                    "{} failed at seed {}: {:?}",
+                    r.scenario,
+                    r.seed,
+                    r.verdict
+                );
+            }
+        }
     }
 
     #[test]

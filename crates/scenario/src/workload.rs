@@ -23,6 +23,12 @@ impl Process for Flood {
         ctx.broadcast(vec![0xF1]);
     }
 
+    fn scramble(&mut self, rng: &mut StdRng) {
+        // The counter is the only volatile state; a transient fault leaves
+        // it arbitrary, so throughput verdicts cannot trust pre-fault tallies.
+        self.heard = (rng.next_u64() % 1024) as usize;
+    }
+
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
@@ -140,6 +146,21 @@ mod tests {
         sim.inject(&TransientFault::total(n, 0xBEEF));
         sim.run(4);
         assert!(gossip_agreed(&sim, 0..n), "agreement restored after fault");
+    }
+
+    #[test]
+    fn flood_and_gossip_scrambles_change_observable_state() {
+        use ga_simnet::rng::process_rng;
+        let mut flood = Flood { heard: usize::MAX };
+        let mut rng = process_rng(2, ProcessId(0), Round(1));
+        Process::scramble(&mut flood, &mut rng);
+        assert_ne!(flood.heard, usize::MAX);
+
+        let mut gossip = MaxGossip::new(3);
+        let mut rng = process_rng(2, ProcessId(0), Round(1));
+        Process::scramble(&mut gossip, &mut rng);
+        assert_ne!(gossip.current, 3, "volatile register corrupted");
+        assert_eq!(gossip.own, 3, "identity is ROM");
     }
 
     #[test]

@@ -104,6 +104,29 @@ fn authority_suite_json_identical_across_workers_and_shards() {
 }
 
 #[test]
+fn stabilize_suite_json_identical_across_workers_shards_and_pools() {
+    // The recovery frontier's corruption events fire mid-run from inside
+    // worker threads — target selection, per-victim scrambles and
+    // channel corruption/drops must all be (seed, id, round) anchored,
+    // so the summary is byte-identical at any (pool, workers, shards).
+    let suite = suites::find("stabilize").expect("stabilize suite registered");
+    let baseline = suite
+        .run_on(&Runtime::new(1), Some(2), 1, 1)
+        .to_json(true)
+        .render();
+    assert!(baseline.contains("stabilize_ssba[loss=0.15,c=1,n=7]"));
+    assert!(baseline.contains("rounds_to_stabilize"));
+    assert_eq!(
+        suite
+            .run_on(&Runtime::new(4), Some(2), 4, 4)
+            .to_json(true)
+            .render(),
+        baseline,
+        "pool 4 / workers 4 / shards 4 diverged from fully serial"
+    );
+}
+
+#[test]
 fn lossy_grid_records_identical_across_shard_counts() {
     // Per-seed records — lossy drops included — must not depend on the
     // shard count (the loss RNG is per-sender, not per-routing-order).

@@ -17,6 +17,7 @@
 //! * [`FlipFlopper`] — alternates between two fixed payloads per round.
 
 use bytes::Bytes;
+use rand::rngs::StdRng;
 use rand::Rng;
 use rand::RngCore;
 
@@ -28,6 +29,13 @@ use crate::process::{Context, Process};
 pub trait Adversary: Send {
     /// Emits this round's (possibly equivocating) messages via `ctx`.
     fn act(&mut self, ctx: &mut Context<'_>);
+
+    /// Perturbs any internal state under a transient fault (mirroring
+    /// [`Process::scramble`]); default no-op, correct for the stateless
+    /// strategies whose behaviour is a pure function of the pulse context.
+    fn scramble(&mut self, rng: &mut StdRng) {
+        let _ = rng;
+    }
 
     /// Diagnostic label.
     fn name(&self) -> &'static str {
@@ -59,6 +67,10 @@ impl ByzantineProcess {
 impl Process for ByzantineProcess {
     fn on_pulse(&mut self, ctx: &mut Context<'_>) {
         self.strategy.act(ctx);
+    }
+
+    fn scramble(&mut self, rng: &mut StdRng) {
+        self.strategy.scramble(rng);
     }
 
     fn as_any(&self) -> &dyn std::any::Any {
@@ -160,6 +172,15 @@ impl Adversary for Replayer {
         if let Some(p) = &self.stash {
             ctx.broadcast(p.clone());
         }
+    }
+
+    /// The stash is real state: a transient fault may hand the replayer an
+    /// arbitrary payload it never observed.
+    fn scramble(&mut self, rng: &mut StdRng) {
+        let len = rng.gen_range(1..16);
+        let mut payload = vec![0u8; len];
+        rng.fill_bytes(&mut payload);
+        self.stash = Some(payload.into());
     }
 
     fn name(&self) -> &'static str {
@@ -300,6 +321,36 @@ mod tests {
                 .iter()
                 .all(|(_, p)| *p == vec![7u8, 7]));
         }
+    }
+
+    #[test]
+    fn replayer_scramble_fabricates_a_stash() {
+        let mut adv = Replayer::default();
+        assert!(run_one(&mut adv, 0, &[]).is_empty(), "nothing seen yet");
+        let mut rng = process_rng(7, ProcessId(4), Round(0));
+        Adversary::scramble(&mut adv, &mut rng);
+        let out = run_one(&mut adv, 1, &[]);
+        assert_eq!(out.len(), 4, "replays a payload it never observed");
+    }
+
+    #[test]
+    fn byzantine_process_scramble_reaches_the_strategy() {
+        let mut p = ByzantineProcess::new(Box::<Replayer>::default());
+        let mut rng = process_rng(7, ProcessId(4), Round(0));
+        Process::scramble(&mut p, &mut rng);
+        let neigh = [0usize, 1];
+        let inbox: Vec<Message> = Vec::new();
+        let mut ctx = Context {
+            id: ProcessId(2),
+            round: Round(0),
+            neighbors: &neigh,
+            inbox: &inbox,
+            outbox: Vec::new(),
+            rng: process_rng(0, ProcessId(2), Round(0)),
+            n: 3,
+        };
+        p.on_pulse(&mut ctx);
+        assert_eq!(ctx.outbox.len(), 2, "scrambled stash is broadcast");
     }
 
     #[test]

@@ -96,6 +96,13 @@ impl Process for Colluder {
         ctx.broadcast(lie);
     }
 
+    /// Deliberate no-op: a colluder carries no per-process state to
+    /// corrupt. Its lie is a pure function of `(cabal key, round)` and the
+    /// shared blackboard is only an allocation cache, re-derived on the
+    /// next pulse — scrambling here could not change any observable
+    /// behaviour.
+    fn scramble(&mut self, _rng: &mut rand::rngs::StdRng) {}
+
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }

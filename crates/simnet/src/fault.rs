@@ -1,23 +1,51 @@
 //! Transient-fault injection.
 //!
 //! Self-stabilization is proved "assuming an arbitrary starting state of the
-//! automaton" (§1.1/§4.1). The [`TransientFault`] descriptor produces such
-//! arbitrary configurations inside a running
-//! [`Simulation`](crate::sim::Simulation): scrambling process states (via
-//! `Process::scramble`) and corrupting,
-//! dropping or fabricating in-flight messages.
+//! automaton" (§1.1/§4.1). Two descriptors produce such arbitrary
+//! configurations inside a running [`Simulation`](crate::sim::Simulation):
+//!
+//! * [`TransientFault`] — the imperative original: one sequential RNG
+//!   stream scrambles process states (via `Process::scramble`) and
+//!   corrupts, drops or fabricates in-flight messages. Fine for
+//!   [`Simulation::inject`](crate::sim::Simulation::inject) calls between
+//!   runs.
+//! * [`CorruptionFamily`] — the schedulable, coordinate-keyed form used by
+//!   [`ScheduledAction::Corrupt`](crate::schedule::ScheduledAction):
+//!   targets are *selected* by strategy (fixed ids, random-k,
+//!   worst-case-by-degree — mirroring the scenario engine's adversary
+//!   placement), and every RNG draw derives from `(seed, id, round)`
+//!   coordinates so a corruption firing mid-run reproduces byte-for-byte
+//!   at any workers × shards × pool size.
 
+use std::cmp::Reverse;
+
+use rand::seq::SliceRandom;
 use rand::Rng;
 use rand::RngCore;
 
 use crate::ids::{ProcessId, Round};
 use crate::message::Message;
 use crate::process::Process;
-use crate::rng::labeled_rng_u64;
+use crate::rng::{labeled_rng_u64, labeled_rng_u64_pair};
+use crate::topology::Topology;
 
 /// Numeric RNG domain for transient-fault injection (see
 /// [`labeled_rng_u64`]).
 const FAULT_DOMAIN: u64 = 0xFA17_FA17_FA17_FA17;
+
+/// Numeric RNG domain for [`CorruptionFamily`] target selection (one draw
+/// per firing, keyed by round).
+const CORRUPT_SELECT_DOMAIN: u64 = 0xC022_5E1E_C022_5E1E;
+
+/// Numeric RNG domain for per-victim state scrambling, keyed by
+/// `(round, process id)` — a victim's scramble stream is independent of
+/// which other processes are also targeted.
+const CORRUPT_STATE_DOMAIN: u64 = 0xC022_57A7_C022_57A7;
+
+/// Numeric RNG domain for per-inbox channel degradation, keyed by
+/// `(round, inbox owner)` — an inbox's drop/corrupt pattern is independent
+/// of every other inbox.
+const CORRUPT_CHANNEL_DOMAIN: u64 = 0xC022_C4A9_C022_C4A9;
 
 /// What a transient fault does to the system configuration.
 #[derive(Debug, Clone)]
@@ -121,6 +149,159 @@ impl TransientFault {
     }
 }
 
+/// How a [`CorruptionFamily`] picks the processes whose state it
+/// scrambles — the scheduled-corruption mirror of the scenario engine's
+/// adversary placement strategies.
+#[derive(Debug, Clone)]
+pub enum CorruptionTargets {
+    /// Exactly these processes (out-of-range ids are skipped).
+    Fixed(Vec<ProcessId>),
+    /// `k` processes chosen uniformly, re-drawn per `(seed, salt, round)`.
+    RandomK(usize),
+    /// The `k` best-connected processes (ties broken toward the lower id):
+    /// the worst case, where corruption lands where it spreads fastest.
+    WorstCaseByDegree(usize),
+    /// Every process — the classic total transient fault.
+    All,
+}
+
+/// A seed-derived corruption event, designed to live in a [`Schedule`]
+/// (via [`ScheduledAction::Corrupt`](crate::schedule::ScheduledAction)) so
+/// corruption is spec data like churn.
+///
+/// Unlike [`TransientFault`], whose draws come from one sequential stream,
+/// every draw here is a pure function of `(seed ^ salt, round, id)`
+/// coordinates: target selection is keyed by round, each victim's scramble
+/// stream by its process id, and each inbox's channel degradation by its
+/// owner id. Nothing depends on visit order, so a corruption firing inside
+/// a sharded run leaves traces byte-identical at any workers × shards ×
+/// pool size.
+///
+/// [`Schedule`]: crate::schedule::Schedule
+#[derive(Debug, Clone)]
+pub struct CorruptionFamily {
+    /// Which process states to scramble.
+    pub targets: CorruptionTargets,
+    /// Corrupt each in-flight message with this probability.
+    pub corrupt_messages_p: f64,
+    /// Drop each in-flight message with this probability.
+    pub drop_messages_p: f64,
+    /// Extra entropy so repeated corruption events differ.
+    pub salt: u64,
+}
+
+impl CorruptionFamily {
+    /// State-only corruption of `k` uniformly chosen processes.
+    pub fn random_k(k: usize, salt: u64) -> CorruptionFamily {
+        CorruptionFamily {
+            targets: CorruptionTargets::RandomK(k),
+            corrupt_messages_p: 0.0,
+            drop_messages_p: 0.0,
+            salt,
+        }
+    }
+
+    /// The single-knob family used by intensity sweeps: scramble `k`
+    /// uniformly chosen processes and degrade every channel with
+    /// per-message corrupt *and* drop probability `intensity`.
+    pub fn intensity(k: usize, intensity: f64, salt: u64) -> CorruptionFamily {
+        CorruptionFamily {
+            targets: CorruptionTargets::RandomK(k),
+            corrupt_messages_p: intensity,
+            drop_messages_p: intensity,
+            salt,
+        }
+    }
+
+    /// Resolves the concrete target set this family scrambles when firing
+    /// at `round` under `seed`, against the live `topology` (degrees and
+    /// process count are read at fire time, after any earlier churn).
+    /// Returns ids ascending, deduplicated.
+    pub fn resolve_targets(&self, topology: &Topology, seed: u64, round: Round) -> Vec<ProcessId> {
+        let n = topology.len();
+        let mut ids: Vec<ProcessId> = match &self.targets {
+            CorruptionTargets::Fixed(ids) => {
+                ids.iter().copied().filter(|id| id.index() < n).collect()
+            }
+            CorruptionTargets::All => (0..n).map(ProcessId).collect(),
+            CorruptionTargets::RandomK(k) => {
+                let mut all: Vec<ProcessId> = (0..n).map(ProcessId).collect();
+                let mut rng =
+                    labeled_rng_u64(seed ^ self.salt, CORRUPT_SELECT_DOMAIN, round.value());
+                all.shuffle(&mut rng);
+                all.truncate((*k).min(n));
+                all
+            }
+            CorruptionTargets::WorstCaseByDegree(k) => {
+                let mut all: Vec<ProcessId> = (0..n).map(ProcessId).collect();
+                all.sort_by_key(|id| (Reverse(topology.neighbors(*id).len()), id.index()));
+                all.truncate((*k).min(n));
+                all
+            }
+        };
+        ids.sort_unstable_by_key(|id| id.index());
+        ids.dedup_by_key(|id| id.index());
+        ids
+    }
+
+    /// Applies the corruption; returns the number of in-flight messages
+    /// dropped (the caller accounts them in the trace).
+    pub(crate) fn apply(
+        &self,
+        seed: u64,
+        round: Round,
+        topology: &Topology,
+        processes: &mut [Box<dyn Process>],
+        inboxes: &mut [Vec<Message>],
+    ) -> u64 {
+        for id in self.resolve_targets(topology, seed, round) {
+            let mut rng = labeled_rng_u64_pair(
+                seed ^ self.salt,
+                CORRUPT_STATE_DOMAIN,
+                round.value(),
+                id.index() as u64,
+            );
+            if let Some(p) = processes.get_mut(id.index()) {
+                p.scramble(&mut rng);
+            }
+        }
+
+        let corrupt_p = self.corrupt_messages_p.clamp(0.0, 1.0);
+        let drop_p = self.drop_messages_p.clamp(0.0, 1.0);
+        let mut dropped = 0u64;
+        if corrupt_p > 0.0 || drop_p > 0.0 {
+            for (owner, inbox) in inboxes.iter_mut().enumerate() {
+                let mut rng = labeled_rng_u64_pair(
+                    seed ^ self.salt,
+                    CORRUPT_CHANNEL_DOMAIN,
+                    round.value(),
+                    owner as u64,
+                );
+                inbox.retain(|_| {
+                    if rng.gen_bool(drop_p) {
+                        dropped += 1;
+                        false
+                    } else {
+                        true
+                    }
+                });
+                for m in inbox.iter_mut() {
+                    if rng.gen_bool(corrupt_p) {
+                        let mut bytes = m.payload.to_vec();
+                        if bytes.is_empty() {
+                            bytes = vec![0u8; 4];
+                        }
+                        let idx = rng.gen_range(0..bytes.len());
+                        bytes[idx] ^= 1u8 << rng.gen_range(0..8u32);
+                        m.payload = bytes.into();
+                    }
+                }
+            }
+        }
+        dropped
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -216,5 +397,129 @@ mod tests {
             .unwrap()
             .value;
         assert_ne!(v1, v2);
+    }
+
+    fn scrambled(ps: &[Box<dyn Process>]) -> Vec<bool> {
+        ps.iter()
+            .map(|p| p.as_any().downcast_ref::<Scrambleable>().unwrap().scrambled)
+            .collect()
+    }
+
+    fn value_of(ps: &[Box<dyn Process>], i: usize) -> u64 {
+        ps[i].as_any().downcast_ref::<Scrambleable>().unwrap().value
+    }
+
+    fn family(targets: CorruptionTargets) -> CorruptionFamily {
+        CorruptionFamily {
+            targets,
+            corrupt_messages_p: 0.0,
+            drop_messages_p: 0.0,
+            salt: 5,
+        }
+    }
+
+    #[test]
+    fn fixed_targets_skip_out_of_range() {
+        let topo = Topology::complete(3);
+        let f = family(CorruptionTargets::Fixed(vec![
+            ProcessId(2),
+            ProcessId(0),
+            ProcessId(9),
+            ProcessId(0),
+        ]));
+        assert_eq!(
+            f.resolve_targets(&topo, 1, Round(0)),
+            vec![ProcessId(0), ProcessId(2)],
+            "in-range, ascending, deduplicated"
+        );
+    }
+
+    #[test]
+    fn random_k_is_a_pure_function_of_seed_and_round() {
+        let topo = Topology::complete(8);
+        let f = family(CorruptionTargets::RandomK(3));
+        let a = f.resolve_targets(&topo, 9, Round(4));
+        assert_eq!(a.len(), 3);
+        assert_eq!(a, f.resolve_targets(&topo, 9, Round(4)));
+        assert_ne!(
+            a,
+            f.resolve_targets(&topo, 9, Round(5)),
+            "round re-draws the selection"
+        );
+    }
+
+    #[test]
+    fn worst_case_targets_highest_degree_first() {
+        // Star-ish graph: 0 linked to everyone, others only to 0.
+        let mut topo = Topology::ring(5);
+        for b in 1..5 {
+            let _ = topo.heal_link(ProcessId(0), ProcessId(b));
+        }
+        let f = family(CorruptionTargets::WorstCaseByDegree(1));
+        assert_eq!(f.resolve_targets(&topo, 1, Round(0)), vec![ProcessId(0)]);
+    }
+
+    #[test]
+    fn corruption_family_scrambles_only_targets() {
+        let (mut ps, mut inboxes) = fixture();
+        let topo = Topology::complete(3);
+        family(CorruptionTargets::Fixed(vec![ProcessId(1)])).apply(
+            9,
+            Round(2),
+            &topo,
+            &mut ps,
+            &mut inboxes,
+        );
+        assert_eq!(scrambled(&ps), vec![false, true, false]);
+        // Channels untouched at zero intensity.
+        assert_eq!(inboxes[0][0].bytes(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn victim_streams_are_independent_of_the_target_set() {
+        // Process 2's scramble draw is keyed by its own coordinates, so
+        // corrupting {0, 1, 2} or {2} alone yields the same state for 2 —
+        // the visit-order independence sharded determinism relies on.
+        let topo = Topology::complete(3);
+        let (mut ps1, mut in1) = fixture();
+        let (mut ps2, mut in2) = fixture();
+        family(CorruptionTargets::All).apply(9, Round(3), &topo, &mut ps1, &mut in1);
+        family(CorruptionTargets::Fixed(vec![ProcessId(2)])).apply(
+            9,
+            Round(3),
+            &topo,
+            &mut ps2,
+            &mut in2,
+        );
+        assert_eq!(value_of(&ps1, 2), value_of(&ps2, 2));
+        assert_ne!(
+            value_of(&ps1, 0),
+            value_of(&ps1, 1),
+            "distinct per-victim streams"
+        );
+    }
+
+    #[test]
+    fn intensity_family_degrades_channels() {
+        let (mut ps, mut inboxes) = fixture();
+        let topo = Topology::complete(3);
+        let f = CorruptionFamily {
+            targets: CorruptionTargets::Fixed(Vec::new()),
+            corrupt_messages_p: 1.0,
+            drop_messages_p: 0.0,
+            salt: 0,
+        };
+        f.apply(9, Round(0), &topo, &mut ps, &mut inboxes);
+        assert_ne!(inboxes[0][0].bytes(), &[1, 2, 3]);
+        assert_eq!(scrambled(&ps), vec![false, false, false]);
+
+        let (mut ps, mut inboxes) = fixture();
+        let dropped = CorruptionFamily {
+            drop_messages_p: 1.0,
+            ..f
+        }
+        .apply(9, Round(0), &topo, &mut ps, &mut inboxes);
+        assert_eq!(dropped, 2, "both in-flight messages dropped");
+        assert!(inboxes.iter().all(|i| i.is_empty()));
     }
 }

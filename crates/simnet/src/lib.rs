@@ -106,7 +106,7 @@ pub mod trace;
 /// Convenient glob import for simulator users.
 pub mod prelude {
     pub use crate::adversary::{Adversary, ByzantineProcess};
-    pub use crate::fault::TransientFault;
+    pub use crate::fault::{CorruptionFamily, CorruptionTargets, TransientFault};
     pub use crate::ids::{ProcessId, Round};
     pub use crate::message::Message;
     pub use crate::process::{Context, Process};

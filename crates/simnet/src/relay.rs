@@ -133,6 +133,29 @@ impl FloodRelay {
 }
 
 impl Process for FloodRelay {
+    /// A transient fault leaves the relay's RAM arbitrary: delivered
+    /// values flip bytes, the dedup/quorum bookkeeping is forgotten, and
+    /// the sequence counter jumps — so stabilization claims over relays
+    /// face genuinely corrupted evidence, not a conveniently blank node.
+    fn scramble(&mut self, rng: &mut rand::rngs::StdRng) {
+        use rand::{Rng, RngCore};
+        // Deterministic visit order: hash-map iteration order must never
+        // decide which value consumes which RNG draw.
+        let mut keys: Vec<(u16, u16)> = self.delivered.keys().copied().collect();
+        keys.sort_unstable();
+        for key in keys {
+            let value = self.delivered.get_mut(&key).expect("key just listed");
+            if value.is_empty() {
+                *value = vec![0u8; 2];
+            }
+            let idx = rng.gen_range(0..value.len());
+            value[idx] ^= 1u8 << rng.gen_range(0..8u32);
+        }
+        self.forwarded.clear();
+        self.observations.clear();
+        self.next_seq = (rng.next_u64() & 0xFFFF) as u16;
+    }
+
     fn on_pulse(&mut self, ctx: &mut Context<'_>) {
         let me = ctx.id().index() as u16;
 
@@ -312,6 +335,32 @@ mod tests {
         let mut bad = good.clone();
         bad.truncate(bad.len() - 1);
         assert!(FloodRelay::decode(&bad).is_none());
+    }
+
+    #[test]
+    fn scramble_changes_observable_state() {
+        let mut relay = FloodRelay::new(1);
+        let seq = relay.originate(b"truth".to_vec());
+        // Origination self-delivers on pulse; install it directly here.
+        relay.delivered.insert((0, seq), b"truth".to_vec());
+
+        let mut rng = crate::rng::process_rng(3, ProcessId(0), crate::ids::Round(5));
+        relay.scramble(&mut rng);
+        assert_ne!(
+            relay.delivered(0, seq),
+            Some(b"truth".as_slice()),
+            "delivered value corrupted"
+        );
+        assert_ne!(relay.next_seq, 1, "sequence counter jumped");
+
+        // Same coordinates, same arbitrary state.
+        let mut twin = FloodRelay::new(1);
+        twin.originate(b"truth".to_vec());
+        twin.delivered.insert((0, seq), b"truth".to_vec());
+        let mut rng = crate::rng::process_rng(3, ProcessId(0), crate::ids::Round(5));
+        twin.scramble(&mut rng);
+        assert_eq!(relay.delivered(0, seq), twin.delivered(0, seq));
+        assert_eq!(relay.next_seq, twin.next_seq);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! specs `Clone + Send + Sync` and lets sweep workers share one spec
 //! across threads.
 
-use crate::fault::TransientFault;
+use crate::fault::{CorruptionFamily, TransientFault};
 use crate::ids::{ProcessId, Round};
 use crate::sim::Delivery;
 use crate::topology::Topology;
@@ -45,6 +45,11 @@ pub enum ScheduledAction {
     },
     /// Inject a transient fault (arbitrary-configuration scrambling).
     Inject(TransientFault),
+    /// Apply a seed-derived corruption family: scramble a strategy-chosen
+    /// set of process states and degrade in-flight messages, with every
+    /// RNG draw keyed by `(seed, id, round)` coordinates — see
+    /// [`CorruptionFamily`].
+    Corrupt(CorruptionFamily),
     /// Switch the delivery model (e.g. a lossy interval mid-run).
     SetDelivery(Delivery),
 }
@@ -124,12 +129,24 @@ impl Schedule {
     }
 
     /// Adds `action` to fire at the start of `round`.
+    ///
+    /// Safe to call on a partially consumed schedule (e.g. one re-attached
+    /// mid-run via
+    /// [`Simulation::set_schedule`](crate::sim::Simulation::set_schedule)):
+    /// the entry is inserted at or after the consumption cursor, so
+    /// already-fired entries are never displaced into firing again, and an
+    /// entry pushed for a round that has already passed fires exactly once,
+    /// at the start of the next pulse — the same late-entry rule the
+    /// simulation applies to skipped rounds when consuming the schedule.
     pub fn push(&mut self, round: u64, action: ScheduledAction) {
         // Insert after every entry with round <= `round`: stable by
-        // construction, no sort needed later.
-        let pos = self.entries.partition_point(|(r, _)| *r <= round);
+        // construction, no sort needed later. Clamping to the cursor keeps
+        // the consumed prefix intact when pushing a past round mid-run.
+        let pos = self
+            .entries
+            .partition_point(|(r, _)| *r <= round)
+            .max(self.cursor);
         self.entries.insert(pos, (round, action));
-        debug_assert!(self.cursor == 0, "schedules are built before running");
     }
 
     /// Number of entries (fired and pending).
@@ -256,6 +273,55 @@ mod tests {
         let topology = Topology::ring(6);
         let s = Schedule::new().bisect(&topology, 1, 4);
         assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn midrun_push_of_a_past_round_fires_once_and_never_refires_history() {
+        let mut s = Schedule::new()
+            .at(1, ScheduledAction::Disconnect(ProcessId(0)))
+            .at(8, ScheduledAction::Disconnect(ProcessId(8)));
+        // Drain through round 5: only the round-1 entry has fired.
+        assert!(matches!(
+            s.next_due(Round(5)),
+            Some(ScheduledAction::Disconnect(ProcessId(0)))
+        ));
+        assert!(s.next_due(Round(5)).is_none());
+
+        // A push for the long-gone round 2 lands after the cursor, not in
+        // the consumed prefix (which would re-fire the round-1 entry).
+        s.push(2, ScheduledAction::Disconnect(ProcessId(2)));
+        assert_eq!(s.pending(), 2);
+        assert!(
+            matches!(
+                s.next_due(Round(6)),
+                Some(ScheduledAction::Disconnect(ProcessId(2)))
+            ),
+            "late entry fires at the next pulse"
+        );
+        assert!(
+            s.next_due(Round(6)).is_none(),
+            "exactly once, and nothing fired re-fires"
+        );
+        assert!(matches!(
+            s.next_due(Round(8)),
+            Some(ScheduledAction::Disconnect(ProcessId(8)))
+        ));
+        assert_eq!(s.pending(), 0);
+    }
+
+    #[test]
+    fn midrun_push_of_a_future_round_stays_sorted() {
+        let mut s = Schedule::new()
+            .at(1, ScheduledAction::Disconnect(ProcessId(0)))
+            .at(9, ScheduledAction::Disconnect(ProcessId(9)));
+        assert!(s.next_due(Round(1)).is_some());
+        s.push(4, ScheduledAction::Disconnect(ProcessId(4)));
+        assert_eq!(rounds_of(&s), vec![1, 4, 9]);
+        assert!(s.next_due(Round(3)).is_none());
+        assert!(matches!(
+            s.next_due(Round(4)),
+            Some(ScheduledAction::Disconnect(ProcessId(4)))
+        ));
     }
 
     #[test]

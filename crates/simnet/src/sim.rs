@@ -4,7 +4,7 @@ use bytes::Bytes;
 use rand::rngs::StdRng;
 use rand::Rng;
 
-use crate::fault::TransientFault;
+use crate::fault::{CorruptionFamily, TransientFault};
 use crate::ids::{ProcessId, Round};
 use crate::message::Message;
 use crate::process::{Context, Process};
@@ -495,6 +495,7 @@ impl Simulation {
                 let _ = self.topology.heal_link(a, b);
             }
             ScheduledAction::Inject(fault) => self.inject(&fault),
+            ScheduledAction::Corrupt(family) => self.corrupt(&family),
             ScheduledAction::SetDelivery(delivery) => self.delivery = delivery,
         }
     }
@@ -504,6 +505,24 @@ impl Simulation {
         let dropped = fault.apply(
             self.seed,
             self.round,
+            &mut self.processes,
+            &mut self.inboxes,
+        );
+        self.trace.messages_dropped_fault += dropped;
+    }
+
+    /// Applies a [`CorruptionFamily`]: scrambles the strategy-selected
+    /// process states and degrades pending in-flight messages, with every
+    /// draw keyed by `(seed, id, round)` coordinates (see
+    /// [`fault`](crate::fault)). Dropped messages are accounted to
+    /// [`Trace::messages_dropped_fault`]. Usually reached through
+    /// [`ScheduledAction::Corrupt`], which fires at the start of its round
+    /// so the round's deliveries already reflect the corrupted channels.
+    pub fn corrupt(&mut self, family: &CorruptionFamily) {
+        let dropped = family.apply(
+            self.seed,
+            self.round,
+            &self.topology,
             &mut self.processes,
             &mut self.inboxes,
         );
@@ -865,6 +884,35 @@ mod tests {
             2,
             "only round 0's broadcasts survived"
         );
+    }
+
+    #[test]
+    fn scheduled_corruption_counts_drops_and_is_shard_invariant() {
+        use crate::fault::CorruptionTargets;
+        let family = CorruptionFamily {
+            targets: CorruptionTargets::RandomK(2),
+            corrupt_messages_p: 0.5,
+            drop_messages_p: 1.0,
+            salt: 3,
+        };
+        let build = |shards: usize| {
+            Simulation::builder(Topology::complete(6))
+                .seed(11)
+                .shards(shards)
+                .schedule(Schedule::new().at(2, ScheduledAction::Corrupt(family.clone())))
+                .build_with(|_| Box::new(Counter { received: 0 }) as Box<dyn Process>)
+        };
+        let mut serial = build(1);
+        serial.run(5);
+        // The corruption fires at the start of round 2 and drops all 30
+        // messages sent during round 1.
+        assert_eq!(serial.trace().messages_dropped_fault, 30);
+
+        for shards in [2, 3, 6] {
+            let mut sharded = build(shards);
+            sharded.run(5);
+            assert_eq!(serial.trace(), sharded.trace(), "shards={shards}");
+        }
     }
 
     #[test]

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Charts the self-stabilization recovery frontier (BENCH_stabilize.json
+# at the repo root) so future PRs can track stabilization-time
+# percentiles and frontier pass rates alongside the other snapshots.
+#
+# The snapshot is the stabilize suite's deterministic sweep summary: one
+# entry per loss × corruption-intensity × n grid point (plus the three
+# historical ports) with rounds_to_stabilize percentiles and censoring
+# counts. The harsh frontier points censor by design, so the CLI's
+# verdict exit code 1 is expected and tolerated; exit codes > 1
+# (usage/IO errors) still abort.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_stabilize.json}"
+case "$OUT" in
+    /*) ;;
+    *) OUT="$PWD/$OUT" ;;
+esac
+
+cargo build --release --offline --bin scenario
+./target/release/scenario run --suite stabilize --no-records \
+    --workers 4 --out "$OUT" --table rounds_to_stabilize && rc=0 || rc=$?
+[ "$rc" -le 1 ] || exit "$rc"
+
+if command -v python3 >/dev/null; then
+    python3 - "$OUT" <<'EOF'
+import json, sys
+data = json.load(open(sys.argv[1]))
+censored = sum(
+    s["metrics"].get("censored", {}).get("mean", 0) * s["runs"]
+    for s in data["scenarios"]
+)
+print(f"stabilize frontier: {data['passed']}/{data['runs']} runs stabilized "
+      f"({censored:.0f} censored at the harsh grid points)")
+EOF
+fi

@@ -1,77 +1,49 @@
 //! Self-stabilization integration: Theorem 1's composition and the full
 //! distributed authority, recovering from arbitrary configurations.
+//!
+//! The experiments themselves live in the `stabilize` scenario suite
+//! ([`scenario::stabilize`]) — each historical test is now a thin run of
+//! its ported scenario, so the same definitions back `scenario run
+//! --suite stabilize` (sweeps, percentiles, byte-identical parallel
+//! summaries) and this tier-1 gate.
 
-use std::sync::Arc;
-
-use game_authority_suite::agreement::consensus::OmConsensus;
-use game_authority_suite::agreement::traits::BaInstance;
-use game_authority_suite::authority::distributed::{
-    build_authority_sim, AgentMode, AuthorityProcess,
-};
-use game_authority_suite::clocksync::harness::{measure_convergence_with, run_ssba};
-use game_authority_suite::game_theory::game::ClosureGame;
-use game_authority_suite::simnet::fault::TransientFault;
-use game_authority_suite::simnet::ids::ProcessId;
+use game_authority_suite::scenario::stabilize;
 
 #[test]
 fn clock_sync_converges_from_arbitrary_states_across_seeds() {
+    let port = stabilize::clock_convergence_port();
     for seed in [1u64, 2, 3] {
-        let pulses = measure_convergence_with(4, 1, 1, 8, seed, 200_000)
-            .expect("converges within the budget");
-        assert!(pulses < 200_000);
+        let record = port.run(seed);
+        assert!(record.verdict.passed(), "seed {seed}: {:?}", record.verdict);
+        let pulses = record
+            .get_metric("convergence_pulses")
+            .expect("uncensored runs report their convergence time");
+        assert!(pulses < 200_000.0);
     }
 }
 
 #[test]
 fn ssba_closure_after_midrun_fault() {
-    let report = run_ssba(4, 1, 1, 1200, Some(150), 77);
+    let record = stabilize::ssba_closure_port().run(77);
     assert!(
-        report.common_suffix(2),
+        record.verdict.passed(),
         "identical post-recovery agreements: {:?}",
-        report.logs
+        record.verdict
     );
+    assert!(record.get_metric("agreements").is_some_and(|a| a >= 2.0));
 }
 
 #[test]
 fn distributed_authority_recovers_and_keeps_agreeing() {
-    let game = Arc::new(ClosureGame::new("cong", 4, vec![2, 2, 2, 2], |agent, p| {
-        let mine = p.action(agent);
-        p.actions().iter().filter(|&&a| a == mine).count() as f64
-    }));
-    let modulus = AuthorityProcess::schedule_len(OmConsensus::new(0, 4, 1).rounds());
-    let mut sim = build_authority_sim(game, vec![AgentMode::Honest; 4], 1, 1234);
-
-    sim.run(modulus * 3);
-    sim.inject(&TransientFault::total(4, 0xBEEF));
-    sim.run(modulus * 50);
-
-    let counts: Vec<usize> = (0..4)
-        .map(|i| {
-            sim.process_as::<AuthorityProcess>(ProcessId(i))
-                .unwrap()
-                .records()
-                .len()
-        })
-        .collect();
-    sim.run(modulus * 3);
-    for (i, &before) in counts.iter().enumerate() {
-        let now = sim
-            .process_as::<AuthorityProcess>(ProcessId(i))
-            .unwrap()
-            .records()
-            .len();
-        assert!(now > before, "plays keep completing at p{i}");
-    }
-    // Latest plays agree across all processors.
-    let last: Vec<_> = (0..4)
-        .map(|i| {
-            sim.process_as::<AuthorityProcess>(ProcessId(i))
-                .unwrap()
-                .records()
-                .last()
-                .cloned()
-                .unwrap()
-        })
-        .collect();
-    assert!(last.windows(2).all(|w| w[0] == w[1]), "{last:?}");
+    let record = stabilize::authority_recovery_port().run(1234);
+    assert!(record.verdict.passed(), "{:?}", record.verdict);
+    assert_eq!(
+        record.get_metric("censored"),
+        Some(0.0),
+        "the cluster re-enters the agreeing state within the budget"
+    );
+    assert!(
+        record.get_metric("plays").is_some_and(|p| p > 3.0),
+        "plays keep completing after recovery"
+    );
 }
