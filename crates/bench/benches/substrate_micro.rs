@@ -167,6 +167,29 @@ fn bench_substrate(c: &mut Criterion) {
         },
     );
 
+    // Telemetry event plane priced against the sink-disabled default: the
+    // same n=64 step loop with an `EventSink` attached, pushing one event
+    // per delivered message plus round brackets into the ring. The
+    // events-off cost is the `step_loop_bytes/n64` row above — with the
+    // sink disabled the only telemetry residue on the hot path is an
+    // `is_some()` branch per message, which must stay within noise of the
+    // pre-telemetry substrate.
+    g.throughput(Throughput::Elements((n * (n - 1)) as u64));
+    g.bench_function(BenchmarkId::new("step_loop_events", format!("n{n}")), |b| {
+        let mut sim = Simulation::builder(Topology::complete(n))
+            .telemetry(TelemetryConfig::default())
+            .build_with(|_| {
+                Box::new(BytesBroadcaster {
+                    payload: Bytes::from(vec![0xEEu8; 8]),
+                }) as Box<dyn Process>
+            });
+        sim.run(2);
+        b.iter(|| {
+            sim.step();
+            std::hint::black_box(sim.round())
+        })
+    });
+
     // Intra-run sharding at n=1024: the same step loop with the compute
     // phase fanned out over 1/2/4 persistent-pool workers. The s1 row
     // prices the shard plumbing itself (same code path, no batch

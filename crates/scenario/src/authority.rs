@@ -98,6 +98,11 @@ fn authority_spec(name: &str, cluster: AuthorityCluster, plays: u64) -> Scenario
     })
     .max_rounds(period * (plays + 2))
     .stop_when(move |sim| min_plays(sim, 0..n) >= plays)
+    // Per-round observable: how many plays the slowest authority
+    // processor has completed, sampled after every pulse (its mean rises
+    // with play throughput — a run stalling mid-play shows up here even
+    // when the final `plays` count looks healthy).
+    .round_metric("live_plays", move |sim| min_plays(sim, 0..n) as f64)
     .probe(move |sim, record| {
         record.metric("plays", min_plays(sim, 0..n) as f64);
         if let Some(witness) = (0..n).find(|&id| play_records(sim, id).is_some()) {

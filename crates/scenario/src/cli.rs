@@ -4,9 +4,11 @@
 //! scenario list
 //! scenario run --suite paper [--seeds N] [--workers N] [--shards N]
 //!              [--out FILE] [--records FILE.jsonl] [--no-records]
+//!              [--events FILE.jsonl] [--profile FILE.json]
 //!              [--table METRIC]
 //! scenario bench [--suite bench64] [--seeds N] [--workers N] [--shards N]
 //!                [--out FILE] [--table METRIC]
+//! scenario trace EVENTS.jsonl [--out trace.json]
 //! ```
 //!
 //! `run` prints the suite's deterministic JSON summary to stdout (and
@@ -31,13 +33,32 @@
 //! records throughput — timing lives only in the bench output, never in
 //! run summaries, so summaries stay reproducible.
 //!
+//! `--events FILE` switches the deterministic telemetry event plane on
+//! for every run and streams one JSON line per retained event to FILE
+//! (grouped per run, runs in stable job order): round boundaries,
+//! per-message deliveries and drops with reasons, schedule firings,
+//! corruption applications, scrambles, and the stabilization probe's
+//! legality flips. The file is **byte-identical** across worker counts,
+//! shard counts and pool sizes — it lives on the same deterministic plane
+//! as the summary. `--profile FILE` writes wall-clock pool/step timing
+//! (per-step latency histogram, merge/batch/task times) to FILE; timing
+//! is the *other* plane — it never appears in summaries, records, or
+//! event streams. `scenario trace` converts an `--events` JSONL file to
+//! Chrome trace-event JSON loadable in Perfetto (`ui.perfetto.dev`) or
+//! `chrome://tracing`: one process group per run, one track per
+//! simulated process, round spans plus instant markers.
+//!
+//! Exit codes: 0 = every verdict passed, 2 = the suite ran but some
+//! verdict failed (e.g. censored stabilize points — frontier charted,
+//! tool healthy), 1 = real errors (usage, unknown suite, I/O).
+//!
 //! `scenario list` names every suite: `paper` (the e1–e8 experiment
 //! ports), `authority` (the §3.3 distributed-authority plays — honest,
 //! selfish-cluster, mute, churn, and a noise adversary placed per seed
 //! by `PlacementStrategy::RandomF`), `stabilize` (the recovery frontier:
 //! scheduled corruption over a loss × intensity × n grid; run it with
 //! `--table rounds_to_stabilize` — censored points surface as failed
-//! verdicts, so a nonzero exit there means "frontier charted", not
+//! verdicts, so exit code 2 there means "frontier charted", not
 //! "suite broken"), `examples`, `smoke` (the tier-1 gate), and the
 //! `bench64`/`bench256` throughput workloads.
 
@@ -45,13 +66,15 @@ use std::io::Write;
 use std::time::Instant;
 
 use ga_simnet::runtime::Runtime;
+use ga_simnet::telemetry::{ProfileData, Profiler, TelemetryConfig};
 
 use crate::json::Json;
+use crate::record::event_json;
 use crate::suites;
 use crate::sweep::{ScenarioSummary, SweepSummary};
 
 /// Entry point; returns the process exit code (0 = all verdicts passed,
-/// 1 = failures, 2 = usage error).
+/// 2 = verdict failures, 1 = real errors: usage, unknown suite, I/O).
 pub fn main(args: Vec<String>) -> i32 {
     match args.first().map(String::as_str) {
         Some("list") => {
@@ -66,6 +89,7 @@ pub fn main(args: Vec<String>) -> i32 {
             Ok(opts) => bench(&opts),
             Err(err) => usage(&err),
         },
+        Some("trace") => trace(&args[1..]),
         Some("--help") | Some("-h") | None => usage("expected a subcommand"),
         Some(other) => usage(&format!("unknown subcommand: {other}")),
     }
@@ -81,6 +105,12 @@ struct Options {
     out: Option<String>,
     records: bool,
     record_sink: Option<String>,
+    /// Events JSONL destination: switches the deterministic telemetry
+    /// event plane on and streams one line per retained event.
+    events: Option<String>,
+    /// Profile JSON destination: wall-clock pool/step timing (the
+    /// non-deterministic plane; never part of summaries or events).
+    profile: Option<String>,
     /// Metric to render as a cross-run convergence table (`rounds` for
     /// rounds-to-stop).
     table: Option<String>,
@@ -96,6 +126,8 @@ impl Options {
             out: None,
             records: true,
             record_sink: None,
+            events: None,
+            profile: None,
             table: None,
         };
         let mut i = 0;
@@ -147,6 +179,14 @@ impl Options {
                 "--no-records" => {
                     opts.records = false;
                     i += 1;
+                }
+                "--events" => {
+                    opts.events = Some(take(i)?.clone());
+                    i += 2;
+                }
+                "--profile" => {
+                    opts.profile = Some(take(i)?.clone());
+                    i += 2;
                 }
                 "--table" => {
                     opts.table = Some(take(i)?.clone());
@@ -204,7 +244,7 @@ fn default_workers() -> usize {
 fn usage(err: &str) -> i32 {
     eprintln!("error: {err}");
     eprintln!();
-    eprintln!("usage: scenario <list | run | bench> [options]");
+    eprintln!("usage: scenario <list | run | bench | trace> [options]");
     eprintln!("  list                      show every named suite");
     eprintln!("  run   --suite NAME        run a suite, print its JSON summary");
     eprintln!("        [--seeds N]         seeds per scenario (default: suite plan)");
@@ -220,12 +260,22 @@ fn usage(err: &str) -> i32 {
     eprintln!("        [--out FILE]        also write the summary to FILE");
     eprintln!("        [--records FILE]    stream one JSONL record per run to FILE");
     eprintln!("        [--no-records]      aggregates only, omit per-run records");
+    eprintln!("        [--events FILE]     enable the deterministic event plane and");
+    eprintln!("                            stream one JSONL event per line to FILE");
+    eprintln!("                            (byte-identical at any workers/shards/pool)");
+    eprintln!("        [--profile FILE]    write wall-clock pool/step timing JSON to");
+    eprintln!("                            FILE (never folded into summaries/events)");
     eprintln!("        [--table METRIC]    append a convergence-vs-param table of METRIC");
     eprintln!("                            ('rounds' for rounds-to-stop percentiles)");
     eprintln!("  bench [--suite NAME]      time a sweep, write throughput JSON");
     eprintln!("        [--seeds N] [--workers N] [--shards N] [--table METRIC]");
     eprintln!("        [--out FILE (default BENCH_scenarios.json)]");
-    2
+    eprintln!("  trace EVENTS.jsonl        convert an --events file to Chrome trace-event");
+    eprintln!("        [--out FILE]        JSON (Perfetto/chrome://tracing); stdout");
+    eprintln!("                            unless --out is given");
+    eprintln!();
+    eprintln!("exit codes: 0 = all verdicts passed, 2 = verdict failures, 1 = errors");
+    1
 }
 
 fn list() {
@@ -252,60 +302,98 @@ fn run(opts: &Options) -> i32 {
     // The one pool behind the whole invocation: concurrent runs and their
     // sharded step loops all draw from these `--workers` threads.
     let runtime = Runtime::new(opts.workers);
+    // Timing plane: attach a profiler to the pool so batch/task/step wall
+    // clock accumulates while the sweep runs. Snapshotted to --profile
+    // after the sweep; never folded into the summary.
+    let profiler = opts.profile.as_ref().map(|_| Profiler::new());
+    if let Some(profiler) = &profiler {
+        runtime.attach_profiler(profiler.clone());
+    }
+    // Deterministic plane: --events switches every run's event sink on.
+    let telemetry = opts.events.as_ref().map(|_| TelemetryConfig::default());
     let mut failures: Vec<String> = Vec::new();
-    let summary = match &opts.record_sink {
-        Some(path) => {
-            // Stream one JSONL line per run as it completes (stable job
-            // order); records are dropped after writing, so the sweep's
-            // memory stays bounded regardless of seed count.
-            let file = match std::fs::File::create(path) {
-                Ok(file) => file,
+    let streaming = opts.record_sink.is_some() || opts.events.is_some();
+    let summary = if streaming {
+        // Stream one JSONL line per run record (and per event) as runs
+        // complete, in stable job order; records are dropped after
+        // writing, so the sweep's memory stays bounded regardless of
+        // seed count.
+        let open = |path: &Option<String>| -> Result<
+            Option<(String, std::io::BufWriter<std::fs::File>)>,
+            i32,
+        > {
+            let Some(path) = path else { return Ok(None) };
+            match std::fs::File::create(path) {
+                Ok(file) => Ok(Some((path.clone(), std::io::BufWriter::new(file)))),
                 Err(err) => {
                     eprintln!("error: cannot create {path}: {err}");
-                    return 2;
+                    Err(1)
                 }
-            };
-            let mut out = std::io::BufWriter::new(file);
-            let mut io_err: Option<std::io::Error> = None;
-            let mut sink = |_i: usize, record: &crate::record::RunRecord| {
-                if !record.verdict.passed() {
-                    failures.push(format!("{} (seed {})", record.scenario, record.seed));
+            }
+        };
+        let mut records_out = match open(&opts.record_sink) {
+            Ok(out) => out,
+            Err(code) => return code,
+        };
+        let mut events_out = match open(&opts.events) {
+            Ok(out) => out,
+            Err(code) => return code,
+        };
+        let mut io_err: Option<(String, std::io::Error)> = None;
+        let mut sink = |_i: usize, record: &crate::record::RunRecord| {
+            if !record.verdict.passed() {
+                failures.push(format!("{} (seed {})", record.scenario, record.seed));
+            }
+            if let (Some((path, out)), None) = (&mut records_out, &io_err) {
+                if let Err(err) = writeln!(out, "{}", record.to_json().render()) {
+                    io_err = Some((path.clone(), err));
                 }
-                if io_err.is_none() {
-                    io_err = writeln!(out, "{}", record.to_json().render()).err();
+            }
+            if let (Some((path, out)), None) = (&mut events_out, &io_err) {
+                for event in &record.events {
+                    let line = event_json(&record.scenario, record.seed, event).render();
+                    if let Err(err) = writeln!(out, "{line}") {
+                        io_err = Some((path.clone(), err));
+                        break;
+                    }
                 }
-            };
-            let summary = suite.run_stream_on(
-                &runtime,
-                opts.seeds,
-                opts.sweep_workers(&suite),
-                opts.shard_hint(),
-                &mut sink,
-            );
+            }
+        };
+        let summary = suite.run_stream_on(
+            &runtime,
+            opts.seeds,
+            opts.sweep_workers(&suite),
+            opts.shard_hint(),
+            telemetry.as_ref(),
+            &mut sink,
+        );
+        for sink_out in [&mut records_out, &mut events_out].into_iter().flatten() {
+            let (path, out) = sink_out;
             if io_err.is_none() {
-                io_err = out.flush().err();
+                if let Err(err) = out.flush() {
+                    io_err = Some((path.clone(), err));
+                }
             }
-            if let Some(err) = io_err {
-                eprintln!("error: cannot write {path}: {err}");
-                return 2;
-            }
-            summary
         }
-        None => {
-            let summary = suite.run_on(
-                &runtime,
-                opts.seeds,
-                opts.sweep_workers(&suite),
-                opts.shard_hint(),
-            );
-            failures = summary
-                .records
-                .iter()
-                .filter(|r| !r.verdict.passed())
-                .map(|r| format!("{} (seed {})", r.scenario, r.seed))
-                .collect();
-            summary
+        if let Some((path, err)) = io_err {
+            eprintln!("error: cannot write {path}: {err}");
+            return 1;
         }
+        summary
+    } else {
+        let summary = suite.run_on(
+            &runtime,
+            opts.seeds,
+            opts.sweep_workers(&suite),
+            opts.shard_hint(),
+        );
+        failures = summary
+            .records
+            .iter()
+            .filter(|r| !r.verdict.passed())
+            .map(|r| format!("{} (seed {})", r.scenario, r.seed))
+            .collect();
+        summary
     };
     // A streamed sweep already wrote the records; the summary embeds them
     // only when they were retained and not suppressed.
@@ -316,8 +404,17 @@ fn run(opts: &Options) -> i32 {
     if let Some(path) = &opts.out {
         if let Err(err) = std::fs::write(path, format!("{json}\n")) {
             eprintln!("error: cannot write {path}: {err}");
-            return 2;
+            return 1;
         }
+    }
+    if let Some(path) = &opts.profile {
+        let data = profiler.as_ref().expect("profiler built with --profile");
+        let json = profile_json(&data.snapshot()).render();
+        if let Err(err) = std::fs::write(path, format!("{json}\n")) {
+            eprintln!("error: cannot write {path}: {err}");
+            return 1;
+        }
+        eprintln!("wrote {path}");
     }
     if let Some(metric) = &opts.table {
         print!("{}", render_table(&summary, metric));
@@ -326,8 +423,36 @@ fn run(opts: &Options) -> i32 {
         0
     } else {
         eprintln!("verdict failures: {}", failures.join(", "));
-        1
+        2
     }
+}
+
+/// Serializes a [`ProfileData`] snapshot — the timing plane's output
+/// file. Wall-clock derived, so (unlike everything else the CLI writes)
+/// two invocations of the same sweep produce *different* profiles.
+fn profile_json(data: &ProfileData) -> Json {
+    Json::obj(vec![
+        ("steps", Json::Uint(data.steps)),
+        ("step_ns", Json::Uint(data.step_ns)),
+        (
+            "step_ns_mean",
+            Json::Num(if data.steps == 0 {
+                0.0
+            } else {
+                data.step_ns as f64 / data.steps as f64
+            }),
+        ),
+        (
+            "step_hist_log2_ns",
+            Json::Arr(data.step_hist.iter().map(|&c| Json::Uint(c)).collect()),
+        ),
+        ("merge_ns", Json::Uint(data.merge_ns)),
+        ("batches", Json::Uint(data.batches)),
+        ("batch_ns", Json::Uint(data.batch_ns)),
+        ("tasks", Json::Uint(data.tasks)),
+        ("task_queue_ns", Json::Uint(data.task_queue_ns)),
+        ("task_busy_ns", Json::Uint(data.task_busy_ns)),
+    ])
 }
 
 fn bench(opts: &Options) -> i32 {
@@ -367,10 +492,279 @@ fn bench(opts: &Options) -> i32 {
     let path = opts.out.as_deref().unwrap_or("BENCH_scenarios.json");
     if let Err(err) = std::fs::write(path, format!("{json}\n")) {
         eprintln!("error: cannot write {path}: {err}");
-        return 2;
+        return 1;
     }
     eprintln!("wrote {path}");
-    i32::from(!summary.all_passed())
+    if summary.all_passed() {
+        0
+    } else {
+        2
+    }
+}
+
+/// `scenario trace EVENTS.jsonl [--out FILE]` — converts an `--events`
+/// JSONL stream to Chrome trace-event JSON (the format Perfetto and
+/// `chrome://tracing` load). Each `(scenario, seed)` run becomes a
+/// process group; inside it, track 0 carries the run-level timeline
+/// (round spans, schedule firings, corruption, legality flips) and track
+/// `p + 1` carries process `p`'s deliveries, drops and scrambles as
+/// instant markers. Timestamps are synthetic — `round × 1000 µs` — since
+/// the simulator's rounds are logical time.
+fn trace(args: &[String]) -> i32 {
+    let mut input: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                let Some(path) = args.get(i + 1) else {
+                    return usage("--out needs a value");
+                };
+                out = Some(path.clone());
+                i += 2;
+            }
+            flag if flag.starts_with('-') => {
+                return usage(&format!("unknown argument: {flag}"));
+            }
+            path => {
+                if input.is_some() {
+                    return usage("trace takes exactly one events file");
+                }
+                input = Some(path.to_string());
+                i += 1;
+            }
+        }
+    }
+    let Some(input) = input else {
+        return usage("trace needs an events JSONL file (from `scenario run --events`)");
+    };
+    let body = match std::fs::read_to_string(&input) {
+        Ok(body) => body,
+        Err(err) => {
+            eprintln!("error: cannot read {input}: {err}");
+            return 1;
+        }
+    };
+    let (json, count) = match chrome_trace(&body) {
+        Ok(converted) => converted,
+        Err(err) => {
+            eprintln!("error: {input}: {err}");
+            return 1;
+        }
+    };
+    let rendered = json.render();
+    match &out {
+        Some(path) => {
+            if let Err(err) = std::fs::write(path, format!("{rendered}\n")) {
+                eprintln!("error: cannot write {path}: {err}");
+                return 1;
+            }
+            eprintln!("wrote {path} ({count} trace events)");
+        }
+        None => println!("{rendered}"),
+    }
+    0
+}
+
+/// Microseconds per simulated round on the synthetic trace timeline.
+const TRACE_ROUND_US: u64 = 1000;
+
+/// Pure conversion behind [`trace`]: events JSONL in, Chrome trace-event
+/// JSON plus the emitted trace-event count out. Deterministic — the
+/// output is a pure function of the input bytes, so byte-identical event
+/// files convert to byte-identical traces.
+fn chrome_trace(body: &str) -> Result<(Json, usize), String> {
+    // (scenario, seed) → pid, in first-appearance order.
+    let mut runs: Vec<(String, u64)> = Vec::new();
+    // (pid, tid) pairs already given a thread_name metadata record.
+    let mut named_tracks: Vec<(u64, u64)> = Vec::new();
+    let mut events: Vec<Json> = Vec::new();
+    let mut meta: Vec<Json> = Vec::new();
+
+    let instant = |name: String, ts: u64, pid: u64, tid: u64, args: Vec<(&str, Json)>| {
+        let mut fields = vec![
+            ("name", Json::Str(name)),
+            ("ph", Json::str("i")),
+            ("s", Json::str("t")),
+            ("ts", Json::Uint(ts)),
+            ("pid", Json::Uint(pid)),
+            ("tid", Json::Uint(tid)),
+        ];
+        if !args.is_empty() {
+            fields.push(("args", Json::obj(args)));
+        }
+        Json::obj(fields)
+    };
+
+    for (lineno, line) in body.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event = Json::parse(line).map_err(|err| format!("line {}: {err}", lineno + 1))?;
+        let field = |key: &str| {
+            event
+                .get(key)
+                .ok_or_else(|| format!("line {}: missing `{key}`", lineno + 1))
+        };
+        let scenario = field("scenario")?
+            .as_str()
+            .ok_or_else(|| format!("line {}: `scenario` is not a string", lineno + 1))?;
+        let seed = field("seed")?
+            .as_u64()
+            .ok_or_else(|| format!("line {}: `seed` is not an integer", lineno + 1))?;
+        let kind = field("kind")?
+            .as_str()
+            .ok_or_else(|| format!("line {}: `kind` is not a string", lineno + 1))?;
+        let round = field("round")?
+            .as_u64()
+            .ok_or_else(|| format!("line {}: `round` is not an integer", lineno + 1))?;
+
+        let run = (scenario.to_string(), seed);
+        let pid = match runs.iter().position(|r| *r == run) {
+            Some(index) => index as u64 + 1,
+            None => {
+                runs.push(run);
+                let pid = runs.len() as u64;
+                meta.push(Json::obj(vec![
+                    ("name", Json::str("process_name")),
+                    ("ph", Json::str("M")),
+                    ("pid", Json::Uint(pid)),
+                    (
+                        "args",
+                        Json::obj(vec![("name", Json::str(format!("{scenario} seed={seed}")))]),
+                    ),
+                ]));
+                pid
+            }
+        };
+        let mut track = |tid: u64| {
+            if !named_tracks.contains(&(pid, tid)) {
+                named_tracks.push((pid, tid));
+                let name = if tid == 0 {
+                    "run".to_string()
+                } else {
+                    format!("process {}", tid - 1)
+                };
+                meta.push(Json::obj(vec![
+                    ("name", Json::str("thread_name")),
+                    ("ph", Json::str("M")),
+                    ("pid", Json::Uint(pid)),
+                    ("tid", Json::Uint(tid)),
+                    ("args", Json::obj(vec![("name", Json::Str(name))])),
+                ]));
+            }
+            tid
+        };
+
+        let start = round * TRACE_ROUND_US;
+        let mid = start + TRACE_ROUND_US / 2;
+        let u64_field = |key: &str| -> Result<u64, String> {
+            field(key)?
+                .as_u64()
+                .ok_or_else(|| format!("line {}: `{key}` is not an integer", lineno + 1))
+        };
+        match kind {
+            "round_start" => {} // The span is emitted at round_end.
+            "round_end" => {
+                let delivered = u64_field("delivered")?;
+                events.push(Json::obj(vec![
+                    ("name", Json::str(format!("round {round}"))),
+                    ("ph", Json::str("X")),
+                    ("ts", Json::Uint(start)),
+                    ("dur", Json::Uint(TRACE_ROUND_US)),
+                    ("pid", Json::Uint(pid)),
+                    ("tid", Json::Uint(track(0))),
+                    (
+                        "args",
+                        Json::obj(vec![("delivered", Json::Uint(delivered))]),
+                    ),
+                ]));
+            }
+            "delivered" => {
+                let (from, to) = (u64_field("from")?, u64_field("to")?);
+                events.push(instant(
+                    format!("recv {from}→{to}"),
+                    mid,
+                    pid,
+                    track(to + 1),
+                    vec![
+                        ("from", Json::Uint(from)),
+                        ("bytes", Json::Uint(u64_field("bytes")?)),
+                    ],
+                ));
+            }
+            "dropped" => {
+                let (from, to) = (u64_field("from")?, u64_field("to")?);
+                let reason = field("reason")?
+                    .as_str()
+                    .ok_or_else(|| format!("line {}: `reason` is not a string", lineno + 1))?
+                    .to_string();
+                events.push(instant(
+                    format!("drop {from}→{to} ({reason})"),
+                    mid,
+                    pid,
+                    track(to + 1),
+                    vec![("reason", Json::Str(reason))],
+                ));
+            }
+            "schedule_fired" => {
+                let action = field("action")?
+                    .as_str()
+                    .ok_or_else(|| format!("line {}: `action` is not a string", lineno + 1))?;
+                events.push(instant(
+                    format!("schedule: {action}"),
+                    start,
+                    pid,
+                    track(0),
+                    Vec::new(),
+                ));
+            }
+            "corruption_applied" => {
+                events.push(instant(
+                    "corruption".to_string(),
+                    start,
+                    pid,
+                    track(0),
+                    vec![
+                        ("targets", Json::Uint(u64_field("targets")?)),
+                        ("dropped", Json::Uint(u64_field("dropped")?)),
+                    ],
+                ));
+            }
+            "scrambled" => {
+                let id = u64_field("id")?;
+                events.push(instant(
+                    "scrambled".to_string(),
+                    mid,
+                    pid,
+                    track(id + 1),
+                    Vec::new(),
+                ));
+            }
+            "legality_flip" => {
+                let legal = field("legal")?
+                    .as_bool()
+                    .ok_or_else(|| format!("line {}: `legal` is not a bool", lineno + 1))?;
+                events.push(instant(
+                    if legal { "legal again" } else { "illegal" }.to_string(),
+                    mid,
+                    pid,
+                    track(0),
+                    vec![("legal", Json::Bool(legal))],
+                ));
+            }
+            other => return Err(format!("line {}: unknown event kind `{other}`", lineno + 1)),
+        }
+    }
+
+    let count = events.len();
+    let mut all = meta;
+    all.extend(events);
+    let trace = Json::obj(vec![
+        ("traceEvents", Json::Arr(all)),
+        ("displayTimeUnit", Json::str("ms")),
+    ]);
+    Ok((trace, count))
 }
 
 /// Renders the cross-run convergence table: one row per scenario (i.e.
@@ -601,9 +995,97 @@ mod tests {
     }
 
     #[test]
+    fn events_profile_and_trace_round_trip() {
+        let dir = std::env::temp_dir().join("ga-scenario-cli-events-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = |name: &str| dir.join(name).to_str().unwrap().to_string();
+        let (events, events2, profile, trace) = (
+            path("events.jsonl"),
+            path("events2.jsonl"),
+            path("prof.json"),
+            path("trace.json"),
+        );
+
+        let code = main(args(&[
+            "run",
+            "--suite",
+            "smoke",
+            "--seeds",
+            "1",
+            "--workers",
+            "4",
+            "--shards",
+            "2",
+            "--no-records",
+            "--events",
+            &events,
+            "--profile",
+            &profile,
+        ]));
+        assert_eq!(code, 0);
+        let body = std::fs::read_to_string(&events).unwrap();
+        assert!(!body.is_empty(), "smoke runs emit telemetry events");
+        assert!(body.lines().all(|l| l.starts_with("{\"scenario\":")));
+
+        // A serial invocation writes the byte-identical event stream.
+        let code = main(args(&[
+            "run",
+            "--suite",
+            "smoke",
+            "--seeds",
+            "1",
+            "--workers",
+            "1",
+            "--no-records",
+            "--events",
+            &events2,
+        ]));
+        assert_eq!(code, 0);
+        assert_eq!(body, std::fs::read_to_string(&events2).unwrap());
+
+        // The profile is valid JSON on the timing plane: shape asserted,
+        // values wall-clock.
+        let prof = Json::parse(&std::fs::read_to_string(&profile).unwrap()).unwrap();
+        assert!(prof.get("steps").and_then(Json::as_u64).unwrap() > 0);
+        assert!(prof.get("tasks").and_then(Json::as_u64).unwrap() > 0);
+        assert_eq!(
+            prof.get("step_hist_log2_ns")
+                .and_then(Json::as_arr)
+                .unwrap()
+                .len(),
+            ga_simnet::telemetry::STEP_HIST_BUCKETS
+        );
+
+        // `trace` converts the stream to non-empty Chrome trace JSON.
+        let code = main(args(&["trace", &events, "--out", &trace]));
+        assert_eq!(code, 0);
+        let converted = Json::parse(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+        let trace_events = converted.get("traceEvents").and_then(Json::as_arr).unwrap();
+        assert!(
+            trace_events.len() > body.lines().count() / 2,
+            "spans + instants cover the stream"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_rejects_missing_and_malformed_input() {
+        assert_eq!(main(args(&["trace"])), 1, "no input file is an error");
+        let dir = std::env::temp_dir().join("ga-scenario-cli-trace-bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.jsonl");
+        std::fs::write(&bad, "not json\n").unwrap();
+        let code = main(args(&["trace", bad.to_str().unwrap()]));
+        assert_eq!(code, 1, "malformed events are an error, not a verdict");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn unknown_suite_is_usage_error() {
+        // Usage/selection mistakes are *errors* (1); exit 2 is reserved
+        // for verdict failures on an otherwise healthy invocation.
         let code = main(args(&["run", "--suite", "no-such-suite"]));
-        assert_eq!(code, 2);
+        assert_eq!(code, 1);
     }
 
     #[test]

@@ -55,6 +55,24 @@
 //! percentiles widen and the rate falls below one — that boundary is the
 //! protocol's stabilization frontier. See [`stabilize`].
 //!
+//! ## Telemetry: the two-plane rule
+//!
+//! Observability follows `ga_simnet::telemetry`'s split. The
+//! *deterministic event plane* — per-message deliveries/drops, schedule
+//! firings, corruption, scrambles, and the stabilization probe's legality
+//! flips — rides in [`RunRecord::events`](record::RunRecord::events)
+//! (enable via [`Scenario::run_telemetry`](record::Scenario::run_telemetry)
+//! or `scenario run --events FILE`, render lines with
+//! [`record::event_json`]) and is byte-identical at any workers × shards ×
+//! pool combination. The *timing plane* — wall-clock step/merge/batch
+//! profiles ([`Profiler`](ga_simnet::telemetry::Profiler), `--profile
+//! FILE`) — is a side channel that never feeds summaries, records or
+//! events. Per-round observables that must survive aggregation go through
+//! [`ScenarioSpec::round_metric`](spec::ScenarioSpec::round_metric) and
+//! the built-in `inbox_depth_mean`/`quiescent_mean` metrics instead.
+//! `scenario trace events.jsonl` converts an event stream to Chrome
+//! trace-event JSON loadable in Perfetto.
+//!
 //! ## Quickstart
 //!
 //! Flood a lossy ring and check the observed drop rate tracks the model:
@@ -126,7 +144,7 @@ pub mod workload;
 
 /// Convenient glob import for scenario authors.
 pub mod prelude {
-    pub use crate::record::{FnScenario, MessageStats, RunRecord, Scenario, Verdict};
+    pub use crate::record::{event_json, FnScenario, MessageStats, RunRecord, Scenario, Verdict};
     pub use crate::spec::{PlacementStrategy, Role, ScenarioSpec, TopologyFamily};
     pub use crate::suites::Suite;
     pub use crate::sweep::{

@@ -2,6 +2,7 @@
 //! [`Scenario`] abstraction the sweep engine executes.
 
 use ga_simnet::runtime::Runtime;
+use ga_simnet::telemetry::{Event, TelemetryConfig};
 use ga_simnet::trace::Trace;
 
 use crate::json::Json;
@@ -102,6 +103,14 @@ pub struct RunRecord {
     pub metrics: Vec<(String, f64)>,
     /// Message accounting.
     pub messages: MessageStats,
+    /// Deterministic telemetry events retained by the run's
+    /// [`EventSink`](ga_simnet::telemetry::EventSink) ring, oldest first.
+    /// Empty unless the run executed with the event plane enabled
+    /// ([`Scenario::run_telemetry`]). Deliberately **not** part of
+    /// [`to_json`](RunRecord::to_json) — the event stream has its own
+    /// channel (`scenario run --events`, rendered via [`event_json`]) so
+    /// record/summary JSON stays unchanged whether or not events are on.
+    pub events: Vec<Event>,
 }
 
 impl RunRecord {
@@ -116,6 +125,7 @@ impl RunRecord {
             verdict: Verdict::Pass,
             metrics: Vec::new(),
             messages: MessageStats::default(),
+            events: Vec::new(),
         }
     }
 
@@ -186,6 +196,55 @@ impl RunRecord {
     }
 }
 
+/// Renders one deterministic telemetry event as a JSON object for the
+/// `--events` JSONL stream, stamped with its run coordinates. Field order
+/// is fixed, so the rendered stream inherits the event plane's
+/// byte-identity across workers × shards × pool size.
+pub fn event_json(scenario: &str, seed: u64, event: &Event) -> Json {
+    let mut fields = vec![
+        ("scenario", Json::str(scenario)),
+        ("seed", Json::Uint(seed)),
+        ("kind", Json::str(event.kind())),
+        ("round", Json::Uint(event.round())),
+    ];
+    match event {
+        Event::RoundStart { .. } => {}
+        Event::RoundEnd { delivered, .. } => {
+            fields.push(("delivered", Json::Uint(*delivered)));
+        }
+        Event::Delivered {
+            from, to, bytes, ..
+        } => {
+            fields.push(("from", Json::Uint(from.index() as u64)));
+            fields.push(("to", Json::Uint(to.index() as u64)));
+            fields.push(("bytes", Json::Uint(*bytes as u64)));
+        }
+        Event::Dropped {
+            from, to, reason, ..
+        } => {
+            fields.push(("from", Json::Uint(from.index() as u64)));
+            fields.push(("to", Json::Uint(to.index() as u64)));
+            fields.push(("reason", Json::str(reason.label())));
+        }
+        Event::ScheduleFired { action, .. } => {
+            fields.push(("action", Json::str(*action)));
+        }
+        Event::CorruptionApplied {
+            targets, dropped, ..
+        } => {
+            fields.push(("targets", Json::Uint(*targets as u64)));
+            fields.push(("dropped", Json::Uint(*dropped)));
+        }
+        Event::Scrambled { id, .. } => {
+            fields.push(("id", Json::Uint(id.index() as u64)));
+        }
+        Event::LegalityFlip { legal, .. } => {
+            fields.push(("legal", Json::Bool(*legal)));
+        }
+    }
+    Json::obj(fields)
+}
+
 /// Anything the sweep engine can execute: a named, seedable, pure
 /// computation producing a [`RunRecord`].
 ///
@@ -225,6 +284,26 @@ pub trait Scenario: Send + Sync {
     fn run_on(&self, seed: u64, shards: usize, runtime: &Runtime) -> RunRecord {
         let _ = runtime;
         self.run_sharded(seed, shards)
+    }
+
+    /// [`run_on`](Scenario::run_on) with the deterministic telemetry
+    /// event plane switched on: simulator-backed scenarios attach an
+    /// [`EventSink`](ga_simnet::telemetry::EventSink) sized by `telemetry`
+    /// and return the retained events in
+    /// [`RunRecord::events`]. `None` (or the default implementation,
+    /// which is trivially conformant for pure computations that step no
+    /// simulator) leaves the event plane off and `events` empty. Events
+    /// are part of the deterministic plane — the stream must be identical
+    /// at every shard count and on every pool, like the record itself.
+    fn run_telemetry(
+        &self,
+        seed: u64,
+        shards: usize,
+        runtime: &Runtime,
+        telemetry: Option<&TelemetryConfig>,
+    ) -> RunRecord {
+        let _ = telemetry;
+        self.run_on(seed, shards, runtime)
     }
 
     /// Whether [`run_sharded`](Scenario::run_sharded) actually honors the

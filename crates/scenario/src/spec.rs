@@ -15,6 +15,7 @@ use ga_simnet::prelude::*;
 use ga_simnet::rng::labeled_rng;
 use ga_simnet::runtime::Runtime;
 use ga_simnet::sim::Delivery;
+use ga_simnet::telemetry::{Event, TelemetryConfig};
 use rand::seq::SliceRandom;
 
 use crate::record::{MessageStats, RunRecord, Verdict};
@@ -178,6 +179,7 @@ type StopPredicate = Arc<dyn Fn(&Simulation) -> bool + Send + Sync>;
 type VerdictFn = Arc<dyn Fn(&Simulation, &RunRecord) -> Verdict + Send + Sync>;
 type ProbeFn = Arc<dyn Fn(&Simulation, &mut RunRecord) + Send + Sync>;
 type LegalFn = Arc<dyn Fn(&Simulation) -> bool + Send + Sync>;
+type RoundMetricFn = Arc<dyn Fn(&Simulation) -> f64 + Send + Sync>;
 
 /// A per-round legality probe measuring recovery after scheduled
 /// corruption — see [`ScenarioSpec::stabilization`].
@@ -209,6 +211,7 @@ pub struct ScenarioSpec {
     verdict: Option<VerdictFn>,
     probe: Option<ProbeFn>,
     stabilization: Option<StabilizationProbe>,
+    round_metrics: Vec<(String, RoundMetricFn)>,
 }
 
 impl std::fmt::Debug for ScenarioSpec {
@@ -256,6 +259,7 @@ impl ScenarioSpec {
             verdict: None,
             probe: None,
             stabilization: None,
+            round_metrics: Vec::new(),
         }
     }
 
@@ -384,6 +388,24 @@ impl ScenarioSpec {
         self
     }
 
+    /// Samples `f` after every pulse and emits the mean of the samples as
+    /// metric `name` — the vehicle for per-round observables that final-
+    /// state probes cannot reconstruct (live-play counts, queue depths).
+    /// Sampled metrics are part of the deterministic plane: `f` must be a
+    /// pure function of the simulation state. Every run also emits the
+    /// built-in round metrics `inbox_depth_mean` (mean pending messages
+    /// after each pulse) and `quiescent_mean` (mean count of processes
+    /// with an empty inbox).
+    #[must_use]
+    pub fn round_metric(
+        mut self,
+        name: impl Into<String>,
+        f: impl Fn(&Simulation) -> f64 + Send + Sync + 'static,
+    ) -> Self {
+        self.round_metrics.push((name.into(), Arc::new(f)));
+        self
+    }
+
     /// Attaches a stabilization probe measuring recovery from the
     /// corruption the spec schedules at `corruption_round`.
     ///
@@ -444,7 +466,7 @@ impl ScenarioSpec {
     /// [`shards`](ScenarioSpec::shards) default included) — sharding only
     /// changes wall-clock time.
     pub fn run_sharded(&self, seed: u64, shards: usize) -> RunRecord {
-        self.run_inner(seed, shards, None)
+        self.run_inner(seed, shards, None, None)
     }
 
     /// [`run_sharded`](ScenarioSpec::run_sharded) with the sharded
@@ -452,10 +474,34 @@ impl ScenarioSpec {
     /// own pool here so sweep- and shard-level parallelism share one
     /// thread budget. The pool never changes the record.
     pub fn run_on(&self, seed: u64, shards: usize, runtime: &Runtime) -> RunRecord {
-        self.run_inner(seed, shards, Some(runtime))
+        self.run_inner(seed, shards, Some(runtime), None)
     }
 
-    fn run_inner(&self, seed: u64, shards: usize, runtime: Option<&Runtime>) -> RunRecord {
+    /// [`run_on`](ScenarioSpec::run_on) with the deterministic event
+    /// plane switched on: the simulation carries an
+    /// [`EventSink`](ga_simnet::telemetry::EventSink) sized by
+    /// `telemetry` and the retained events (plus the spec's own
+    /// [`Event::LegalityFlip`] markers from the stabilization probe) land
+    /// in [`RunRecord::events`]. Events never change the rest of the
+    /// record, and the stream itself is identical at every shard count
+    /// and on every pool.
+    pub fn run_telemetry(
+        &self,
+        seed: u64,
+        shards: usize,
+        runtime: &Runtime,
+        telemetry: Option<&TelemetryConfig>,
+    ) -> RunRecord {
+        self.run_inner(seed, shards, Some(runtime), telemetry)
+    }
+
+    fn run_inner(
+        &self,
+        seed: u64,
+        shards: usize,
+        runtime: Option<&Runtime>,
+        telemetry: Option<&TelemetryConfig>,
+    ) -> RunRecord {
         // A hint of 0 means "unspecified" (the sweep default): fall back
         // to the spec's own knob so `.shards(n)` survives every sweep
         // path. Any explicit hint — including 1 = force serial — wins.
@@ -472,8 +518,17 @@ impl ScenarioSpec {
             .delivery(self.delivery)
             .schedule(self.schedule.clone())
             .shards(shards);
+        if let Some(cfg) = telemetry {
+            builder = builder.telemetry(*cfg);
+        }
         if let Some(runtime) = runtime {
             builder = builder.runtime(runtime.clone());
+            // Timing plane: if the pool carries a profiler, per-step wall
+            // clock flows into that side channel. It is never read back
+            // into the record.
+            if let Some(profiler) = runtime.profiler() {
+                builder = builder.profiler(profiler);
+            }
         }
         let mut sim =
             builder.build_with(
@@ -484,56 +539,88 @@ impl ScenarioSpec {
             );
 
         let mut record = RunRecord::new(self.name.clone(), seed);
-        match &self.stabilization {
-            Some(stab) => {
-                // Manual loop mirroring `run_until` (stop checked before
-                // each pulse, once more after the budget) with the
-                // legality predicate evaluated after every pulse.
-                let mut last_illegal: Option<u64> = None;
-                let mut stopped = None;
-                for executed in 0..self.max_rounds {
-                    if let Some(stop) = &self.stop {
-                        if stop(&sim) {
-                            stopped = Some(executed);
-                            break;
-                        }
-                    }
-                    sim.step();
-                    if !(stab.legal)(&sim) {
-                        // step() already advanced the round counter; the
-                        // pulse just executed is the previous one.
-                        last_illegal = Some(sim.round().value() - 1);
-                    }
-                }
-                if stopped.is_none() {
-                    if let Some(stop) = &self.stop {
-                        if stop(&sim) {
-                            stopped = Some(self.max_rounds);
-                        }
-                    }
-                }
-                record.stopped_at = stopped;
-                if (stab.legal)(&sim) {
-                    let rounds_to_stabilize =
-                        last_illegal.map_or(0, |l| l.saturating_sub(stab.corruption_round));
-                    record.metric("rounds_to_stabilize", rounds_to_stabilize as f64);
-                    record.metric("censored", 0.0);
-                } else {
-                    // Censored: still illegal when the budget ran out. No
-                    // rounds_to_stabilize is emitted, keeping diverged
-                    // runs out of the stabilization-time percentiles.
-                    record.metric("censored", 1.0);
+        // One manual loop mirroring `run_until` (stop checked before each
+        // pulse, once more after the budget) so the per-round samplers —
+        // round metrics, the stabilization legality probe — see every
+        // pulse on every execution path.
+        let mut stopped = None;
+        let mut last_illegal: Option<u64> = None;
+        // The legal set is the resting state; a run is presumed inside it
+        // until a post-pulse probe says otherwise, so the first flip
+        // event marks the entry into illegality.
+        let mut prev_legal = true;
+        let mut sampled = 0u64;
+        let mut inbox_depth_sum = 0.0;
+        let mut quiescent_sum = 0.0;
+        let mut metric_sums = vec![0.0f64; self.round_metrics.len()];
+        for executed in 0..self.max_rounds {
+            if let Some(stop) = &self.stop {
+                if stop(&sim) {
+                    stopped = Some(executed);
+                    break;
                 }
             }
-            None => match &self.stop {
-                Some(stop) => {
-                    record.stopped_at = sim.run_until(self.max_rounds, |s| stop(s));
+            sim.step();
+            // step() already advanced the round counter; the pulse just
+            // executed is the previous one.
+            let pulse = sim.round().value() - 1;
+            sampled += 1;
+            inbox_depth_sum += sim.pending_messages() as f64;
+            quiescent_sum += sim.quiescent_processes() as f64;
+            for (sum, (_, f)) in metric_sums.iter_mut().zip(&self.round_metrics) {
+                *sum += f(&sim);
+            }
+            if let Some(stab) = &self.stabilization {
+                let legal = (stab.legal)(&sim);
+                if !legal {
+                    last_illegal = Some(pulse);
                 }
-                None => sim.run(self.max_rounds),
-            },
+                if legal != prev_legal {
+                    prev_legal = legal;
+                    if let Some(sink) = sim.events_mut() {
+                        sink.push(Event::LegalityFlip {
+                            round: pulse,
+                            legal,
+                        });
+                    }
+                }
+            }
+        }
+        if stopped.is_none() {
+            if let Some(stop) = &self.stop {
+                if stop(&sim) {
+                    stopped = Some(self.max_rounds);
+                }
+            }
+        }
+        record.stopped_at = stopped;
+        if let Some(stab) = &self.stabilization {
+            if (stab.legal)(&sim) {
+                let rounds_to_stabilize =
+                    last_illegal.map_or(0, |l| l.saturating_sub(stab.corruption_round));
+                record.metric("rounds_to_stabilize", rounds_to_stabilize as f64);
+                record.metric("censored", 0.0);
+            } else {
+                // Censored: still illegal when the budget ran out. No
+                // rounds_to_stabilize is emitted, keeping diverged runs
+                // out of the stabilization-time percentiles.
+                record.metric("censored", 1.0);
+            }
         }
         record.rounds = sim.round().value();
         record.messages = MessageStats::from_trace(sim.trace());
+        let mean = |sum: f64| {
+            if sampled == 0 {
+                0.0
+            } else {
+                sum / sampled as f64
+            }
+        };
+        record.metric("inbox_depth_mean", mean(inbox_depth_sum));
+        record.metric("quiescent_mean", mean(quiescent_sum));
+        for ((name, _), sum) in self.round_metrics.iter().zip(&metric_sums) {
+            record.metric(name.clone(), mean(*sum));
+        }
         if let Some(probe) = &self.probe {
             probe(&sim, &mut record);
         }
@@ -541,6 +628,7 @@ impl ScenarioSpec {
             Some(verdict) => verdict(&sim, &record),
             None => Verdict::Pass,
         };
+        record.events = sim.take_events();
         record
     }
 }
@@ -560,6 +648,16 @@ impl crate::record::Scenario for ScenarioSpec {
 
     fn run_on(&self, seed: u64, shards: usize, runtime: &Runtime) -> RunRecord {
         ScenarioSpec::run_on(self, seed, shards, runtime)
+    }
+
+    fn run_telemetry(
+        &self,
+        seed: u64,
+        shards: usize,
+        runtime: &Runtime,
+        telemetry: Option<&TelemetryConfig>,
+    ) -> RunRecord {
+        ScenarioSpec::run_telemetry(self, seed, shards, runtime, telemetry)
     }
 
     fn supports_sharding(&self) -> bool {

@@ -28,6 +28,14 @@
 //! so the same machinery (sweeps, percentiles, byte-identical parallel
 //! summaries) covers them too.
 //!
+//! With `--events` the probe also narrates recovery on the deterministic
+//! event plane: every legality transition lands as a
+//! [`LegalityFlip`](ga_simnet::telemetry::Event::LegalityFlip) event, so
+//! a `scenario trace` render shows the illegal window between the
+//! corruption instant and re-entry into the legal set. Censored runs fail
+//! their verdicts, which the CLI reports as exit code 2 — distinct from
+//! exit code 1, which is reserved for real errors.
+//!
 //! [`stabilization`]: crate::spec::ScenarioSpec::stabilization
 
 use std::sync::Arc;

@@ -92,16 +92,19 @@ impl Suite {
         shards: usize,
         sink: sweep::RecordSink<'_>,
     ) -> SweepSummary {
-        self.run_stream_on(&Runtime::global(), seeds, workers, shards, sink)
+        self.run_stream_on(&Runtime::global(), seeds, workers, shards, None, sink)
     }
 
-    /// [`run_stream`](Suite::run_stream) on an explicit [`Runtime`] pool.
+    /// [`run_stream`](Suite::run_stream) on an explicit [`Runtime`] pool,
+    /// optionally with the deterministic event plane on for every run
+    /// (`telemetry` — see [`sweep::sweep_stream_on`]).
     pub fn run_stream_on(
         &self,
         runtime: &Runtime,
         seeds: Option<u64>,
         workers: usize,
         shards: usize,
+        telemetry: Option<&TelemetryConfig>,
         sink: sweep::RecordSink<'_>,
     ) -> SweepSummary {
         let count = seeds.unwrap_or(self.default_seeds).max(1);
@@ -112,6 +115,7 @@ impl Suite {
             self.seed_base..self.seed_base + count,
             workers,
             shards,
+            telemetry,
             sink,
         )
     }

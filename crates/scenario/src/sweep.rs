@@ -27,6 +27,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 use ga_simnet::runtime::{BatchTask, Runtime};
+use ga_simnet::telemetry::TelemetryConfig;
 
 use crate::json::Json;
 use crate::record::{RunRecord, Scenario};
@@ -129,6 +130,16 @@ impl<S: Scenario> Scenario for GridPoint<S> {
 
     fn run_on(&self, seed: u64, shards: usize, runtime: &Runtime) -> RunRecord {
         self.stamp(self.inner.run_on(seed, shards, runtime))
+    }
+
+    fn run_telemetry(
+        &self,
+        seed: u64,
+        shards: usize,
+        runtime: &Runtime,
+        telemetry: Option<&TelemetryConfig>,
+    ) -> RunRecord {
+        self.stamp(self.inner.run_telemetry(seed, shards, runtime, telemetry))
     }
 
     fn supports_sharding(&self) -> bool {
@@ -234,7 +245,7 @@ pub fn run_jobs_ordered(
     shards: usize,
     consume: &mut (dyn FnMut(usize, RunRecord) + Send),
 ) {
-    run_jobs_on(&Runtime::global(), jobs, workers, shards, consume);
+    run_jobs_on(&Runtime::global(), jobs, workers, shards, None, consume);
 }
 
 /// The fully-general executor behind [`run_jobs`] and the sweeps:
@@ -242,8 +253,10 @@ pub fn run_jobs_ordered(
 /// parallelism shares the pool's thread budget with everything else),
 /// `shards` is passed to every scenario as the intra-run parallelism hint
 /// ([`Scenario::run_on`] — sharded runs submit *nested* batches to the
-/// same pool), and `consume` receives every record **owned, in job
-/// order**.
+/// same pool), `telemetry` switches the deterministic event plane on for
+/// every run ([`Scenario::run_telemetry`] — the per-run event streams ride
+/// in [`RunRecord::events`] and are themselves knob-independent), and
+/// `consume` receives every record **owned, in job order**.
 ///
 /// Two properties make the streaming path scale:
 ///
@@ -276,6 +289,7 @@ pub fn run_jobs_on(
     jobs: &[Job],
     workers: usize,
     shards: usize,
+    telemetry: Option<&TelemetryConfig>,
     consume: &mut (dyn FnMut(usize, RunRecord) + Send),
 ) {
     let workers = workers.clamp(1, jobs.len().max(1));
@@ -303,7 +317,9 @@ pub fn run_jobs_on(
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(job) = jobs.get(i) else { break };
-                    let record = job.scenario.run_on(job.seed, shards, runtime);
+                    let record = job
+                        .scenario
+                        .run_telemetry(job.seed, shards, runtime, telemetry);
 
                     let mut state = ring.lock().expect("no panicked worker");
                     // Backpressure: never overwrite a slot still awaiting
@@ -699,7 +715,9 @@ pub fn sweep_on(
     let jobs = jobs_for(scenarios, seeds);
     let records = {
         let mut records = Vec::with_capacity(jobs.len());
-        run_jobs_on(runtime, &jobs, workers, shards, &mut |_, r| records.push(r));
+        run_jobs_on(runtime, &jobs, workers, shards, None, &mut |_, r| {
+            records.push(r)
+        });
         records
     };
     SweepSummary::new(name, records)
@@ -724,11 +742,15 @@ pub fn sweep_stream(
         seeds,
         workers,
         shards,
+        None,
         sink,
     )
 }
 
-/// [`sweep_stream`] on an explicit [`Runtime`] pool.
+/// [`sweep_stream`] on an explicit [`Runtime`] pool, with the
+/// deterministic event plane switched on for every run when `telemetry`
+/// is set — the sink reads each run's events off
+/// [`RunRecord::events`] before the record is dropped.
 #[allow(clippy::too_many_arguments)]
 pub fn sweep_stream_on(
     runtime: &Runtime,
@@ -737,6 +759,7 @@ pub fn sweep_stream_on(
     seeds: std::ops::Range<u64>,
     workers: usize,
     shards: usize,
+    telemetry: Option<&TelemetryConfig>,
     sink: RecordSink<'_>,
 ) -> SweepSummary {
     let jobs = jobs_for(scenarios, seeds);
@@ -745,7 +768,7 @@ pub fn sweep_stream_on(
         sink(i, &record);
         builder.push(&record);
     };
-    run_jobs_on(runtime, &jobs, workers, shards, &mut consume);
+    run_jobs_on(runtime, &jobs, workers, shards, telemetry, &mut consume);
     builder.finish(name, Vec::new())
 }
 

@@ -260,3 +260,72 @@ fn schedule_events_are_reflected_identically_in_parallel_records() {
         "every seed sees the scheduled fault"
     );
 }
+
+#[test]
+fn event_stream_identical_at_1_1_1_vs_4_4_4() {
+    // The deterministic telemetry plane rides the same invariant as the
+    // records: with a transient fault, a corruption family and link churn
+    // all firing mid-window, the rendered --events stream must be
+    // byte-identical at (pool, workers, shards) = (1, 1, 1) and (4, 4, 4).
+    let spec = ScenarioSpec::new("det_events", TopologyFamily::Grid(4, 4), |id, _n| {
+        Box::new(MaxGossip::new(id.index() as u64)) as Box<dyn Process>
+    })
+    .delivery(Delivery::Lossy { p: 0.2 })
+    .schedule(
+        Schedule::new()
+            .at(4, ScheduledAction::Inject(TransientFault::total(16, 3)))
+            .at(
+                6,
+                ScheduledAction::Corrupt(CorruptionFamily {
+                    targets: CorruptionTargets::RandomK(4),
+                    corrupt_messages_p: 0.5,
+                    drop_messages_p: 0.5,
+                    salt: 9,
+                }),
+            )
+            .at(8, ScheduledAction::Disconnect(ProcessId(15)))
+            .at(
+                14,
+                ScheduledAction::Reconnect(ProcessId(15), vec![ProcessId(11), ProcessId(14)]),
+            ),
+    )
+    .max_rounds(20)
+    .stabilization(6, |sim| ga_scenario::workload::gossip_agreed(sim, 0..16));
+    let scenarios: Vec<Arc<dyn Scenario>> = vec![Arc::new(spec)];
+    let telemetry = TelemetryConfig::default();
+    let stream = |pool: usize, workers: usize, shards: usize| {
+        let mut lines = String::new();
+        let mut sink = |_i: usize, r: &RunRecord| {
+            for event in &r.events {
+                lines.push_str(
+                    &ga_scenario::record::event_json(&r.scenario, r.seed, event).render(),
+                );
+                lines.push('\n');
+            }
+        };
+        ga_scenario::sweep::sweep_stream_on(
+            &Runtime::new(pool),
+            "ev",
+            &scenarios,
+            0..4,
+            workers,
+            shards,
+            Some(&telemetry),
+            &mut sink,
+        );
+        lines
+    };
+    let serial = stream(1, 1, 1);
+    for kind in [
+        "\"kind\":\"round_end\"",
+        "\"kind\":\"delivered\"",
+        "\"kind\":\"dropped\"",
+        "\"kind\":\"schedule_fired\"",
+        "\"kind\":\"corruption_applied\"",
+        "\"kind\":\"scrambled\"",
+        "\"kind\":\"legality_flip\"",
+    ] {
+        assert!(serial.contains(kind), "expected {kind} in the event stream");
+    }
+    assert_eq!(stream(4, 4, 4), serial, "4/4/4 diverged from 1/1/1");
+}

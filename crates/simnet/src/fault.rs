@@ -27,6 +27,7 @@ use crate::ids::{ProcessId, Round};
 use crate::message::Message;
 use crate::process::Process;
 use crate::rng::{labeled_rng_u64, labeled_rng_u64_pair};
+use crate::telemetry::{DropReason, Event, EventSink};
 use crate::topology::Topology;
 
 /// Numeric RNG domain for transient-fault injection (see
@@ -98,28 +99,47 @@ impl TransientFault {
     }
 
     /// Applies the fault; returns the number of in-flight messages dropped
-    /// (the caller accounts them in the trace).
+    /// (the caller accounts them in the trace). When `events` is attached,
+    /// [`Scrambled`](Event::Scrambled) and fault-reason
+    /// [`Dropped`](Event::Dropped) events are emitted in the same
+    /// deterministic order the sequential RNG stream visits them.
     pub(crate) fn apply(
         &self,
         seed: u64,
         round: Round,
         processes: &mut [Box<dyn Process>],
         inboxes: &mut [Vec<Message>],
+        mut events: Option<&mut EventSink>,
     ) -> u64 {
         let mut rng = labeled_rng_u64(seed ^ self.salt, FAULT_DOMAIN, round.value());
 
         for id in &self.scramble {
             if let Some(p) = processes.get_mut(id.index()) {
                 p.scramble(&mut rng);
+                if let Some(sink) = events.as_deref_mut() {
+                    sink.push(Event::Scrambled {
+                        round: round.value(),
+                        id: *id,
+                    });
+                }
             }
         }
 
         let mut dropped = 0u64;
         let n = inboxes.len();
         for (i, inbox) in inboxes.iter_mut().enumerate() {
-            inbox.retain(|_| {
+            let sink = &mut events;
+            inbox.retain(|m| {
                 if rng.gen_bool(self.drop_messages_p.clamp(0.0, 1.0)) {
                     dropped += 1;
+                    if let Some(sink) = sink.as_deref_mut() {
+                        sink.push(Event::Dropped {
+                            round: round.value(),
+                            from: m.from,
+                            to: ProcessId(i),
+                            reason: DropReason::Fault,
+                        });
+                    }
                     false
                 } else {
                     true
@@ -143,7 +163,6 @@ impl TransientFault {
                 let from = ProcessId(rng.gen_range(0..n));
                 inbox.push(Message::new(from, round, payload));
             }
-            let _ = i;
         }
         dropped
     }
@@ -245,7 +264,12 @@ impl CorruptionFamily {
     }
 
     /// Applies the corruption; returns the number of in-flight messages
-    /// dropped (the caller accounts them in the trace).
+    /// dropped (the caller accounts them in the trace). When `events` is
+    /// attached, a [`Scrambled`](Event::Scrambled) event is emitted per
+    /// victim (ascending id) and a fault-reason [`Dropped`](Event::Dropped)
+    /// event per destroyed message (ascending inbox owner) — coordinate
+    /// order, so the stream is identical at any workers × shards × pool
+    /// size.
     pub(crate) fn apply(
         &self,
         seed: u64,
@@ -253,6 +277,7 @@ impl CorruptionFamily {
         topology: &Topology,
         processes: &mut [Box<dyn Process>],
         inboxes: &mut [Vec<Message>],
+        mut events: Option<&mut EventSink>,
     ) -> u64 {
         for id in self.resolve_targets(topology, seed, round) {
             let mut rng = labeled_rng_u64_pair(
@@ -263,6 +288,12 @@ impl CorruptionFamily {
             );
             if let Some(p) = processes.get_mut(id.index()) {
                 p.scramble(&mut rng);
+                if let Some(sink) = events.as_deref_mut() {
+                    sink.push(Event::Scrambled {
+                        round: round.value(),
+                        id,
+                    });
+                }
             }
         }
 
@@ -277,9 +308,18 @@ impl CorruptionFamily {
                     round.value(),
                     owner as u64,
                 );
-                inbox.retain(|_| {
+                let sink = &mut events;
+                inbox.retain(|m| {
                     if rng.gen_bool(drop_p) {
                         dropped += 1;
+                        if let Some(sink) = sink.as_deref_mut() {
+                            sink.push(Event::Dropped {
+                                round: round.value(),
+                                from: m.from,
+                                to: ProcessId(owner),
+                                reason: DropReason::Fault,
+                            });
+                        }
                         false
                     } else {
                         true
@@ -347,7 +387,7 @@ mod tests {
     #[test]
     fn state_only_scrambles_targets() {
         let (mut ps, mut inboxes) = fixture();
-        TransientFault::state_only([0, 2], 1).apply(9, Round(0), &mut ps, &mut inboxes);
+        TransientFault::state_only([0, 2], 1).apply(9, Round(0), &mut ps, &mut inboxes, None);
         let flags: Vec<bool> = ps
             .iter()
             .map(|p| p.as_any().downcast_ref::<Scrambleable>().unwrap().scrambled)
@@ -361,7 +401,7 @@ mod tests {
     #[test]
     fn total_fault_touches_everything() {
         let (mut ps, mut inboxes) = fixture();
-        TransientFault::total(3, 2).apply(9, Round(0), &mut ps, &mut inboxes);
+        TransientFault::total(3, 2).apply(9, Round(0), &mut ps, &mut inboxes, None);
         assert!(ps
             .iter()
             .all(|p| p.as_any().downcast_ref::<Scrambleable>().unwrap().scrambled));
@@ -376,7 +416,7 @@ mod tests {
             corrupt_messages_p: 1.0,
             ..TransientFault::default()
         };
-        fault.apply(9, Round(0), &mut ps, &mut inboxes);
+        fault.apply(9, Round(0), &mut ps, &mut inboxes, None);
         assert_ne!(inboxes[0][0].bytes(), &[1, 2, 3]);
     }
 
@@ -384,8 +424,8 @@ mod tests {
     fn different_salts_differ() {
         let (mut ps1, mut in1) = fixture();
         let (mut ps2, mut in2) = fixture();
-        TransientFault::total(3, 1).apply(9, Round(0), &mut ps1, &mut in1);
-        TransientFault::total(3, 2).apply(9, Round(0), &mut ps2, &mut in2);
+        TransientFault::total(3, 1).apply(9, Round(0), &mut ps1, &mut in1, None);
+        TransientFault::total(3, 2).apply(9, Round(0), &mut ps2, &mut in2, None);
         let v1 = ps1[0]
             .as_any()
             .downcast_ref::<Scrambleable>()
@@ -469,6 +509,7 @@ mod tests {
             &topo,
             &mut ps,
             &mut inboxes,
+            None,
         );
         assert_eq!(scrambled(&ps), vec![false, true, false]);
         // Channels untouched at zero intensity.
@@ -483,13 +524,14 @@ mod tests {
         let topo = Topology::complete(3);
         let (mut ps1, mut in1) = fixture();
         let (mut ps2, mut in2) = fixture();
-        family(CorruptionTargets::All).apply(9, Round(3), &topo, &mut ps1, &mut in1);
+        family(CorruptionTargets::All).apply(9, Round(3), &topo, &mut ps1, &mut in1, None);
         family(CorruptionTargets::Fixed(vec![ProcessId(2)])).apply(
             9,
             Round(3),
             &topo,
             &mut ps2,
             &mut in2,
+            None,
         );
         assert_eq!(value_of(&ps1, 2), value_of(&ps2, 2));
         assert_ne!(
@@ -509,7 +551,7 @@ mod tests {
             drop_messages_p: 0.0,
             salt: 0,
         };
-        f.apply(9, Round(0), &topo, &mut ps, &mut inboxes);
+        f.apply(9, Round(0), &topo, &mut ps, &mut inboxes, None);
         assert_ne!(inboxes[0][0].bytes(), &[1, 2, 3]);
         assert_eq!(scrambled(&ps), vec![false, false, false]);
 
@@ -518,7 +560,7 @@ mod tests {
             drop_messages_p: 1.0,
             ..f
         }
-        .apply(9, Round(0), &topo, &mut ps, &mut inboxes);
+        .apply(9, Round(0), &topo, &mut ps, &mut inboxes, None);
         assert_eq!(dropped, 2, "both in-flight messages dropped");
         assert!(inboxes.iter().all(|i| i.is_empty()));
     }

@@ -63,6 +63,16 @@
 //! pool with [`SimulationBuilder::runtime`](sim::SimulationBuilder::runtime)
 //! (default: the process-wide [`Runtime::global`](runtime::Runtime::global)).
 //!
+//! ## Two-plane telemetry
+//!
+//! [`telemetry`] adds observability without touching the determinism
+//! guarantees: a **deterministic event plane** (structured
+//! [`Event`](telemetry::Event)s at stable `(round, process-id)` coordinates,
+//! ring-buffered in an [`EventSink`](telemetry::EventSink), byte-identical
+//! at any workers × shards × pool size) and a **wall-clock timing plane**
+//! ([`Profiler`](telemetry::Profiler)) that never feeds back into traces or
+//! any compared output. See the [`telemetry`] module docs for the rule.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -100,6 +110,7 @@ pub mod rng;
 pub mod runtime;
 pub mod schedule;
 pub mod sim;
+pub mod telemetry;
 pub mod topology;
 pub mod trace;
 
@@ -113,6 +124,9 @@ pub mod prelude {
     pub use crate::runtime::Runtime;
     pub use crate::schedule::{Schedule, ScheduledAction};
     pub use crate::sim::{Delivery, Simulation, SimulationBuilder, StepExec};
+    pub use crate::telemetry::{
+        DropReason, Event, EventSink, ProfileData, Profiler, TelemetryConfig,
+    };
     pub use crate::topology::Topology;
     pub use crate::trace::Trace;
 }

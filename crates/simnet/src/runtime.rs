@@ -52,6 +52,9 @@ use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread;
+use std::time::Instant;
+
+use crate::telemetry::Profiler;
 
 /// A task whose borrows only need to outlive the batch submission.
 pub type BatchTask<'env> = Box<dyn FnOnce() + Send + 'env>;
@@ -86,6 +89,10 @@ struct Shared {
     queue: Mutex<QueueState>,
     /// Signalled when tasks are queued (and on shutdown).
     task_ready: Condvar,
+    /// Timing-plane hook: when attached, [`Runtime::run_batch`] records
+    /// batch wall time and per-task queue-wait/busy time. Wall-clock data
+    /// never flows back into task results — see [`crate::telemetry`].
+    profiler: Mutex<Option<Profiler>>,
 }
 
 struct QueueState {
@@ -155,6 +162,7 @@ impl Runtime {
                 shutdown: false,
             }),
             task_ready: Condvar::new(),
+            profiler: Mutex::new(None),
         });
         let workers = (1..threads)
             .map(|i| {
@@ -210,6 +218,27 @@ impl Runtime {
         Arc::ptr_eq(&self.shared, &other.shared)
     }
 
+    /// Attaches a wall-clock [`Profiler`] to the pool: subsequent batches
+    /// record batch wall time and per-task queue-wait/busy time into it.
+    /// Visible to every handle of the pool.
+    pub fn attach_profiler(&self, profiler: Profiler) {
+        *self
+            .shared
+            .profiler
+            .lock()
+            .expect("runtime profiler poisoned") = Some(profiler);
+    }
+
+    /// The attached profiler, if any (a clone — all clones share one set
+    /// of accumulators).
+    pub fn profiler(&self) -> Option<Profiler> {
+        self.shared
+            .profiler
+            .lock()
+            .expect("runtime profiler poisoned")
+            .clone()
+    }
+
     /// Executes an indexed batch of tasks, returning when **all** have
     /// finished. Tasks may borrow from the caller's stack (`'env`).
     ///
@@ -227,6 +256,41 @@ impl Runtime {
         if tasks.is_empty() {
             return;
         }
+        // Timing-plane hook: with a profiler attached, wrap each task to
+        // record its queue wait (submit → execution start) and busy time,
+        // and time the whole batch. The wrapper changes nothing about
+        // ordering or results — wall-clock readings only ever flow into
+        // the profiler's side channel.
+        let profiler = self
+            .shared
+            .profiler
+            .lock()
+            .expect("runtime profiler poisoned")
+            .clone();
+        let (tasks, submitted) = match &profiler {
+            Some(profiler) => {
+                let submitted = Instant::now();
+                let tasks = tasks
+                    .into_iter()
+                    .map(|task| {
+                        let profiler = profiler.clone();
+                        Box::new(move || {
+                            let started = Instant::now();
+                            task();
+                            profiler
+                                .record_task(started.duration_since(submitted), started.elapsed());
+                        }) as BatchTask<'env>
+                    })
+                    .collect();
+                (tasks, Some(submitted))
+            }
+            None => (tasks, None),
+        };
+        let record_batch = || {
+            if let (Some(profiler), Some(submitted)) = (&profiler, submitted) {
+                profiler.record_batch(submitted.elapsed());
+            }
+        };
         if self.threads == 1 {
             // Serial special case: inline, in index order, no queue round
             // trip. The batch still drains fully on a task panic — the
@@ -238,6 +302,7 @@ impl Runtime {
                     first_panic.get_or_insert(payload);
                 }
             }
+            record_batch();
             if let Some(payload) = first_panic {
                 panic::resume_unwind(payload);
             }
@@ -295,8 +360,10 @@ impl Runtime {
         while state.pending > 0 {
             state = batch.done.wait(state).expect("runtime batch poisoned");
         }
-        if let Some(payload) = state.panic.take() {
-            drop(state);
+        let panicked = state.panic.take();
+        drop(state);
+        record_batch();
+        if let Some(payload) = panicked {
             panic::resume_unwind(payload);
         }
     }
@@ -469,6 +536,25 @@ mod tests {
         assert!(a.same_pool(&b));
         assert!(!a.same_pool(&Runtime::new(2)));
         assert!(a.threads() >= 1);
+    }
+
+    #[test]
+    fn attached_profiler_records_batches_without_changing_results() {
+        let expected: Vec<usize> = (0..9).map(|i| i * i).collect();
+        for threads in [1, 4] {
+            let runtime = Runtime::new(threads);
+            assert!(runtime.profiler().is_none(), "off by default");
+            let profiler = Profiler::new();
+            runtime.attach_profiler(profiler.clone());
+            assert_eq!(indexed_squares(&runtime, 9), expected, "threads={threads}");
+            let data = profiler.snapshot();
+            assert_eq!(data.batches, 1, "threads={threads}");
+            assert_eq!(data.tasks, 9, "threads={threads}");
+            assert!(
+                data.task_busy_ns <= data.batch_ns * threads as u64,
+                "threads={threads}: busy time is bounded by budget × wall"
+            );
+        }
     }
 
     #[test]

@@ -54,6 +54,22 @@ pub enum ScheduledAction {
     SetDelivery(Delivery),
 }
 
+impl ScheduledAction {
+    /// Stable lowercase kind label, used by the telemetry event plane
+    /// ([`Event::ScheduleFired`](crate::telemetry::Event::ScheduleFired)).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ScheduledAction::Disconnect(_) => "disconnect",
+            ScheduledAction::Reconnect(..) => "reconnect",
+            ScheduledAction::CutLink { .. } => "cut_link",
+            ScheduledAction::HealLink { .. } => "heal_link",
+            ScheduledAction::Inject(_) => "inject",
+            ScheduledAction::Corrupt(_) => "corrupt",
+            ScheduledAction::SetDelivery(_) => "set_delivery",
+        }
+    }
+}
+
 /// An ordered list of `(round, action)` entries.
 ///
 /// Entries may be added in any order; they are kept sorted by round, with

@@ -17,12 +17,25 @@ pub struct Trace {
     pub messages_dropped_no_link: u64,
     /// Messages dropped by the loss model.
     pub messages_dropped_lossy: u64,
-    /// In-flight messages destroyed by transient-fault injection.
+    /// In-flight messages destroyed by transient-fault injection or a
+    /// scheduled corruption family.
     ///
-    /// These messages were already routed — and therefore counted in
-    /// [`messages_delivered`](Trace::messages_delivered) — before the
-    /// fault wiped them out of the pending inboxes, so this counter
-    /// *overlaps* the delivery counters rather than adding to them.
+    /// **This counter overlaps [`messages_delivered`], it does not add to
+    /// it.** A fault wipes messages out of the *pending* inboxes — i.e.
+    /// messages that were already routed during an earlier pulse's merge
+    /// phase and counted delivered (including in the per-process
+    /// [`delivered_to`](Trace::delivered_to) tallies and
+    /// [`bytes_delivered`]) but that no recipient will ever read. Summing
+    /// it with `messages_delivered` double-counts; subtracting it gives
+    /// [`delivered_net`](Trace::delivered_net), the messages that actually
+    /// reached a process step. It is likewise excluded from
+    /// [`messages_offered`](Trace::messages_offered) (routing-time
+    /// accounting) and from
+    /// [`lossy_drop_rate`](Trace::lossy_drop_rate) (a loss-model-only
+    /// rate).
+    ///
+    /// [`messages_delivered`]: Trace::messages_delivered
+    /// [`bytes_delivered`]: Trace::bytes_delivered
     pub messages_dropped_fault: u64,
     /// Rounds executed.
     pub rounds: u64,
@@ -54,6 +67,17 @@ impl Trace {
     /// Messages delivered to a specific process over the whole run.
     pub fn delivered_to(&self, id: ProcessId) -> u64 {
         self.per_process.get(id.index()).copied().unwrap_or(0)
+    }
+
+    /// Messages that actually reached a recipient's step: deliveries minus
+    /// the in-flight messages a fault destroyed afterwards
+    /// ([`messages_dropped_fault`](Trace::messages_dropped_fault) overlaps
+    /// [`messages_delivered`](Trace::messages_delivered) — see its docs).
+    /// Saturating, since a hand-built trace could count a fault drop
+    /// without its delivery.
+    pub fn delivered_net(&self) -> u64 {
+        self.messages_delivered
+            .saturating_sub(self.messages_dropped_fault)
     }
 
     /// Average messages per round (0 if no rounds ran).
@@ -145,5 +169,21 @@ mod tests {
     #[test]
     fn drop_rate_zero_when_nothing_routed() {
         assert_eq!(Trace::new(1).lossy_drop_rate(), 0.0);
+    }
+
+    #[test]
+    fn delivered_net_subtracts_the_fault_overlap() {
+        let mut t = Trace::new(2);
+        for _ in 0..5 {
+            t.record_delivery(ProcessId(0), 1);
+        }
+        // A fault wipes 2 of the 5 routed-and-counted messages: net is 3,
+        // offered stays 5 (fault drops are post-routing, not routing-time).
+        t.messages_dropped_fault = 2;
+        assert_eq!(t.delivered_net(), 3);
+        assert_eq!(t.messages_offered(), 5);
+        // Saturates rather than underflows on inconsistent hand-built data.
+        t.messages_dropped_fault = 99;
+        assert_eq!(t.delivered_net(), 0);
     }
 }

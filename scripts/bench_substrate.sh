@@ -13,7 +13,12 @@
 # the host's core count; s2/s4 ≈ s1 on a single-core machine), and
 #   substrate/step_loop_pooled/n{64,256}s4  — small-n sharding on an
 # explicit persistent Runtime pool, recording the win the old per-round
-# thread::scope spawn overhead previously ate at these populations.
+# thread::scope spawn overhead previously ate at these populations, and
+#   substrate/step_loop_events/n64          — the same n=64 step loop with
+# the telemetry event sink attached (one event per delivered message);
+# its ratio vs step_loop_bytes/n64 is the cost of turning events on, and
+# step_loop_bytes/n64 itself is the events-off row — with the sink
+# disabled telemetry must stay within noise of the pre-telemetry loop.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -51,5 +56,10 @@ for n in (64, 256):
     if base and pooled:
         print(f"n{n} pooled 4-shard vs serial: {base / pooled:.2f}x "
               f"(host has {cores} core(s))")
+events = ns.get("substrate/step_loop_events/n64")
+base = ns.get("substrate/step_loop_bytes/n64")
+if events and base:
+    print(f"n64 telemetry events on vs off: {events / base:.2f}x "
+          f"({(events / base - 1) * 100:+.1f}% overhead)")
 EOF
 fi
