@@ -65,6 +65,7 @@ impl Json {
         let mut parser = Parser {
             bytes: input.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         parser.skip_ws();
         let value = parser.value()?;
@@ -171,10 +172,17 @@ impl Json {
     }
 }
 
+/// Nesting ceiling for [`Json::parse`]: recursion depth is bounded so
+/// adversarial input (e.g. ten thousand `[`s) returns `Err` instead of
+/// overflowing the stack. Far deeper than any artifact this workspace
+/// emits.
+const MAX_DEPTH: usize = 128;
+
 /// Recursive-descent state for [`Json::parse`].
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -219,12 +227,25 @@ impl Parser<'_> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_DEPTH} at byte {}",
+                self.pos
+            ));
+        }
+        Ok(())
+    }
+
     fn object(&mut self) -> Result<Json, String> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(fields));
         }
         loop {
@@ -239,6 +260,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(fields));
                 }
                 _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
@@ -248,10 +270,12 @@ impl Parser<'_> {
 
     fn array(&mut self) -> Result<Json, String> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -262,6 +286,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
@@ -478,6 +503,24 @@ mod tests {
         for bad in ["", "{", "[1,", "{\"a\"}", "tru", "1.2.3", "{}x", "\"\\q\""] {
             assert!(Json::parse(bad).is_err(), "{bad:?} must not parse");
         }
+    }
+
+    #[test]
+    fn parse_bounds_nesting_depth_instead_of_overflowing() {
+        // At the ceiling: parses fine.
+        let ok = "[".repeat(MAX_DEPTH) + &"]".repeat(MAX_DEPTH);
+        assert!(Json::parse(&ok).is_ok());
+        // One past the ceiling: a clean `Err`.
+        let over = "[".repeat(MAX_DEPTH + 1) + &"]".repeat(MAX_DEPTH + 1);
+        assert!(Json::parse(&over).unwrap_err().contains("nesting"));
+        // Pathological input must never panic or blow the stack.
+        let bomb = "[".repeat(100_000);
+        assert!(Json::parse(&bomb).is_err());
+        let obj_bomb = "{\"k\":".repeat(100_000);
+        assert!(Json::parse(&obj_bomb).is_err());
+        // Siblings don't accumulate depth: a wide flat array is fine.
+        let wide = format!("[{}1]", "1,".repeat(10_000));
+        assert!(Json::parse(&wide).is_ok());
     }
 
     #[test]

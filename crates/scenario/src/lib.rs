@@ -132,6 +132,7 @@
 //! ```
 
 pub mod authority;
+pub mod bfs;
 pub mod cli;
 pub mod json;
 pub mod ports;
@@ -140,10 +141,12 @@ pub mod spec;
 pub mod stabilize;
 pub mod suites;
 pub mod sweep;
+pub mod unsupportive;
 pub mod workload;
 
 /// Convenient glob import for scenario authors.
 pub mod prelude {
+    pub use crate::bfs::BfsTree;
     pub use crate::record::{event_json, FnScenario, MessageStats, RunRecord, Scenario, Verdict};
     pub use crate::spec::{PlacementStrategy, Role, ScenarioSpec, TopologyFamily};
     pub use crate::suites::Suite;

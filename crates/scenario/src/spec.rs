@@ -182,12 +182,15 @@ type LegalFn = Arc<dyn Fn(&Simulation) -> bool + Send + Sync>;
 type RoundMetricFn = Arc<dyn Fn(&Simulation) -> f64 + Send + Sync>;
 
 /// A per-round legality probe measuring recovery after scheduled
-/// corruption — see [`ScenarioSpec::stabilization`].
+/// corruption — see [`ScenarioSpec::stabilization`] and
+/// [`ScenarioSpec::stabilization_episodes`].
 #[derive(Clone)]
 struct StabilizationProbe {
-    /// The round the spec's corruption event fires at (the measurement
-    /// origin for `rounds_to_stabilize`).
-    corruption_round: u64,
+    /// The rounds the spec's corruption bursts fire at, ascending and
+    /// deduplicated. Each opens one measurement *episode*: the window from
+    /// its burst to the next burst (or the end of the run), with the burst
+    /// round as that episode's `rounds_to_stabilize` origin.
+    corruption_rounds: Vec<u64>,
     /// The legitimacy predicate of the protocol's state space.
     legal: LegalFn,
 }
@@ -407,7 +410,9 @@ impl ScenarioSpec {
     }
 
     /// Attaches a stabilization probe measuring recovery from the
-    /// corruption the spec schedules at `corruption_round`.
+    /// corruption the spec schedules at `corruption_round` — the
+    /// single-episode form of
+    /// [`stabilization_episodes`](Self::stabilization_episodes).
     ///
     /// `legal` — the protocol's legitimacy predicate — is evaluated after
     /// every pulse, and the run tracks the *last illegal round*. If the
@@ -425,12 +430,58 @@ impl ScenarioSpec {
     /// [`verdict`](Self::verdict) callbacks, which may read them.
     #[must_use]
     pub fn stabilization(
-        mut self,
+        self,
         corruption_round: u64,
         legal: impl Fn(&Simulation) -> bool + Send + Sync + 'static,
     ) -> Self {
+        self.stabilization_episodes([corruption_round], legal)
+    }
+
+    /// Attaches a stabilization probe measuring recovery from *recurring*
+    /// corruption: one measurement episode per burst in
+    /// `corruption_rounds` (sorted and deduplicated; must be non-empty).
+    ///
+    /// Episode `i` spans the pulses from burst `i` up to (excluding) burst
+    /// `i + 1`; the last episode runs to the end of the run, and pulses
+    /// before the first burst fold into episode 0, preserving the
+    /// single-episode semantics of [`stabilization`](Self::stabilization).
+    /// Each episode is scored independently, against the state at its
+    /// window's last pulse:
+    ///
+    /// * recovered — the window ends legal: the episode emits one
+    ///   `rounds_to_stabilize` value, `last_illegal_in_window − burst`
+    ///   (saturating; `0` for an episode that never went illegal). Every
+    ///   per-episode value feeds the sweep percentiles, so p50/p90/p99
+    ///   aggregate over *episodes*, not runs.
+    /// * censored — the window closes (next burst lands, or the budget
+    ///   runs out) while the state is still illegal: no value is emitted
+    ///   for it. Back-to-back bursts with no legal pulse between them are
+    ///   censored episodes, not slow ones.
+    /// * unscored — a burst after the last executed pulse never opens its
+    ///   window (scheduled past the budget, or the run stopped early):
+    ///   neither a value nor a censoring. Episode 0 is always scored.
+    ///
+    /// The run then emits `censored` = the number of censored episodes
+    /// (`0` iff every opened episode recovered) and `legal_fraction` =
+    /// the fraction of executed pulses whose state was legal — the run's
+    /// availability over the measurement window, the natural summary when
+    /// corruption re-fires forever and "fully stabilized" stops being the
+    /// interesting question.
+    #[must_use]
+    pub fn stabilization_episodes(
+        mut self,
+        corruption_rounds: impl IntoIterator<Item = u64>,
+        legal: impl Fn(&Simulation) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        let mut rounds: Vec<u64> = corruption_rounds.into_iter().collect();
+        rounds.sort_unstable();
+        rounds.dedup();
+        assert!(
+            !rounds.is_empty(),
+            "stabilization_episodes requires at least one corruption round"
+        );
         self.stabilization = Some(StabilizationProbe {
-            corruption_round,
+            corruption_rounds: rounds,
             legal: Arc::new(legal),
         });
         self
@@ -544,7 +595,16 @@ impl ScenarioSpec {
         // round metrics, the stabilization legality probe — see every
         // pulse on every execution path.
         let mut stopped = None;
-        let mut last_illegal: Option<u64> = None;
+        // Per-episode stabilization state: `episode` indexes the burst
+        // whose measurement window the current pulse falls in,
+        // `episode_last_illegal` tracks the last illegal pulse inside that
+        // window, and closed windows accumulate into `recoveries` /
+        // `censored_episodes` (see `stabilization_episodes`).
+        let mut episode = 0usize;
+        let mut episode_last_illegal: Option<u64> = None;
+        let mut recoveries: Vec<u64> = Vec::new();
+        let mut censored_episodes = 0u64;
+        let mut legal_pulses = 0u64;
         // The legal set is the resting state; a run is presumed inside it
         // until a post-pulse probe says otherwise, so the first flip
         // event marks the entry into illegality.
@@ -571,9 +631,27 @@ impl ScenarioSpec {
                 *sum += f(&sim);
             }
             if let Some(stab) = &self.stabilization {
+                let bursts = &stab.corruption_rounds;
+                // Reaching the next burst round closes the current
+                // episode's window: score it against the state after the
+                // *previous* pulse (this pulse already reflects the new
+                // burst, which fires at the start of its round).
+                while episode + 1 < bursts.len() && pulse >= bursts[episode + 1] {
+                    if prev_legal {
+                        recoveries.push(
+                            episode_last_illegal.map_or(0, |l| l.saturating_sub(bursts[episode])),
+                        );
+                    } else {
+                        censored_episodes += 1;
+                    }
+                    episode += 1;
+                    episode_last_illegal = None;
+                }
                 let legal = (stab.legal)(&sim);
-                if !legal {
-                    last_illegal = Some(pulse);
+                if legal {
+                    legal_pulses += 1;
+                } else {
+                    episode_last_illegal = Some(pulse);
                 }
                 if legal != prev_legal {
                     prev_legal = legal;
@@ -595,17 +673,30 @@ impl ScenarioSpec {
         }
         record.stopped_at = stopped;
         if let Some(stab) = &self.stabilization {
+            // The run's end closes the current episode; later bursts never
+            // opened their windows and stay unscored. A diverged episode
+            // emits no rounds_to_stabilize, keeping it out of the
+            // stabilization-time percentiles.
             if (stab.legal)(&sim) {
-                let rounds_to_stabilize =
-                    last_illegal.map_or(0, |l| l.saturating_sub(stab.corruption_round));
-                record.metric("rounds_to_stabilize", rounds_to_stabilize as f64);
-                record.metric("censored", 0.0);
+                recoveries.push(
+                    episode_last_illegal
+                        .map_or(0, |l| l.saturating_sub(stab.corruption_rounds[episode])),
+                );
             } else {
-                // Censored: still illegal when the budget ran out. No
-                // rounds_to_stabilize is emitted, keeping diverged runs
-                // out of the stabilization-time percentiles.
-                record.metric("censored", 1.0);
+                censored_episodes += 1;
             }
+            for recovery in &recoveries {
+                record.metric("rounds_to_stabilize", *recovery as f64);
+            }
+            record.metric("censored", censored_episodes as f64);
+            record.metric(
+                "legal_fraction",
+                if sampled == 0 {
+                    1.0
+                } else {
+                    legal_pulses as f64 / sampled as f64
+                },
+            );
         }
         record.rounds = sim.round().value();
         record.messages = MessageStats::from_trace(sim.trace());
@@ -911,12 +1002,15 @@ mod tests {
         })
         .schedule(Schedule::new().at(
             5,
-            ScheduledAction::Corrupt(CorruptionFamily {
-                targets: CorruptionTargets::All,
-                corrupt_messages_p: 0.0,
-                drop_messages_p: 0.0,
-                salt: 1,
-            }),
+            ScheduledAction::Corrupt(
+                CorruptionFamily {
+                    targets: CorruptionTargets::All,
+                    corrupt_messages_p: 0.0,
+                    drop_messages_p: 0.0,
+                    salt: 1,
+                },
+                Recurrence::Once,
+            ),
         ))
         .max_rounds(20)
         .stabilization(5, |sim| crate::workload::gossip_agreed(sim, 0..6))
@@ -963,6 +1057,144 @@ mod tests {
         .run(0);
         assert_eq!(r.get_metric("rounds_to_stabilize"), Some(0.0));
         assert_eq!(r.get_metric("censored"), Some(0.0));
+    }
+
+    fn bfs_episode_spec(
+        schedule: Schedule,
+        bursts: impl IntoIterator<Item = u64>,
+        max_rounds: u64,
+    ) -> ScenarioSpec {
+        ScenarioSpec::new("episodes", TopologyFamily::Ring(8), |id, _| {
+            Box::new(crate::bfs::BfsTree::new(id))
+        })
+        .schedule(schedule)
+        .max_rounds(max_rounds)
+        .stabilization_episodes(bursts, crate::bfs::bfs_tree_legal)
+    }
+
+    fn total_scramble() -> CorruptionFamily {
+        // Scramble every register *and* wipe the in-flight claims: with the
+        // channels intact, one BfsTree pulse re-adopts the pre-burst claims
+        // and the scramble never becomes observable.
+        CorruptionFamily {
+            targets: CorruptionTargets::All,
+            corrupt_messages_p: 0.0,
+            drop_messages_p: 1.0,
+            salt: 2,
+        }
+    }
+
+    #[test]
+    fn recurring_bursts_score_one_episode_each() {
+        // Bursts at 10 and 25, far enough apart for full recovery: two
+        // rounds_to_stabilize values, no censoring, and availability
+        // strictly between 0 and 1.
+        let recurrence = Recurrence::Every {
+            period: 15,
+            until: 30,
+        };
+        let r = bfs_episode_spec(
+            Schedule::new().at(10, ScheduledAction::Corrupt(total_scramble(), recurrence)),
+            recurrence.firing_rounds(10),
+            60,
+        )
+        .run(1);
+        let recoveries: Vec<f64> = r
+            .metrics
+            .iter()
+            .filter(|(n, _)| n == "rounds_to_stabilize")
+            .map(|(_, v)| *v)
+            .collect();
+        assert_eq!(recoveries.len(), 2, "one recovery per episode: {r:?}");
+        let bound = crate::bfs::certified_bound(&Topology::ring(8)).unwrap() as f64;
+        assert!(
+            recoveries.iter().all(|&v| v >= 1.0 && v <= bound),
+            "recoveries within the certified bound: {recoveries:?}"
+        );
+        assert_eq!(r.get_metric("censored"), Some(0.0));
+        let legal = r.get_metric("legal_fraction").unwrap();
+        assert!(legal > 0.0 && legal < 1.0, "legal_fraction {legal}");
+    }
+
+    #[test]
+    fn corruption_at_round_zero_measures_from_the_first_pulse() {
+        let r = bfs_episode_spec(
+            Schedule::new().at(
+                0,
+                ScheduledAction::Corrupt(total_scramble(), Recurrence::Once),
+            ),
+            [0],
+            40,
+        )
+        .run(1);
+        assert_eq!(r.get_metric("censored"), Some(0.0));
+        let rts = r.get_metric("rounds_to_stabilize").unwrap();
+        let bound = crate::bfs::certified_bound(&Topology::ring(8)).unwrap() as f64;
+        assert!(
+            rts >= 1.0 && rts <= bound,
+            "round-0 burst measured from pulse 0, got {rts}"
+        );
+    }
+
+    #[test]
+    fn burst_after_the_budget_leaves_its_episode_unscored() {
+        // Second burst at 300 never fires inside the 40-round budget: the
+        // run emits exactly one recovery and no censoring for the ghost
+        // episode.
+        let r = bfs_episode_spec(
+            Schedule::new().at(
+                10,
+                ScheduledAction::Corrupt(total_scramble(), Recurrence::Once),
+            ),
+            [10, 300],
+            40,
+        )
+        .run(1);
+        let recoveries = r
+            .metrics
+            .iter()
+            .filter(|(n, _)| n == "rounds_to_stabilize")
+            .count();
+        assert_eq!(recoveries, 1, "the unopened episode emits nothing");
+        assert_eq!(
+            r.get_metric("censored"),
+            Some(0.0),
+            "an unopened episode is not censored either"
+        );
+    }
+
+    #[test]
+    fn back_to_back_bursts_censor_the_squeezed_episodes() {
+        // Re-firing every round leaves no legal pulse between bursts on a
+        // diameter-4 ring: every closed episode is censored. The final
+        // episode gets a recovery tail after `until`, so the run still
+        // ends legal and emits exactly one recovery.
+        let recurrence = Recurrence::Every {
+            period: 1,
+            until: 20,
+        };
+        let r = bfs_episode_spec(
+            Schedule::new().at(10, ScheduledAction::Corrupt(total_scramble(), recurrence)),
+            recurrence.firing_rounds(10),
+            60,
+        )
+        .run(1);
+        let recoveries = r
+            .metrics
+            .iter()
+            .filter(|(n, _)| n == "rounds_to_stabilize")
+            .count();
+        assert_eq!(
+            r.get_metric("censored"),
+            Some(10.0),
+            "episodes with zero legal pulses between bursts are censored: {r:?}"
+        );
+        assert_eq!(recoveries, 1, "only the final episode recovers");
+        let legal = r.get_metric("legal_fraction").unwrap();
+        assert!(
+            legal < 0.8,
+            "sustained bursts depress availability: {legal}"
+        );
     }
 
     #[test]

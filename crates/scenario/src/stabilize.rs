@@ -163,7 +163,10 @@ fn ssba_family() -> Vec<Arc<dyn Scenario>> {
             },
         )
         .delivery(delivery(loss))
-        .schedule(Schedule::new().at(CORRUPTION_ROUND, ScheduledAction::Corrupt(corruption(n, c))))
+        .schedule(Schedule::new().at(
+            CORRUPTION_ROUND,
+            ScheduledAction::Corrupt(corruption(n, c), Recurrence::Once),
+        ))
         .max_rounds(ROUND_BUDGET)
         .stabilization(CORRUPTION_ROUND, move |sim| ssba_clocks_agree(sim, n))
         .verdict(stabilized_verdict)
@@ -183,7 +186,10 @@ fn pulse_family() -> Vec<Arc<dyn Scenario>> {
             move |_, _| Box::new(PulseProcess::new(n, f, 8, 1)),
         )
         .delivery(delivery(loss))
-        .schedule(Schedule::new().at(CORRUPTION_ROUND, ScheduledAction::Corrupt(corruption(n, c))))
+        .schedule(Schedule::new().at(
+            CORRUPTION_ROUND,
+            ScheduledAction::Corrupt(corruption(n, c), Recurrence::Once),
+        ))
         .max_rounds(ROUND_BUDGET)
         .stabilization(CORRUPTION_ROUND, move |sim| pulse_values_agree(sim, n))
         .verdict(stabilized_verdict)
@@ -273,7 +279,10 @@ pub fn authority_recovery_port() -> Arc<dyn Scenario> {
             TopologyFamily::Complete(n),
             move |id, _, seed| cluster.process(id.index(), seed),
         )
-        .schedule(Schedule::new().at(corruption_round, ScheduledAction::Corrupt(family)))
+        .schedule(Schedule::new().at(
+            corruption_round,
+            ScheduledAction::Corrupt(family, Recurrence::Once),
+        ))
         .max_rounds(period * 56)
         .stabilization(corruption_round, move |sim| last_plays_agree(sim, n))
         .probe(move |sim, record| {

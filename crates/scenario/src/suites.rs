@@ -5,6 +5,10 @@
 //! * **stabilize** — the self-stabilization recovery frontier: scheduled
 //!   corruption families swept over loss × intensity × n with
 //!   stabilization-time probes (see [`crate::stabilize`]).
+//! * **unsupportive** — the recurring-corruption frontier: the BFS
+//!   spanning-tree workload under period × intensity burst trains, each
+//!   episode's recovery checked against its certified topology bound
+//!   (see [`crate::unsupportive`]).
 //! * **examples** — ports of the repository's `examples/` walkthroughs.
 //! * **smoke** — fast simulator-backed specs exercising every declarative
 //!   axis: topology families, lossy delivery, adversaries, colluders,
@@ -25,6 +29,7 @@ use crate::record::{Scenario, Verdict};
 use crate::spec::{PlacementStrategy, Role, ScenarioSpec, TopologyFamily};
 use crate::stabilize;
 use crate::sweep::{self, ParamGrid, SweepSummary};
+use crate::unsupportive;
 use crate::workload::{gossip_agreed, Flood, MaxGossip};
 
 /// A named, described set of scenarios with a default seed plan.
@@ -146,6 +151,14 @@ pub fn all() -> Vec<Suite> {
             seed_base: 60,
             default_seeds: 2,
             build: stabilize::suite,
+        },
+        Suite {
+            name: "unsupportive",
+            description:
+                "recurring-corruption frontier: BFS tree recovery per burst vs its certified bound",
+            seed_base: 80,
+            default_seeds: 2,
+            build: unsupportive::suite,
         },
         Suite {
             name: "examples",
@@ -552,6 +565,31 @@ mod tests {
                     r.seed,
                     r.verdict
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn unsupportive_suite_charts_the_censoring_frontier() {
+        let suite = find("unsupportive").unwrap();
+        assert_eq!(suite.seed_base, 80);
+        let summary = suite.run(Some(1), 4);
+        assert_eq!(summary.runs(), 16, "2 families × 8 grid points");
+        // Slow periods must pass their certified-bound verdicts; the
+        // fast-period, full-intensity corner must censor — that censoring
+        // boundary is the frontier the suite exists to chart.
+        for r in &summary.records {
+            if r.scenario.contains("[period=15,") {
+                assert!(
+                    r.verdict.passed(),
+                    "{} failed at seed {}: {:?}",
+                    r.scenario,
+                    r.seed,
+                    r.verdict
+                );
+            }
+            if r.scenario.contains("[period=2,c=1]") {
+                assert!(!r.verdict.passed(), "{} must censor", r.scenario);
             }
         }
     }

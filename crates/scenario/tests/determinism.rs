@@ -127,6 +127,91 @@ fn stabilize_suite_json_identical_across_workers_shards_and_pools() {
 }
 
 #[test]
+fn unsupportive_suite_json_identical_across_workers_shards_and_pools() {
+    // The recurring-corruption frontier re-arms its schedule entry at
+    // every fire — the re-arm happens inside worker threads mid-run, so
+    // this pins the lazy recurrence to the same (seed, id, round)
+    // anchoring as everything else: byte-identical summaries at any
+    // (pool, workers, shards).
+    let suite = suites::find("unsupportive").expect("unsupportive suite registered");
+    let baseline = suite
+        .run_on(&Runtime::new(1), Some(2), 1, 1)
+        .to_json(true)
+        .render();
+    assert!(baseline.contains("unsupportive_ring[period=8,c=0.25]"));
+    assert!(baseline.contains("rounds_to_stabilize"));
+    assert!(baseline.contains("legal_fraction"));
+    assert_eq!(
+        suite
+            .run_on(&Runtime::new(4), Some(2), 4, 4)
+            .to_json(true)
+            .render(),
+        baseline,
+        "pool 4 / workers 4 / shards 4 diverged from fully serial"
+    );
+}
+
+#[test]
+fn recurring_corruption_events_identical_at_1_1_1_vs_4_4_4() {
+    // Same invariant as `event_stream_identical_at_1_1_1_vs_4_4_4`, but
+    // with a *recurring* corruption entry firing mid-window: every lazy
+    // re-arm and every per-burst draw must replay identically whatever
+    // the execution split, in both the summary and the event JSONL.
+    let spec = ScenarioSpec::new("det_recurrence", TopologyFamily::Ring(8), |id, _| {
+        Box::new(BfsTree::new(id)) as Box<dyn Process>
+    })
+    .schedule(Schedule::new().at(
+        5,
+        ScheduledAction::Corrupt(
+            CorruptionFamily {
+                targets: CorruptionTargets::All,
+                corrupt_messages_p: 0.0,
+                drop_messages_p: 1.0,
+                salt: 21,
+            },
+            Recurrence::Every {
+                period: 9,
+                until: 23,
+            },
+        ),
+    ))
+    .max_rounds(36)
+    .stabilization_episodes([5, 14, 23], ga_scenario::bfs::bfs_tree_legal);
+    let scenarios: Vec<Arc<dyn Scenario>> = vec![Arc::new(spec)];
+    let telemetry = TelemetryConfig::default();
+    let run = |pool: usize, workers: usize, shards: usize| {
+        let mut lines = String::new();
+        let mut sink = |_i: usize, r: &RunRecord| {
+            for event in &r.events {
+                lines.push_str(
+                    &ga_scenario::record::event_json(&r.scenario, r.seed, event).render(),
+                );
+                lines.push('\n');
+            }
+        };
+        let summary = ga_scenario::sweep::sweep_stream_on(
+            &Runtime::new(pool),
+            "rec",
+            &scenarios,
+            0..4,
+            workers,
+            shards,
+            Some(&telemetry),
+            &mut sink,
+        );
+        (summary.to_json(true).render(), lines)
+    };
+    let (summary, events) = run(1, 1, 1);
+    assert_eq!(
+        events.matches("\"kind\":\"corruption_applied\"").count(),
+        3 * 4,
+        "three bursts (rounds 5, 14, 23) in each of the 4 seeds"
+    );
+    assert!(events.contains("\"kind\":\"legality_flip\""));
+    assert_eq!(run(4, 4, 4), (summary, events), "4/4/4 diverged from 1/1/1");
+}
+
+#[test]
 fn lossy_grid_records_identical_across_shard_counts() {
     // Per-seed records — lossy drops included — must not depend on the
     // shard count (the loss RNG is per-sender, not per-routing-order).
@@ -276,12 +361,15 @@ fn event_stream_identical_at_1_1_1_vs_4_4_4() {
             .at(4, ScheduledAction::Inject(TransientFault::total(16, 3)))
             .at(
                 6,
-                ScheduledAction::Corrupt(CorruptionFamily {
-                    targets: CorruptionTargets::RandomK(4),
-                    corrupt_messages_p: 0.5,
-                    drop_messages_p: 0.5,
-                    salt: 9,
-                }),
+                ScheduledAction::Corrupt(
+                    CorruptionFamily {
+                        targets: CorruptionTargets::RandomK(4),
+                        corrupt_messages_p: 0.5,
+                        drop_messages_p: 0.5,
+                        salt: 9,
+                    },
+                    Recurrence::Once,
+                ),
             )
             .at(8, ScheduledAction::Disconnect(ProcessId(15)))
             .at(

@@ -1,0 +1,126 @@
+//! Property tests for the hand-rolled JSON emitter/parser.
+//!
+//! The parser reads artifacts this workspace itself emitted (`scenario
+//! trace` over `--events` JSONL), but it must also survive anything else
+//! that lands in those files: truncated writes, editor mangling, or plain
+//! garbage. These properties pin the two contracts down: emitted JSON
+//! round-trips byte-exactly, and arbitrary input returns `Err` — never a
+//! panic, never a stack overflow.
+//!
+//! The vendored proptest has no recursive/`String` strategies, so values
+//! are grown by a seeded generator: each case draws one `u64` and the
+//! whole document is a pure function of it.
+
+use ga_scenario::json::Json;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A random string mixing ASCII, escapes-to-be, control bytes and
+/// astral-plane unicode — everything the emitter's `\u` machinery covers.
+fn gen_string(rng: &mut StdRng) -> String {
+    const POOL: &[char] = &[
+        'a',
+        'Z',
+        '0',
+        ' ',
+        '"',
+        '\\',
+        '/',
+        '\n',
+        '\t',
+        '\r',
+        '\u{0}',
+        '\u{1b}',
+        'é',
+        'λ',
+        '中',
+        '\u{1F600}',
+    ];
+    let len = rng.gen_range(0..12);
+    (0..len)
+        .map(|_| POOL[rng.gen_range(0..POOL.len())])
+        .collect()
+}
+
+/// A random [`Json`] document of bounded depth, pure in the rng state.
+fn gen_json(rng: &mut StdRng, depth: usize) -> Json {
+    let top = if depth == 0 { 6 } else { 8 };
+    match rng.gen_range(0..top) {
+        0 => Json::Null,
+        1 => Json::Bool(rng.next_u64() & 1 == 1),
+        2 => Json::Int(rng.next_u64() as i64),
+        3 => Json::Uint(rng.next_u64()),
+        // Covers negatives, non-integral values and the occasional
+        // non-finite one (which renders as `null` and must still fixpoint).
+        4 => Json::Num(f64::from_bits(rng.next_u64())),
+        5 => Json::Str(gen_string(rng)),
+        6 => Json::Arr(
+            (0..rng.gen_range(0..5))
+                .map(|_| gen_json(rng, depth - 1))
+                .collect(),
+        ),
+        _ => Json::Obj(
+            (0..rng.gen_range(0..5))
+                .map(|_| (gen_string(rng), gen_json(rng, depth - 1)))
+                .collect(),
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Whatever the emitter writes, the parser reads back to the same
+    /// bytes. (Variant identity can legitimately shift — `Num(250.0)`
+    /// renders as `250` and re-parses as `Uint` — so the byte-level
+    /// fixpoint is the contract, matching how sweep summaries are
+    /// compared.)
+    #[test]
+    fn render_parse_render_is_a_fixpoint(seed in any::<u64>()) {
+        let v = gen_json(&mut StdRng::seed_from_u64(seed), 4);
+        let rendered = v.render();
+        match Json::parse(&rendered) {
+            Ok(reparsed) => prop_assert_eq!(reparsed.render(), rendered),
+            Err(e) => prop_assert!(false, "emitted JSON must parse: {e} in {rendered}"),
+        }
+    }
+
+    /// Arbitrary byte garbage (lossily decoded) never panics the parser —
+    /// it parses or it returns `Err`.
+    #[test]
+    fn garbage_input_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = Json::parse(&String::from_utf8_lossy(&bytes));
+    }
+
+    /// Mangling valid JSON (truncation, byte splices) never panics.
+    #[test]
+    fn mangled_valid_json_never_panics(
+        seed in any::<u64>(),
+        cut in any::<u64>(),
+        splice_at in any::<u64>(),
+        byte in any::<u8>(),
+    ) {
+        let rendered = gen_json(&mut StdRng::seed_from_u64(seed), 3).render();
+        // Truncate at an arbitrary char boundary.
+        let keep = (cut as usize) % (rendered.chars().count() + 1);
+        let truncated: String = rendered.chars().take(keep).collect();
+        let _ = Json::parse(&truncated);
+        // Splice an arbitrary byte in (lossily re-decoded).
+        let mut bytes = rendered.into_bytes();
+        if !bytes.is_empty() {
+            let i = (splice_at as usize) % bytes.len();
+            bytes[i] = byte;
+        }
+        let _ = Json::parse(&String::from_utf8_lossy(&bytes));
+    }
+
+    /// Unbounded nesting is rejected with `Err` instead of exhausting the
+    /// stack, whatever the bracket mix.
+    #[test]
+    fn deep_nesting_is_rejected_not_fatal(depth in 129usize..4096, obj in 0u8..2) {
+        let open = if obj == 1 { "{\"k\":" } else { "[" };
+        let bomb = open.repeat(depth);
+        prop_assert!(Json::parse(&bomb).is_err());
+    }
+}

@@ -122,7 +122,7 @@ pub mod prelude {
     pub use crate::message::Message;
     pub use crate::process::{Context, Process};
     pub use crate::runtime::Runtime;
-    pub use crate::schedule::{Schedule, ScheduledAction};
+    pub use crate::schedule::{Recurrence, Schedule, ScheduledAction};
     pub use crate::sim::{Delivery, Simulation, SimulationBuilder, StepExec};
     pub use crate::telemetry::{
         DropReason, Event, EventSink, ProfileData, Profiler, TelemetryConfig,

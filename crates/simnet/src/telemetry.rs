@@ -120,6 +120,10 @@ pub enum Event {
         action: &'static str,
     },
     /// A [`CorruptionFamily`](crate::fault::CorruptionFamily) was applied.
+    /// A recurring entry ([`Recurrence::Every`](crate::schedule::Recurrence))
+    /// emits one of these per burst, so in `scenario trace` the episodes of a
+    /// multi-burst run read as [`Event::LegalityFlip`] runs between
+    /// `corruption_applied` marks.
     CorruptionApplied {
         /// Firing round.
         round: u64,

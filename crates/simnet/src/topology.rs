@@ -341,6 +341,49 @@ impl Topology {
         count == self.n
     }
 
+    /// Breadth-first hop distances from `from` to every vertex: `None` for
+    /// unreachable vertices (and for everything when `from` is out of
+    /// range). `O(n + E)`.
+    ///
+    /// This is the ground truth self-stabilizing spanning-tree workloads
+    /// check their distance registers against, and the building block of
+    /// [`diameter`](Topology::diameter) — the quantity certified
+    /// convergence bounds are stated in.
+    pub fn bfs_distances(&self, from: ProcessId) -> Vec<Option<u64>> {
+        let mut dist = vec![None; self.n];
+        if from.index() >= self.n {
+            return dist;
+        }
+        dist[from.index()] = Some(0);
+        let mut queue = VecDeque::from([from.index()]);
+        while let Some(u) = queue.pop_front() {
+            let d = dist[u].expect("queued vertices have a distance");
+            for &v in &self.adj[u] {
+                if dist[v].is_none() {
+                    dist[v] = Some(d + 1);
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// The graph diameter (largest finite hop distance over all pairs), or
+    /// `None` when the graph is disconnected or empty. `O(n · (n + E))` —
+    /// one BFS per vertex, fine at simulator scales.
+    pub fn diameter(&self) -> Option<u64> {
+        if self.n == 0 {
+            return None;
+        }
+        let mut best = 0;
+        for u in 0..self.n {
+            for d in self.bfs_distances(ProcessId(u)) {
+                best = best.max(d?);
+            }
+        }
+        Some(best)
+    }
+
     /// Checks that every pair of distinct vertices has at least `k` vertex
     /// disjoint paths (Menger / max-flow with vertex splitting).
     ///
@@ -634,6 +677,51 @@ mod tests {
         let t = Topology::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
         assert!(!t.is_connected());
         assert!(!t.vertex_connectivity_at_least(1));
+    }
+
+    #[test]
+    fn bfs_distances_on_known_shapes() {
+        let ring = Topology::ring(8);
+        let d = ring.bfs_distances(ProcessId(0));
+        assert_eq!(
+            d,
+            [0u64, 1, 2, 3, 4, 3, 2, 1].map(Some).to_vec(),
+            "ring distances wrap both ways"
+        );
+        // Grid (3×3): vertex (x, y) = y*3 + x, corner to corner is 4 hops.
+        let grid = Topology::grid(3, 3);
+        assert_eq!(grid.bfs_distances(ProcessId(0))[8], Some(4));
+        assert_eq!(grid.bfs_distances(ProcessId(4))[0], Some(2));
+        // Star: hub at 0, every leaf 1 from hub and 2 from each other.
+        let star = Topology::star(6);
+        assert_eq!(star.bfs_distances(ProcessId(0))[5], Some(1));
+        assert_eq!(star.bfs_distances(ProcessId(1))[5], Some(2));
+    }
+
+    #[test]
+    fn bfs_distances_handle_unreachable_and_out_of_range() {
+        let t = Topology::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let d = t.bfs_distances(ProcessId(0));
+        assert_eq!(d, vec![Some(0), Some(1), None, None]);
+        assert!(t.bfs_distances(ProcessId(9)).iter().all(|d| d.is_none()));
+    }
+
+    #[test]
+    fn diameter_of_known_shapes() {
+        assert_eq!(Topology::complete(5).diameter(), Some(1));
+        assert_eq!(Topology::ring(8).diameter(), Some(4));
+        assert_eq!(Topology::ring(7).diameter(), Some(3));
+        assert_eq!(Topology::grid(3, 3).diameter(), Some(4));
+        assert_eq!(Topology::grid(1, 5).diameter(), Some(4), "path graph");
+        assert_eq!(Topology::star(6).diameter(), Some(2));
+        assert_eq!(Topology::grid(1, 1).diameter(), Some(0), "single vertex");
+        assert_eq!(
+            Topology::from_edges(4, &[(0, 1), (2, 3)])
+                .unwrap()
+                .diameter(),
+            None,
+            "disconnected graphs have no finite diameter"
+        );
     }
 
     #[test]
