@@ -8,7 +8,9 @@
 //! `BENCH_substrate.json` perf snapshot.
 
 use bytes::Bytes;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{
+    criterion_group, criterion_main, record_metric, BenchmarkId, Criterion, Throughput,
+};
 use ga_agreement::consensus::{DolevStrongConsensus, OmConsensus};
 use ga_agreement::executor::{no_tamper, run_pure};
 use ga_agreement::king::PhaseKing;
@@ -239,7 +241,107 @@ fn bench_substrate(c: &mut Criterion) {
             },
         );
     }
+    // Quiescence-aware sparse stepping: one token circulates a ring while
+    // every other process sleeps, so the per-round cost is O(active) = O(1)
+    // and must stay flat from n=4k to n=64k. (An O(n)-scan scheduler shows
+    // a 16× jump between these two rows — that regression is the thing
+    // this series pins.)
+    for n in [4096usize, 65536] {
+        g.throughput(Throughput::Elements(1));
+        g.bench_function(BenchmarkId::new("step_loop_sparse", format!("n{n}")), |b| {
+            let mut sim = token_walker_sim(Topology::ring(n));
+            b.iter(|| {
+                sim.step();
+                std::hint::black_box(sim.round())
+            })
+        });
+    }
+
+    // Million-vertex grid: the paper-scale sparse population. One token
+    // wanders a 1000×1000 grid; the row prices a round at n=10⁶ (it must
+    // sit near the ring rows above, not scale with n), and the process's
+    // peak RSS is recorded alongside so memory regressions in the CSR
+    // topology or the inbox arena surface in the same snapshot.
+    {
+        let n = 1_000_000usize;
+        g.throughput(Throughput::Elements(1));
+        g.bench_function(BenchmarkId::new("step_loop_sparse", "grid1m"), |b| {
+            let mut sim = token_walker_sim(Topology::grid(1000, 1000));
+            assert_eq!(sim.pending_messages(), 1, "exactly one token in flight");
+            assert_eq!(sim.quiescent_processes(), n - 1);
+            b.iter(|| {
+                sim.step();
+                std::hint::black_box(sim.round())
+            })
+        });
+        if let Some(rss) = peak_rss_bytes() {
+            record_metric("substrate/step_loop_sparse/grid1m_peak_rss_bytes", rss);
+        }
+    }
     g.finish();
+}
+
+/// Perpetually circulating token: the start process emits once, then every
+/// process forwards an arriving token to a neighbor other than its sender.
+/// Exactly one process is active per round at any n — the reference
+/// workload for pricing quiescence-aware stepping.
+struct TokenWalker {
+    start: bool,
+}
+
+impl Process for TokenWalker {
+    fn on_pulse(&mut self, ctx: &mut Context<'_>) {
+        if self.start {
+            self.start = false;
+            let to = ctx.neighbors()[0];
+            ctx.send(ProcessId(to), Bytes::from_static(&[0x70]));
+            return;
+        }
+        if let Some(m) = ctx.inbox().first() {
+            let from = m.from.index();
+            let to = ctx
+                .neighbors()
+                .iter()
+                .copied()
+                .find(|&nb| nb != from)
+                .unwrap_or(from);
+            ctx.send(ProcessId(to), m.payload.clone());
+        }
+    }
+    fn always_active(&self) -> bool {
+        self.start
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// A token-walker simulation on `topology`, warmed two rounds so the token
+/// is in flight and the arena buffers are recycled.
+fn token_walker_sim(topology: Topology) -> Simulation {
+    let mut sim = Simulation::builder(topology).build_with(|id| {
+        Box::new(TokenWalker {
+            start: id.index() == 0,
+        }) as Box<dyn Process>
+    });
+    sim.run(2);
+    sim
+}
+
+/// Linux peak resident set (`VmHWM`) in bytes; `None` off-Linux.
+fn peak_rss_bytes() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let kb: f64 = status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))?
+        .split_whitespace()
+        .nth(1)?
+        .parse()
+        .ok()?;
+    Some(kb * 1024.0)
 }
 
 /// A complete-graph simulation of 8-byte broadcasters, warmed into steady

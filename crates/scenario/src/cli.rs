@@ -67,6 +67,7 @@ use std::time::Instant;
 
 use ga_simnet::runtime::Runtime;
 use ga_simnet::telemetry::{ProfileData, Profiler, TelemetryConfig};
+use ga_simnet::topology::{set_default_repr, AdjacencyRepr};
 
 use crate::json::Json;
 use crate::record::event_json;
@@ -114,6 +115,11 @@ struct Options {
     /// Metric to render as a cross-run convergence table (`rounds` for
     /// rounds-to-stop).
     table: Option<String>,
+    /// Forced adjacency representation: `None` keeps the size-based
+    /// auto-selection, `Some` pins every topology built during the
+    /// invocation to the dense bitmask or the pure-CSR path. Traces are
+    /// identical either way; the knob exists so CI can prove it.
+    repr: Option<AdjacencyRepr>,
 }
 
 impl Options {
@@ -129,6 +135,7 @@ impl Options {
             events: None,
             profile: None,
             table: None,
+            repr: None,
         };
         let mut i = 0;
         while i < args.len() {
@@ -190,6 +197,19 @@ impl Options {
                 }
                 "--table" => {
                     opts.table = Some(take(i)?.clone());
+                    i += 2;
+                }
+                "--repr" => {
+                    opts.repr = Some(match take(i)?.as_str() {
+                        "auto" => AdjacencyRepr::Auto,
+                        "dense" => AdjacencyRepr::Dense,
+                        "sparse" => AdjacencyRepr::Sparse,
+                        other => {
+                            return Err(format!(
+                                "--repr must be auto, dense or sparse (got {other})"
+                            ))
+                        }
+                    });
                     i += 2;
                 }
                 other => return Err(format!("unknown argument: {other}")),
@@ -267,8 +287,13 @@ fn usage(err: &str) -> i32 {
     eprintln!("                            FILE (never folded into summaries/events)");
     eprintln!("        [--table METRIC]    append a convergence-vs-param table of METRIC");
     eprintln!("                            ('rounds' for rounds-to-stop percentiles)");
+    eprintln!("        [--repr MODE]       force the adjacency representation for every");
+    eprintln!("                            topology: auto (size-based, default), dense");
+    eprintln!("                            (bitmask) or sparse (pure CSR); traces are");
+    eprintln!("                            byte-identical across modes");
     eprintln!("  bench [--suite NAME]      time a sweep, write throughput JSON");
     eprintln!("        [--seeds N] [--workers N] [--shards N] [--table METRIC]");
+    eprintln!("        [--repr MODE]       as for run");
     eprintln!("        [--out FILE (default BENCH_scenarios.json)]");
     eprintln!("  trace EVENTS.jsonl        convert an --events file to Chrome trace-event");
     eprintln!("        [--out FILE]        JSON (Perfetto/chrome://tracing); stdout");
@@ -299,6 +324,9 @@ fn run(opts: &Options) -> i32 {
             opts.suite
         ));
     };
+    if let Some(repr) = opts.repr {
+        set_default_repr(repr);
+    }
     // The one pool behind the whole invocation: concurrent runs and their
     // sharded step loops all draw from these `--workers` threads.
     let runtime = Runtime::new(opts.workers);
@@ -462,6 +490,9 @@ fn bench(opts: &Options) -> i32 {
             opts.suite
         ));
     };
+    if let Some(repr) = opts.repr {
+        set_default_repr(repr);
+    }
     // Resolve the budget split once: it also prints the ignored---shards
     // note, and the bench region must not re-trigger it.
     let workers = opts.sweep_workers(&suite);

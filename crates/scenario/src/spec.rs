@@ -166,8 +166,11 @@ impl PlacementStrategy {
                 place(ids, *f, role)
             }
             PlacementStrategy::WorstCaseByDegree { f, role } => {
-                let mut ids: Vec<usize> = (0..topology.len()).collect();
-                ids.sort_by_key(|&id| (std::cmp::Reverse(topology.degree(ProcessId(id))), id));
+                let ids: Vec<usize> = topology
+                    .top_k_by_degree(*f)
+                    .into_iter()
+                    .map(|id| id.index())
+                    .collect();
                 place(ids, *f, role)
             }
         }
@@ -203,6 +206,9 @@ struct StabilizationProbe {
 pub struct ScenarioSpec {
     name: String,
     topology: TopologyFamily,
+    /// Adjacency representation override for each run's graph; `None`
+    /// keeps the size-based auto choice (or the process-wide default).
+    repr: Option<AdjacencyRepr>,
     delivery: Delivery,
     placements: Vec<(usize, Role)>,
     strategies: Vec<PlacementStrategy>,
@@ -251,6 +257,7 @@ impl ScenarioSpec {
         ScenarioSpec {
             name: name.into(),
             topology,
+            repr: None,
             delivery: Delivery::Reliable,
             placements: Vec::new(),
             strategies: Vec::new(),
@@ -283,6 +290,17 @@ impl ScenarioSpec {
     #[must_use]
     pub fn delivery(mut self, delivery: Delivery) -> Self {
         self.delivery = delivery;
+        self
+    }
+
+    /// Forces the adjacency representation of every run's graph (default:
+    /// the size-based auto choice). Purely a memory/speed knob — dense
+    /// and sparse answer every query identically, so records are
+    /// byte-identical either way; see
+    /// [`Topology::set_repr`](ga_simnet::topology::Topology::set_repr).
+    #[must_use]
+    pub fn repr(mut self, repr: AdjacencyRepr) -> Self {
+        self.repr = Some(repr);
         self
     }
 
@@ -557,7 +575,10 @@ impl ScenarioSpec {
         // to the spec's own knob so `.shards(n)` survives every sweep
         // path. Any explicit hint — including 1 = force serial — wins.
         let shards = if shards == 0 { self.shards } else { shards };
-        let topology = self.topology.build(seed);
+        let mut topology = self.topology.build(seed);
+        if let Some(repr) = self.repr {
+            topology.set_repr(repr);
+        }
         let n = topology.len();
         let placements = self.resolve_placements(&topology, seed);
         // The cabal's per-round lies derive from the run seed, so records

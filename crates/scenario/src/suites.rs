@@ -30,7 +30,7 @@ use crate::spec::{PlacementStrategy, Role, ScenarioSpec, TopologyFamily};
 use crate::stabilize;
 use crate::sweep::{self, ParamGrid, SweepSummary};
 use crate::unsupportive;
-use crate::workload::{gossip_agreed, Flood, MaxGossip};
+use crate::workload::{gossip_agreed, relay_fired, Flood, MaxGossip, Relay};
 
 /// A named, described set of scenarios with a default seed plan.
 #[derive(Clone)]
@@ -173,6 +173,14 @@ pub fn all() -> Vec<Suite> {
             seed_base: 0,
             default_seeds: 3,
             build: smoke,
+        },
+        Suite {
+            name: "sparse",
+            description:
+                "large-n quiescent relay wavefronts: O(active) stepping on 4k/64k sparse graphs",
+            seed_base: 100,
+            default_seeds: 1,
+            build: sparse,
         },
         Suite {
             name: "bench64",
@@ -399,6 +407,57 @@ fn smoke() -> Vec<Arc<dyn Scenario>> {
     scenarios
 }
 
+fn relay(id: ProcessId, _n: usize) -> Box<dyn Process> {
+    Box::new(if id.index() == 0 {
+        Relay::source()
+    } else {
+        Relay::default()
+    })
+}
+
+/// Large-n sparse scenarios: the populations where O(n)-per-round
+/// scanning stops being viable (a 64k ring would spend its whole round
+/// budget stepping idle processes) and quiescence-aware stepping is what
+/// keeps rounds proportional to the token wavefront.
+fn sparse() -> Vec<Arc<dyn Scenario>> {
+    vec![
+        // 64×64 grid, run to full coverage: the far corner is the last
+        // process the wavefront reaches (Manhattan eccentricity 126), so
+        // its firing is an O(1) stop probe implying everyone fired.
+        Arc::new(
+            ScenarioSpec::new("sparse_relay_grid4096", TopologyFamily::Grid(64, 64), relay)
+                .max_rounds(200)
+                .stop_when(|sim| {
+                    sim.process_as::<Relay>(ProcessId(4095))
+                        .is_some_and(|p| p.fired)
+                })
+                .verdict(|sim, r| {
+                    Verdict::check(
+                        relay_fired(sim, 0..4096) == 4096,
+                        "the wavefront must cover the whole grid",
+                    )
+                    .and(Verdict::check(
+                        r.stopped_at == Some(127),
+                        "coverage exactly at the corner's eccentricity + 1",
+                    ))
+                }),
+        ),
+        // 65536-ring smoke: far too wide to cross in a test budget, so run
+        // a fixed 64 rounds and check the two wavefront arms advanced one
+        // hop per round — 1 source + 2×63 relays fired.
+        Arc::new(
+            ScenarioSpec::new("sparse_relay_ring65536", TopologyFamily::Ring(65536), relay)
+                .max_rounds(64)
+                .verdict(|sim, _| {
+                    Verdict::check(
+                        relay_fired(sim, 0..65536) == 127,
+                        "both wavefront arms must advance one hop per round",
+                    )
+                }),
+        ),
+    ]
+}
+
 fn bench64() -> Vec<Arc<dyn Scenario>> {
     vec![
         Arc::new(
@@ -592,6 +651,22 @@ mod tests {
                 assert!(!r.verdict.passed(), "{} must censor", r.scenario);
             }
         }
+    }
+
+    #[test]
+    fn sparse_suite_passes_at_default_plan() {
+        let summary = find("sparse").unwrap().run(None, 2);
+        assert_eq!(summary.runs(), 2, "2 scenarios × 1 seed");
+        assert!(
+            summary.all_passed(),
+            "sparse failures: {:?}",
+            summary
+                .records
+                .iter()
+                .filter(|r| !r.verdict.passed())
+                .map(|r| (&r.scenario, r.seed, &r.verdict))
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]

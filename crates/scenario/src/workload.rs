@@ -5,6 +5,9 @@
 //! raw connectivity/throughput, [`MaxGossip`] is a tiny self-stabilizing
 //! aggregation whose fixpoint (everyone knows the global maximum) survives
 //! transient faults — the right probe for churn and fault-injection specs.
+//! [`Relay`] is the quiescent counterpart: one token wavefront crosses the
+//! graph and everything else sleeps, so large sparse systems run rounds in
+//! O(wavefront) instead of O(n) under quiescence-aware stepping.
 
 use ga_simnet::prelude::*;
 use rand::rngs::StdRng;
@@ -105,6 +108,92 @@ impl Process for MaxGossip {
     }
 }
 
+/// Single-shot token relay: the source broadcasts one token, every other
+/// process forwards it once on first receipt and then goes quiet.
+///
+/// This is the reference *quiescent* workload: [`Process::always_active`]
+/// returns `true` only while the process still owes a send (the unfired
+/// source), so after the wavefront passes, a round's active set is just the
+/// frontier — on a ring, two processes out of n. On a pulse with an empty
+/// inbox an unfired relay would do nothing observable and a fired one never
+/// sends again, which is exactly the opt-out contract.
+///
+/// `hops` records the token's travel distance, so the verdict "every
+/// process fired and `max(hops)` equals the source's eccentricity" checks
+/// that skipping idle processes lost no deliveries.
+#[derive(Debug, Default)]
+pub struct Relay {
+    /// Whether this process originates the token at round 0.
+    pub source: bool,
+    /// Whether the one-shot send has happened.
+    pub fired: bool,
+    /// Hop count at which the token arrived (0 for the source).
+    pub hops: u64,
+}
+
+impl Relay {
+    /// The designated source process.
+    pub fn source() -> Relay {
+        Relay {
+            source: true,
+            ..Relay::default()
+        }
+    }
+}
+
+impl Process for Relay {
+    fn on_pulse(&mut self, ctx: &mut Context<'_>) {
+        if self.fired {
+            // Late duplicates from the opposite ring direction land here;
+            // absorbing them silently keeps the wavefront single-shot.
+            return;
+        }
+        if self.source {
+            self.fired = true;
+            ctx.broadcast(MaxGossip::encode(0));
+            return;
+        }
+        let arrived = ctx
+            .inbox()
+            .iter()
+            .filter_map(|m| MaxGossip::decode(m.bytes()))
+            .min();
+        if let Some(hops) = arrived {
+            self.fired = true;
+            self.hops = hops + 1;
+            ctx.broadcast(MaxGossip::encode(self.hops));
+        }
+    }
+
+    fn always_active(&self) -> bool {
+        // Only the unfired source owes a spontaneous step; everyone else
+        // is woken by the token itself (or a fault intervention).
+        self.source && !self.fired
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn name(&self) -> &'static str {
+        "relay"
+    }
+}
+
+/// How many of the listed processors have seen the token.
+pub fn relay_fired(sim: &Simulation, ids: impl IntoIterator<Item = usize>) -> usize {
+    ids.into_iter()
+        .filter(|&id| {
+            sim.process_as::<Relay>(ProcessId(id))
+                .is_some_and(|p| p.fired)
+        })
+        .count()
+}
+
 /// Whether all listed processors currently agree on one gossip value.
 pub fn gossip_agreed(sim: &Simulation, ids: impl IntoIterator<Item = usize>) -> bool {
     let mut value = None;
@@ -161,6 +250,31 @@ mod tests {
         Process::scramble(&mut gossip, &mut rng);
         assert_ne!(gossip.current, 3, "volatile register corrupted");
         assert_eq!(gossip.own, 3, "identity is ROM");
+    }
+
+    #[test]
+    fn relay_wavefront_covers_a_ring_and_reports_hops() {
+        let n = 9;
+        let mut sim = Simulation::builder(Topology::ring(n)).build_with(|id| {
+            let relay = if id.index() == 0 {
+                Relay::source()
+            } else {
+                Relay::default()
+            };
+            Box::new(relay) as Box<dyn Process>
+        });
+        // Round 0 fires the source; the two wavefronts meet after the
+        // eccentricity (floor(n/2)) more rounds.
+        sim.run(n as u64 / 2 + 2);
+        assert_eq!(relay_fired(&sim, 0..n), n);
+        let max_hops = (0..n)
+            .map(|i| sim.process_as::<Relay>(ProcessId(i)).unwrap().hops)
+            .max()
+            .unwrap();
+        assert_eq!(max_hops, n as u64 / 2, "token travelled the eccentricity");
+        // Everything has fired, so the system is fully quiescent.
+        assert_eq!(sim.quiescent_processes(), n);
+        assert_eq!(sim.pending_messages(), 0);
     }
 
     #[test]

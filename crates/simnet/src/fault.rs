@@ -17,13 +17,13 @@
 //!   coordinates so a corruption firing mid-run reproduces byte-for-byte
 //!   at any workers × shards × pool size.
 
-use std::cmp::Reverse;
-
+use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use rand::RngCore;
 
 use crate::ids::{ProcessId, Round};
+use crate::inbox::Inboxes;
 use crate::message::Message;
 use crate::process::Process;
 use crate::rng::{labeled_rng_u64, labeled_rng_u64_pair};
@@ -108,7 +108,7 @@ impl TransientFault {
         seed: u64,
         round: Round,
         processes: &mut [Box<dyn Process>],
-        inboxes: &mut [Vec<Message>],
+        inboxes: &mut Inboxes,
         mut events: Option<&mut EventSink>,
     ) -> u64 {
         let mut rng = labeled_rng_u64(seed ^ self.salt, FAULT_DOMAIN, round.value());
@@ -127,44 +127,95 @@ impl TransientFault {
 
         let mut dropped = 0u64;
         let n = inboxes.len();
-        for (i, inbox) in inboxes.iter_mut().enumerate() {
-            let sink = &mut events;
-            inbox.retain(|m| {
-                if rng.gen_bool(self.drop_messages_p.clamp(0.0, 1.0)) {
-                    dropped += 1;
-                    if let Some(sink) = sink.as_deref_mut() {
-                        sink.push(Event::Dropped {
-                            round: round.value(),
-                            from: m.from,
-                            to: ProcessId(i),
-                            reason: DropReason::Fault,
-                        });
-                    }
-                    false
-                } else {
-                    true
-                }
-            });
-            for m in inbox.iter_mut() {
-                if rng.gen_bool(self.corrupt_messages_p.clamp(0.0, 1.0)) {
-                    let mut bytes = m.payload.to_vec();
-                    if bytes.is_empty() {
-                        bytes = vec![0u8; 4];
-                    }
-                    let idx = rng.gen_range(0..bytes.len());
-                    bytes[idx] ^= 1u8 << rng.gen_range(0..8u32);
-                    m.payload = bytes.into();
+        let drop_p = self.drop_messages_p.clamp(0.0, 1.0);
+        let corrupt_p = self.corrupt_messages_p.clamp(0.0, 1.0);
+        // Which inboxes the sequential stream visits: garbage lands in
+        // every inbox, but the drop/corrupt knobs only draw for existing
+        // messages, so with no garbage the empty inboxes can be skipped —
+        // draw-for-draw identical, and a channel-only fault then doesn't
+        // wake every idle process of a sparse run.
+        if self.garbage_messages > 0 {
+            for owner in 0..n {
+                let inbox = inboxes.slot_mut(owner);
+                degrade_inbox(
+                    inbox,
+                    &mut rng,
+                    owner,
+                    round,
+                    drop_p,
+                    corrupt_p,
+                    &mut dropped,
+                    &mut events,
+                );
+                for _ in 0..self.garbage_messages {
+                    let len = rng.gen_range(0..24);
+                    let mut payload = vec![0u8; len];
+                    rng.fill_bytes(&mut payload);
+                    let from = ProcessId(rng.gen_range(0..n));
+                    inbox.push(Message::new(from, round, payload));
                 }
             }
-            for _ in 0..self.garbage_messages {
-                let len = rng.gen_range(0..24);
-                let mut payload = vec![0u8; len];
-                rng.fill_bytes(&mut payload);
-                let from = ProcessId(rng.gen_range(0..n));
-                inbox.push(Message::new(from, round, payload));
+        } else if drop_p > 0.0 || corrupt_p > 0.0 {
+            for owner in inboxes.touched_sorted() {
+                if inboxes.slot(owner).is_empty() {
+                    continue;
+                }
+                degrade_inbox(
+                    inboxes.slot_mut(owner),
+                    &mut rng,
+                    owner,
+                    round,
+                    drop_p,
+                    corrupt_p,
+                    &mut dropped,
+                    &mut events,
+                );
             }
         }
         dropped
+    }
+}
+
+/// Drops then bit-flips the messages of one inbox, emitting fault-reason
+/// [`Dropped`](Event::Dropped) events in visit order. Shared by both
+/// injectors — only the RNG keying differs.
+#[allow(clippy::too_many_arguments)]
+fn degrade_inbox(
+    inbox: &mut Vec<Message>,
+    rng: &mut StdRng,
+    owner: usize,
+    round: Round,
+    drop_p: f64,
+    corrupt_p: f64,
+    dropped: &mut u64,
+    events: &mut Option<&mut EventSink>,
+) {
+    inbox.retain(|m| {
+        if rng.gen_bool(drop_p) {
+            *dropped += 1;
+            if let Some(sink) = events.as_deref_mut() {
+                sink.push(Event::Dropped {
+                    round: round.value(),
+                    from: m.from,
+                    to: ProcessId(owner),
+                    reason: DropReason::Fault,
+                });
+            }
+            false
+        } else {
+            true
+        }
+    });
+    for m in inbox.iter_mut() {
+        if rng.gen_bool(corrupt_p) {
+            let mut bytes = m.payload.to_vec();
+            if bytes.is_empty() {
+                bytes = vec![0u8; 4];
+            }
+            let idx = rng.gen_range(0..bytes.len());
+            bytes[idx] ^= 1u8 << rng.gen_range(0..8u32);
+            m.payload = bytes.into();
+        }
     }
 }
 
@@ -251,12 +302,7 @@ impl CorruptionFamily {
                 all.truncate((*k).min(n));
                 all
             }
-            CorruptionTargets::WorstCaseByDegree(k) => {
-                let mut all: Vec<ProcessId> = (0..n).map(ProcessId).collect();
-                all.sort_by_key(|id| (Reverse(topology.neighbors(*id).len()), id.index()));
-                all.truncate((*k).min(n));
-                all
-            }
+            CorruptionTargets::WorstCaseByDegree(k) => topology.top_k_by_degree(*k),
         };
         ids.sort_unstable_by_key(|id| id.index());
         ids.dedup_by_key(|id| id.index());
@@ -276,7 +322,7 @@ impl CorruptionFamily {
         round: Round,
         topology: &Topology,
         processes: &mut [Box<dyn Process>],
-        inboxes: &mut [Vec<Message>],
+        inboxes: &mut Inboxes,
         mut events: Option<&mut EventSink>,
     ) -> u64 {
         for id in self.resolve_targets(topology, seed, round) {
@@ -301,41 +347,29 @@ impl CorruptionFamily {
         let drop_p = self.drop_messages_p.clamp(0.0, 1.0);
         let mut dropped = 0u64;
         if corrupt_p > 0.0 || drop_p > 0.0 {
-            for (owner, inbox) in inboxes.iter_mut().enumerate() {
+            // Per-owner keyed streams make skipping the untouched (empty)
+            // inboxes draw-for-draw identical to visiting all n: an empty
+            // inbox consumes no draws and emits no events.
+            for owner in inboxes.touched_sorted() {
+                if inboxes.slot(owner).is_empty() {
+                    continue;
+                }
                 let mut rng = labeled_rng_u64_pair(
                     seed ^ self.salt,
                     CORRUPT_CHANNEL_DOMAIN,
                     round.value(),
                     owner as u64,
                 );
-                let sink = &mut events;
-                inbox.retain(|m| {
-                    if rng.gen_bool(drop_p) {
-                        dropped += 1;
-                        if let Some(sink) = sink.as_deref_mut() {
-                            sink.push(Event::Dropped {
-                                round: round.value(),
-                                from: m.from,
-                                to: ProcessId(owner),
-                                reason: DropReason::Fault,
-                            });
-                        }
-                        false
-                    } else {
-                        true
-                    }
-                });
-                for m in inbox.iter_mut() {
-                    if rng.gen_bool(corrupt_p) {
-                        let mut bytes = m.payload.to_vec();
-                        if bytes.is_empty() {
-                            bytes = vec![0u8; 4];
-                        }
-                        let idx = rng.gen_range(0..bytes.len());
-                        bytes[idx] ^= 1u8 << rng.gen_range(0..8u32);
-                        m.payload = bytes.into();
-                    }
-                }
+                degrade_inbox(
+                    inboxes.slot_mut(owner),
+                    &mut rng,
+                    owner,
+                    round,
+                    drop_p,
+                    corrupt_p,
+                    &mut dropped,
+                    &mut events,
+                );
             }
         }
         dropped
@@ -367,7 +401,7 @@ mod tests {
         }
     }
 
-    fn fixture() -> (Vec<Box<dyn Process>>, Vec<Vec<Message>>) {
+    fn fixture() -> (Vec<Box<dyn Process>>, Inboxes) {
         let processes: Vec<Box<dyn Process>> = (0..3)
             .map(|_| {
                 Box::new(Scrambleable {
@@ -376,11 +410,11 @@ mod tests {
                 }) as Box<dyn Process>
             })
             .collect();
-        let inboxes = vec![
+        let inboxes = Inboxes::from_slots(vec![
             vec![Message::new(ProcessId(1), Round(0), vec![1, 2, 3])],
             vec![],
             vec![Message::new(ProcessId(0), Round(0), vec![4])],
-        ];
+        ]);
         (processes, inboxes)
     }
 
@@ -394,8 +428,8 @@ mod tests {
             .collect();
         assert_eq!(flags, vec![true, false, true]);
         // Channels untouched.
-        assert_eq!(inboxes[0].len(), 1);
-        assert_eq!(inboxes[0][0].bytes(), &[1, 2, 3]);
+        assert_eq!(inboxes.slot(0).len(), 1);
+        assert_eq!(inboxes.slot(0)[0].bytes(), &[1, 2, 3]);
     }
 
     #[test]
@@ -406,7 +440,7 @@ mod tests {
             .iter()
             .all(|p| p.as_any().downcast_ref::<Scrambleable>().unwrap().scrambled));
         // Garbage injected into every inbox.
-        assert!(inboxes.iter().all(|i| !i.is_empty()));
+        assert!((0..3).all(|i| !inboxes.slot(i).is_empty()));
     }
 
     #[test]
@@ -417,7 +451,7 @@ mod tests {
             ..TransientFault::default()
         };
         fault.apply(9, Round(0), &mut ps, &mut inboxes, None);
-        assert_ne!(inboxes[0][0].bytes(), &[1, 2, 3]);
+        assert_ne!(inboxes.slot(0)[0].bytes(), &[1, 2, 3]);
     }
 
     #[test]
@@ -513,7 +547,7 @@ mod tests {
         );
         assert_eq!(scrambled(&ps), vec![false, true, false]);
         // Channels untouched at zero intensity.
-        assert_eq!(inboxes[0][0].bytes(), &[1, 2, 3]);
+        assert_eq!(inboxes.slot(0)[0].bytes(), &[1, 2, 3]);
     }
 
     #[test]
@@ -552,7 +586,7 @@ mod tests {
             salt: 0,
         };
         f.apply(9, Round(0), &topo, &mut ps, &mut inboxes, None);
-        assert_ne!(inboxes[0][0].bytes(), &[1, 2, 3]);
+        assert_ne!(inboxes.slot(0)[0].bytes(), &[1, 2, 3]);
         assert_eq!(scrambled(&ps), vec![false, false, false]);
 
         let (mut ps, mut inboxes) = fixture();
@@ -562,6 +596,6 @@ mod tests {
         }
         .apply(9, Round(0), &topo, &mut ps, &mut inboxes, None);
         assert_eq!(dropped, 2, "both in-flight messages dropped");
-        assert!(inboxes.iter().all(|i| i.is_empty()));
+        assert_eq!(inboxes.pending(), 0);
     }
 }

@@ -47,10 +47,11 @@
 //! ## Sharded stepping on the persistent runtime
 //!
 //! [`Simulation::step`](sim::Simulation::step) splits every round into a
-//! **compute phase** (each contiguous shard of processes steps against the
+//! **compute phase** (each shard's process id set steps against the
 //! immutable prior-round inboxes, filtering its outboxes into per-shard
-//! scratch) and a **deterministic merge phase** (shards drained in
-//! ascending process-id order, counters summed in fixed order). With
+//! scratch) and a **deterministic merge phase** (a k-way walk over the
+//! shards' per-sender segment tables replays ascending process-id order,
+//! counters summed in fixed order). With
 //! [`StepExec::Sharded`](sim::StepExec) the compute phase is submitted as
 //! one indexed batch to a persistent [`Runtime`](runtime::Runtime) worker
 //! pool — created once, shared with the scenario sweep engine, zero
@@ -62,6 +63,44 @@
 //! [`Simulation::set_shards`](sim::Simulation::set_shards) and attach a
 //! pool with [`SimulationBuilder::runtime`](sim::SimulationBuilder::runtime)
 //! (default: the process-wide [`Runtime::global`](runtime::Runtime::global)).
+//!
+//! ## Sparse mode
+//!
+//! The substrate scales to sparse million-process systems (rings, grids,
+//! random-k graphs) through three mechanisms, none of which change any
+//! trace:
+//!
+//! * **CSR adjacency.** [`Topology`](topology::Topology) stores sorted
+//!   compressed-sparse-row neighbor lists; the O(n²/8) dense bitmask plane
+//!   used for O(1) `connected` checks is kept only at small n (or when
+//!   forced via [`AdjacencyRepr`](topology::AdjacencyRepr) /
+//!   [`Topology::set_repr`](topology::Topology::set_repr)), with binary
+//!   search on the row as the sparse path. Both representations answer
+//!   every query identically.
+//! * **Quiescence-aware stepping.** Each round steps only the *active
+//!   set*: processes whose inbox gained a message last round, processes
+//!   woken by a schedule/fault intervention (scramble, corruption,
+//!   program replacement), and processes claiming
+//!   [`Process::always_active`](process::Process::always_active) — the
+//!   default, so ordinary protocols are unaffected. A process opting out
+//!   promises that an `on_pulse` call with an empty inbox would be
+//!   unobservable; the scheduler re-queries the hook after every step it
+//!   executes, so the answer may be state-dependent. Inboxes live in an
+//!   arena ([`Vec<Message>`] slots recycled through a pool) whose
+//!   touched-slot list doubles as the active-set source and makes
+//!   [`pending_messages`](sim::Simulation::pending_messages) /
+//!   [`quiescent_processes`](sim::Simulation::quiescent_processes)
+//!   O(active). Idle processes cost zero allocations and zero scan time;
+//!   a fully quiescent round still advances the clock and fires due
+//!   schedule entries.
+//! * **Degree-balanced sharding.** Under
+//!   [`StepExec::Sharded`](sim::StepExec) the active set is assigned to
+//!   shards by a deterministic greedy bin-pack over `degree + 1` weights
+//!   (heaviest first, ties toward the lower id; least-loaded bin, ties
+//!   toward the lower bin), so one hub can't serialize a shard. The merge
+//!   phase k-way-walks the shards' per-sender segment tables to replay
+//!   global ascending-id order, keeping traces and event streams
+//!   byte-identical at any workers × shards × pool size.
 //!
 //! ## Two-plane telemetry
 //!
@@ -103,6 +142,7 @@ pub mod adversary;
 pub mod colluding;
 pub mod fault;
 pub mod ids;
+pub(crate) mod inbox;
 pub mod message;
 pub mod process;
 pub mod relay;
@@ -127,7 +167,7 @@ pub mod prelude {
     pub use crate::telemetry::{
         DropReason, Event, EventSink, ProfileData, Profiler, TelemetryConfig,
     };
-    pub use crate::topology::Topology;
+    pub use crate::topology::{AdjacencyRepr, Topology};
     pub use crate::trace::Trace;
 }
 

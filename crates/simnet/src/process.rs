@@ -39,6 +39,23 @@ pub trait Process: Send {
         let _ = rng;
     }
 
+    /// Whether this process must be stepped every pulse even when it has
+    /// no pending messages (the default).
+    ///
+    /// Returning `false` opts in to quiescence-aware stepping: the
+    /// scheduler skips the process on pulses where its inbox is empty and
+    /// no fault or schedule event woke it, which is what lets sparse
+    /// million-process systems run rounds in O(active) instead of O(n).
+    /// The contract is that for such pulses an `on_pulse` call with an
+    /// empty inbox would have been unobservable — no state change, no
+    /// sends, no RNG use the protocol relies on. The scheduler re-queries
+    /// this hook after every step it executes (and after scrambles and
+    /// program replacement), so the answer may depend on current state —
+    /// e.g. a source that is always active until it has fired.
+    fn always_active(&self) -> bool {
+        true
+    }
+
     /// Concrete-type access for post-run inspection.
     fn as_any(&self) -> &dyn std::any::Any;
 

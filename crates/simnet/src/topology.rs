@@ -7,37 +7,270 @@
 //! provides a max-flow based [vertex-connectivity
 //! check](Topology::vertex_connectivity_at_least) so harnesses can validate
 //! that assumption before running a protocol.
+//!
+//! ## Representation: CSR rows plus an optional dense fast path
+//!
+//! Adjacency is stored in compressed-sparse-row form: one flat neighbor
+//! array plus per-vertex `(start, len)` row descriptors. Sparse families
+//! (rings, grids, bounded-degree random graphs) therefore cost O(n + E)
+//! memory, which is what makes 10⁵–10⁶-process rounds feasible — the old
+//! per-vertex bitmask plane was O(n²) bits and topped out near n ≈ 1024.
+//!
+//! Small graphs still get the O(1) [`connected`](Topology::connected)
+//! bitmask as a *fast path*: below [`DENSE_AUTO_THRESHOLD`] a flat bitmask
+//! is kept in sync with the CSR rows; above it, `connected` is a binary
+//! search on the sorted row (O(log deg)). The representation is a pure
+//! cache — it never changes any answer — and can be forced per instance
+//! with [`Topology::set_repr`] or process-wide with [`set_default_repr`]
+//! (the scenario CLI's `--repr` flag), which is how the tier-1 suite
+//! checks sparse-vs-dense byte-identity.
+//!
+//! Mutation keeps CSR rows sorted in place: [`cut_link`](Topology::cut_link)
+//! and [`isolate`](Topology::isolate) shrink rows (leaving slack capacity
+//! in the gap), [`heal_link`](Topology::heal_link) re-inserts into that
+//! slack, and only linking a *never-present* edge with no slack triggers an
+//! O(n + E) rebuild — so cut/heal churn schedules never rebuild.
 
 use crate::ids::ProcessId;
 use crate::SimError;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU8, Ordering};
 
-/// An undirected communication graph over processors `0..n`.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Topology {
-    n: usize,
-    /// Sorted adjacency lists.
-    adj: Vec<Vec<usize>>,
-    /// Per-vertex adjacency bitmasks (`n` bits each), kept in sync with
-    /// `adj` so [`connected`](Topology::connected) is O(1) on the
-    /// scheduler's routing hot path.
-    bits: Vec<Vec<u64>>,
+/// Graph sizes up to this many vertices keep the dense `connected` bitmask
+/// (O(n²) bits) under [`AdjacencyRepr::Auto`]; larger graphs are CSR-only.
+pub const DENSE_AUTO_THRESHOLD: usize = 1024;
+
+/// Which `connected`-query representation a [`Topology`] carries alongside
+/// its CSR rows. Purely a performance knob: every query answers
+/// identically under every variant (the tier-1 suite compares full runs
+/// across reprs byte-for-byte).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdjacencyRepr {
+    /// Dense bitmask at or below [`DENSE_AUTO_THRESHOLD`] vertices,
+    /// sparse above. The default.
+    Auto,
+    /// Always keep the dense bitmask (O(n²) bits — avoid at large n).
+    Dense,
+    /// Never keep the bitmask; `connected` binary-searches the CSR row.
+    Sparse,
 }
 
+/// Process-wide default representation consulted by every constructor.
+/// 0 = Auto, 1 = Dense, 2 = Sparse.
+static DEFAULT_REPR: AtomicU8 = AtomicU8::new(0);
+
+/// Sets the process-wide default [`AdjacencyRepr`] used by topology
+/// constructors. Intended for CLI-level forcing (`scenario run --repr`);
+/// prefer [`Topology::set_repr`] for per-instance control (tests
+/// especially — this global is shared across threads).
+pub fn set_default_repr(repr: AdjacencyRepr) {
+    let v = match repr {
+        AdjacencyRepr::Auto => 0,
+        AdjacencyRepr::Dense => 1,
+        AdjacencyRepr::Sparse => 2,
+    };
+    DEFAULT_REPR.store(v, Ordering::Relaxed);
+}
+
+/// The process-wide default [`AdjacencyRepr`] (see [`set_default_repr`]).
+pub fn default_repr() -> AdjacencyRepr {
+    match DEFAULT_REPR.load(Ordering::Relaxed) {
+        1 => AdjacencyRepr::Dense,
+        2 => AdjacencyRepr::Sparse,
+        _ => AdjacencyRepr::Auto,
+    }
+}
+
+/// Whether a graph of `n` vertices keeps the dense bitmask under `repr`.
+fn wants_bits(n: usize, repr: AdjacencyRepr) -> bool {
+    match repr {
+        AdjacencyRepr::Auto => n <= DENSE_AUTO_THRESHOLD,
+        AdjacencyRepr::Dense => true,
+        AdjacencyRepr::Sparse => false,
+    }
+}
+
+/// An undirected communication graph over processors `0..n`.
+///
+/// Equality compares the *logical* graph (vertex count and live neighbor
+/// rows) — two topologies compare equal regardless of representation
+/// (dense vs sparse) or internal row layout after mutation churn.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    n: usize,
+    /// CSR row offsets into `flat`: row `u` lives at
+    /// `flat[starts[u] .. starts[u] + lens[u]]`, with slack capacity up to
+    /// `starts[u + 1]`. `starts.len() == n + 1` (sentinel at the end).
+    starts: Vec<usize>,
+    /// Live length of each CSR row (`lens[u] <= starts[u+1] - starts[u]`).
+    lens: Vec<usize>,
+    /// Flat sorted neighbor array, one row per vertex.
+    flat: Vec<usize>,
+    /// Dense fast path: row-major `n × ceil(n/64)` adjacency bitmask kept
+    /// in sync with the CSR rows. `None` in the sparse representation.
+    bits: Option<Vec<u64>>,
+}
+
+impl PartialEq for Topology {
+    fn eq(&self, other: &Topology) -> bool {
+        self.n == other.n && (0..self.n).all(|u| self.row(u) == other.row(u))
+    }
+}
+
+impl Eq for Topology {}
+
 impl Topology {
-    /// Builds the topology invariants (bitmasks) from sorted adjacency
-    /// lists.
+    /// Builds CSR rows (and the dense bitmask when the process-wide
+    /// default representation asks for one) from sorted adjacency lists.
     fn from_adj(n: usize, adj: Vec<Vec<usize>>) -> Topology {
-        let words = n.div_ceil(64);
-        let mut bits = vec![vec![0u64; words]; n];
-        for (u, list) in adj.iter().enumerate() {
-            for &v in list {
-                bits[u][v / 64] |= 1 << (v % 64);
+        let total: usize = adj.iter().map(Vec::len).sum();
+        let mut starts = Vec::with_capacity(n + 1);
+        let mut lens = Vec::with_capacity(n);
+        let mut flat = Vec::with_capacity(total);
+        for list in &adj {
+            starts.push(flat.len());
+            lens.push(list.len());
+            flat.extend_from_slice(list);
+        }
+        starts.push(flat.len());
+        let mut t = Topology {
+            n,
+            starts,
+            lens,
+            flat,
+            bits: None,
+        };
+        if wants_bits(n, default_repr()) {
+            t.build_bits();
+        }
+        t
+    }
+
+    /// Live neighbor row of vertex `u`.
+    #[inline]
+    fn row(&self, u: usize) -> &[usize] {
+        &self.flat[self.starts[u]..self.starts[u] + self.lens[u]]
+    }
+
+    /// Allocated capacity of row `u` (live length plus slack).
+    #[inline]
+    fn cap(&self, u: usize) -> usize {
+        self.starts[u + 1] - self.starts[u]
+    }
+
+    /// (Re)builds the dense bitmask from the CSR rows.
+    fn build_bits(&mut self) {
+        let words = self.n.div_ceil(64);
+        let mut bits = vec![0u64; self.n * words];
+        for u in 0..self.n {
+            for &v in &self.flat[self.starts[u]..self.starts[u] + self.lens[u]] {
+                bits[u * words + v / 64] |= 1 << (v % 64);
             }
         }
-        Topology { n, adj, bits }
+        self.bits = Some(bits);
+    }
+
+    #[inline]
+    fn set_bit(&mut self, u: usize, v: usize) {
+        if let Some(bits) = &mut self.bits {
+            let words = self.n.div_ceil(64);
+            bits[u * words + v / 64] |= 1 << (v % 64);
+        }
+    }
+
+    #[inline]
+    fn clear_bit(&mut self, u: usize, v: usize) {
+        if let Some(bits) = &mut self.bits {
+            let words = self.n.div_ceil(64);
+            bits[u * words + v / 64] &= !(1 << (v % 64));
+        }
+    }
+
+    /// Removes the element at `pos` of row `u` by shifting the row tail
+    /// left; the freed slot becomes slack capacity for later inserts.
+    fn remove_at(&mut self, u: usize, pos: usize) {
+        let start = self.starts[u];
+        let len = self.lens[u];
+        self.flat
+            .copy_within(start + pos + 1..start + len, start + pos);
+        self.lens[u] = len - 1;
+    }
+
+    /// Inserts `v` at `pos` of row `u` by shifting the row tail right into
+    /// slack capacity. Caller guarantees `lens[u] < cap(u)`.
+    fn insert_at(&mut self, u: usize, pos: usize, v: usize) {
+        let start = self.starts[u];
+        let len = self.lens[u];
+        self.flat
+            .copy_within(start + pos..start + len, start + pos + 1);
+        self.flat[start + pos] = v;
+        self.lens[u] = len + 1;
+    }
+
+    /// O(n + E) fallback for [`link`](Topology::link) when a row has no
+    /// slack: re-packs every live row into a fresh flat array with the new
+    /// edge merged in. Only reached for never-before-present edges —
+    /// cut-then-heal churn always finds slack and stays in place.
+    fn rebuild_with_edge(&mut self, a: usize, b: usize) {
+        let live: usize = self.lens.iter().sum();
+        let mut starts = Vec::with_capacity(self.n + 1);
+        let mut lens = Vec::with_capacity(self.n);
+        let mut flat = Vec::with_capacity(live + 2);
+        for u in 0..self.n {
+            starts.push(flat.len());
+            let row = &self.flat[self.starts[u]..self.starts[u] + self.lens[u]];
+            let extra = if u == a {
+                Some(b)
+            } else if u == b {
+                Some(a)
+            } else {
+                None
+            };
+            match extra {
+                Some(v) => {
+                    let pos = row.binary_search(&v).unwrap_err();
+                    flat.extend_from_slice(&row[..pos]);
+                    flat.push(v);
+                    flat.extend_from_slice(&row[pos..]);
+                    lens.push(row.len() + 1);
+                }
+                None => {
+                    flat.extend_from_slice(row);
+                    lens.push(row.len());
+                }
+            }
+        }
+        starts.push(flat.len());
+        self.starts = starts;
+        self.lens = lens;
+        self.flat = flat;
+        self.set_bit(a, b);
+        self.set_bit(b, a);
+    }
+
+    /// The representation this instance currently carries.
+    pub fn repr(&self) -> AdjacencyRepr {
+        if self.bits.is_some() {
+            AdjacencyRepr::Dense
+        } else {
+            AdjacencyRepr::Sparse
+        }
+    }
+
+    /// Forces this instance's representation: builds the dense bitmask,
+    /// drops it, or (under [`AdjacencyRepr::Auto`]) applies the size
+    /// threshold. Never changes any query answer — only the `connected`
+    /// lookup strategy and the memory footprint.
+    pub fn set_repr(&mut self, repr: AdjacencyRepr) {
+        if wants_bits(self.n, repr) {
+            if self.bits.is_none() {
+                self.build_bits();
+            }
+        } else {
+            self.bits = None;
+        }
     }
 
     /// The complete graph on `n` processors — the paper's default setting
@@ -156,6 +389,10 @@ impl Topology {
     /// successors around a ring) plus random extra edges at `extra_p`
     /// probability.
     ///
+    /// The extra-edge sweep is O(n²) draws; with `extra_p == 0.0` it is
+    /// skipped entirely (the result is identical — no draw can add an
+    /// edge), which keeps the pure backbone usable at 10⁵⁺ vertices.
+    ///
     /// # Panics
     ///
     /// Panics if `k >= n` or `k < 2`.
@@ -168,14 +405,16 @@ impl Topology {
                 edges.push((i, (i + d) % n));
             }
         }
-        for i in 0..n {
-            for j in i + 1..n {
-                if rng.gen_bool(extra_p) {
-                    edges.push((i, j));
+        if extra_p > 0.0 {
+            for i in 0..n {
+                for j in i + 1..n {
+                    if rng.gen_bool(extra_p) {
+                        edges.push((i, j));
+                    }
                 }
             }
+            edges.shuffle(rng);
         }
-        edges.shuffle(rng);
         Topology::from_edges(n, &edges).expect("generated edges are valid")
     }
 
@@ -192,44 +431,89 @@ impl Topology {
 
     /// Neighbor ids of processor `id` (sorted).
     pub fn neighbors(&self, id: ProcessId) -> &[usize] {
-        &self.adj[id.index()]
+        self.row(id.index())
     }
 
     /// Degree of processor `id` — the basis for worst-case-by-degree
     /// adversary placement.
     pub fn degree(&self, id: ProcessId) -> usize {
-        self.adj[id.index()].len()
+        self.lens[id.index()]
     }
 
-    /// Whether `a` and `b` share an edge — O(1) via the adjacency bitmask.
+    /// The `k` highest-degree processors, ties broken toward the lower id,
+    /// returned in ascending id order. Heap-selected in O(n log k) — the
+    /// shared helper behind worst-case-by-degree corruption targeting and
+    /// adversary placement, which previously each sorted all n degrees.
+    pub fn top_k_by_degree(&self, k: usize) -> Vec<ProcessId> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let k = k.min(self.n);
+        if k == 0 {
+            return Vec::new();
+        }
+        // Min-heap of the k best (degree, Reverse(id)) keys: higher degree
+        // wins, lower id wins ties.
+        let mut heap: BinaryHeap<Reverse<(usize, Reverse<usize>)>> =
+            BinaryHeap::with_capacity(k + 1);
+        for u in 0..self.n {
+            let key = (self.lens[u], Reverse(u));
+            if heap.len() < k {
+                heap.push(Reverse(key));
+            } else if heap.peek().is_some_and(|&Reverse(min)| key > min) {
+                heap.pop();
+                heap.push(Reverse(key));
+            }
+        }
+        let mut ids: Vec<ProcessId> = heap
+            .into_iter()
+            .map(|Reverse((_, Reverse(u)))| ProcessId(u))
+            .collect();
+        ids.sort_unstable_by_key(|id| id.index());
+        ids
+    }
+
+    /// Whether `a` and `b` share an edge — O(1) via the dense bitmask when
+    /// present, O(log deg) binary search on the CSR row otherwise.
     pub fn connected(&self, a: ProcessId, b: ProcessId) -> bool {
-        let b = b.index();
-        self.bits[a.index()][b / 64] & (1 << (b % 64)) != 0
+        let (a, b) = (a.index(), b.index());
+        match &self.bits {
+            Some(bits) => {
+                let words = self.n.div_ceil(64);
+                bits[a * words + b / 64] & (1 << (b % 64)) != 0
+            }
+            None => self.row(a).binary_search(&b).is_ok(),
+        }
     }
 
     /// Removes every edge incident to `id`, in place.
     ///
     /// This is the executive's punitive disconnection. Unlike rebuilding
     /// the topology from its surviving edge list (O(n²)), this mutates the
-    /// adjacency lists directly: O(deg(id) · deg(peer)) overall.
+    /// CSR rows directly: O(deg(id) · deg(peer)) overall, leaving the
+    /// freed slots as slack for later [`link`](Topology::link)s.
     pub fn isolate(&mut self, id: ProcessId) {
         let victim = id.index();
-        let peers = std::mem::take(&mut self.adj[victim]);
-        for word in &mut self.bits[victim] {
-            *word = 0;
+        let peers: Vec<usize> = self.row(victim).to_vec();
+        self.lens[victim] = 0;
+        if self.bits.is_some() {
+            for &peer in &peers {
+                self.clear_bit(victim, peer);
+            }
         }
         for peer in peers {
-            if let Ok(pos) = self.adj[peer].binary_search(&victim) {
-                self.adj[peer].remove(pos);
+            if let Ok(pos) = self.row(peer).binary_search(&victim) {
+                self.remove_at(peer, pos);
             }
-            self.bits[peer][victim / 64] &= !(1 << (victim % 64));
+            self.clear_bit(peer, victim);
         }
     }
 
-    /// Adds the undirected edge `(a, b)` in place, keeping the sorted
-    /// adjacency lists and the bitmasks in sync. The inverse of
+    /// Adds the undirected edge `(a, b)` in place, keeping the sorted CSR
+    /// rows (and the dense bitmask, when present) in sync. The inverse of
     /// [`isolate`](Topology::isolate) at single-edge granularity — churn
-    /// schedules use it to model recoveries.
+    /// schedules use it to model recoveries. Re-inserting into slack left
+    /// by an earlier cut is O(deg); a brand-new edge with no slack falls
+    /// back to an O(n + E) row re-pack.
     ///
     /// Returns `Ok(true)` if the edge was inserted, `Ok(false)` if it
     /// already existed.
@@ -249,22 +533,27 @@ impl Topology {
                 self.n
             )));
         }
-        let Err(pos_a) = self.adj[a].binary_search(&b) else {
+        let Err(pos_a) = self.row(a).binary_search(&b) else {
             return Ok(false);
         };
-        self.adj[a].insert(pos_a, b);
-        if let Err(pos_b) = self.adj[b].binary_search(&a) {
-            self.adj[b].insert(pos_b, a);
+        if self.lens[a] < self.cap(a) && self.lens[b] < self.cap(b) {
+            self.insert_at(a, pos_a, b);
+            if let Err(pos_b) = self.row(b).binary_search(&a) {
+                self.insert_at(b, pos_b, a);
+            }
+            self.set_bit(a, b);
+            self.set_bit(b, a);
+        } else {
+            self.rebuild_with_edge(a, b);
         }
-        self.bits[a][b / 64] |= 1 << (b % 64);
-        self.bits[b][a / 64] |= 1 << (a % 64);
         Ok(true)
     }
 
     /// Removes the single undirected edge `(a, b)` in place, keeping the
-    /// sorted adjacency lists and the bitmasks in sync — the edge-level
+    /// sorted CSR rows and the bitmask in sync — the edge-level
     /// counterpart of [`isolate`](Topology::isolate), used by partition
-    /// churn schedules ([`ScheduledAction::CutLink`]).
+    /// churn schedules ([`ScheduledAction::CutLink`]). The freed slots
+    /// remain as slack so a later heal never rebuilds.
     ///
     /// Returns `Ok(true)` if the edge was removed, `Ok(false)` if it was
     /// not present.
@@ -286,15 +575,15 @@ impl Topology {
                 self.n
             )));
         }
-        let Ok(pos_a) = self.adj[a].binary_search(&b) else {
+        let Ok(pos_a) = self.row(a).binary_search(&b) else {
             return Ok(false);
         };
-        self.adj[a].remove(pos_a);
-        if let Ok(pos_b) = self.adj[b].binary_search(&a) {
-            self.adj[b].remove(pos_b);
+        self.remove_at(a, pos_a);
+        if let Ok(pos_b) = self.row(b).binary_search(&a) {
+            self.remove_at(b, pos_b);
         }
-        self.bits[a][b / 64] &= !(1 << (b % 64));
-        self.bits[b][a / 64] &= !(1 << (a % 64));
+        self.clear_bit(a, b);
+        self.clear_bit(b, a);
         Ok(true)
     }
 
@@ -312,12 +601,12 @@ impl Topology {
 
     /// Minimum degree over all vertices — an upper bound on connectivity.
     pub fn min_degree(&self) -> usize {
-        self.adj.iter().map(Vec::len).min().unwrap_or(0)
+        self.lens.iter().copied().min().unwrap_or(0)
     }
 
     /// Total number of undirected edges.
     pub fn edge_count(&self) -> usize {
-        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+        self.lens.iter().sum::<usize>() / 2
     }
 
     /// Whether the graph is connected (BFS reachability).
@@ -330,7 +619,7 @@ impl Topology {
         seen[0] = true;
         let mut count = 1;
         while let Some(u) = queue.pop_front() {
-            for &v in &self.adj[u] {
+            for &v in self.row(u) {
                 if !seen[v] {
                     seen[v] = true;
                     count += 1;
@@ -343,7 +632,7 @@ impl Topology {
 
     /// Breadth-first hop distances from `from` to every vertex: `None` for
     /// unreachable vertices (and for everything when `from` is out of
-    /// range). `O(n + E)`.
+    /// range). `O(n + E)` off the CSR rows.
     ///
     /// This is the ground truth self-stabilizing spanning-tree workloads
     /// check their distance registers against, and the building block of
@@ -358,7 +647,7 @@ impl Topology {
         let mut queue = VecDeque::from([from.index()]);
         while let Some(u) = queue.pop_front() {
             let d = dist[u].expect("queued vertices have a distance");
-            for &v in &self.adj[u] {
+            for &v in self.row(u) {
                 if dist[v].is_none() {
                     dist[v] = Some(d + 1);
                     queue.push_back(v);
@@ -437,7 +726,7 @@ impl Topology {
             add_edge(&mut graph, &mut cap, 2 * v, 2 * v + 1, c);
         }
         for u in 0..self.n {
-            for &v in &self.adj[u] {
+            for &v in self.row(u) {
                 // Each undirected edge appears twice (u->v and v->u); add
                 // the directed arc each time.
                 add_edge(&mut graph, &mut cap, 2 * u + 1, 2 * v, 1);
@@ -502,17 +791,36 @@ mod tests {
         assert!(!t.connected(ProcessId(0), ProcessId(3)));
     }
 
-    /// The bitmask answer of [`Topology::connected`] must agree with the
-    /// adjacency lists for every ordered pair.
+    /// The `connected` answer must agree with the adjacency rows for every
+    /// ordered pair, under both representations.
     fn assert_bitmask_parity(t: &Topology) {
-        for a in 0..t.len() {
-            for b in 0..t.len() {
-                let in_list = t.neighbors(ProcessId(a)).contains(&b);
-                assert_eq!(
-                    t.connected(ProcessId(a), ProcessId(b)),
-                    in_list,
-                    "bitmask/adjacency disagree on ({a},{b})"
-                );
+        for (t, repr) in [
+            (
+                {
+                    let mut d = t.clone();
+                    d.set_repr(AdjacencyRepr::Dense);
+                    d
+                },
+                "dense",
+            ),
+            (
+                {
+                    let mut s = t.clone();
+                    s.set_repr(AdjacencyRepr::Sparse);
+                    s
+                },
+                "sparse",
+            ),
+        ] {
+            for a in 0..t.len() {
+                for b in 0..t.len() {
+                    let in_list = t.neighbors(ProcessId(a)).contains(&b);
+                    assert_eq!(
+                        t.connected(ProcessId(a), ProcessId(b)),
+                        in_list,
+                        "{repr} repr disagrees with adjacency on ({a},{b})"
+                    );
+                }
             }
         }
     }
@@ -741,6 +1049,17 @@ mod tests {
     }
 
     #[test]
+    fn random_k_connected_skips_extra_edge_sweep_at_zero_p() {
+        // With extra_p == 0 the result is the pure Harary backbone and no
+        // RNG draw is consumed — the O(n²) sweep must be skipped.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let t = Topology::random_k_connected(10, 2, 0.0, &mut rng);
+        assert_eq!(t, Topology::ring(10), "k=2 backbone is the ring");
+        let mut fresh = rand::rngs::StdRng::seed_from_u64(7);
+        assert_eq!(rng.gen::<u64>(), fresh.gen::<u64>(), "rng untouched");
+    }
+
+    #[test]
     fn isolate_removes_only_incident_edges() {
         let mut t = Topology::complete(5);
         let before = t.clone();
@@ -804,5 +1123,79 @@ mod tests {
         assert_eq!(t.degree(ProcessId(2)), 3);
         t.isolate(ProcessId(2));
         assert_eq!(t.degree(ProcessId(2)), 0);
+    }
+
+    #[test]
+    fn auto_repr_follows_size_threshold() {
+        assert_eq!(Topology::ring(8).repr(), AdjacencyRepr::Dense);
+        let big = Topology::ring(DENSE_AUTO_THRESHOLD + 1);
+        assert_eq!(big.repr(), AdjacencyRepr::Sparse);
+        assert!(big.connected(ProcessId(0), ProcessId(DENSE_AUTO_THRESHOLD)));
+        assert!(!big.connected(ProcessId(0), ProcessId(2)));
+    }
+
+    #[test]
+    fn forced_reprs_compare_equal_and_agree_after_churn() {
+        let mut dense = Topology::grid(4, 4);
+        dense.set_repr(AdjacencyRepr::Dense);
+        let mut sparse = dense.clone();
+        sparse.set_repr(AdjacencyRepr::Sparse);
+        assert_eq!(dense, sparse, "repr is invisible to equality");
+        for t in [&mut dense, &mut sparse] {
+            t.cut_link(ProcessId(1), ProcessId(2)).unwrap();
+            t.isolate(ProcessId(5));
+            t.heal_link(ProcessId(1), ProcessId(2)).unwrap();
+            t.link(ProcessId(0), ProcessId(15)).unwrap();
+        }
+        assert_eq!(dense, sparse, "identical churn keeps them equal");
+        for a in 0..16 {
+            for b in 0..16 {
+                assert_eq!(
+                    dense.connected(ProcessId(a), ProcessId(b)),
+                    sparse.connected(ProcessId(a), ProcessId(b)),
+                    "({a},{b})"
+                );
+            }
+        }
+        assert_bitmask_parity(&dense);
+    }
+
+    #[test]
+    fn link_without_slack_rebuilds_rows() {
+        // Fresh from a constructor, rows have zero slack, so a brand-new
+        // edge exercises the rebuild path.
+        let mut t = Topology::ring(6);
+        t.set_repr(AdjacencyRepr::Sparse);
+        assert_eq!(t.link(ProcessId(0), ProcessId(3)), Ok(true));
+        assert_eq!(t.neighbors(ProcessId(0)), &[1, 3, 5]);
+        assert_eq!(t.neighbors(ProcessId(3)), &[0, 2, 4]);
+        assert_eq!(t.edge_count(), 7);
+        assert_bitmask_parity(&t);
+    }
+
+    #[test]
+    fn top_k_by_degree_selects_hubs_with_stable_ties() {
+        // Star: hub 0 has degree 6, leaves degree 1 — ties break low-id.
+        let star = Topology::star(7);
+        assert_eq!(star.top_k_by_degree(1), vec![ProcessId(0)]);
+        assert_eq!(
+            star.top_k_by_degree(3),
+            vec![ProcessId(0), ProcessId(1), ProcessId(2)]
+        );
+        // k larger than n clamps; k == 0 is empty.
+        assert_eq!(star.top_k_by_degree(99).len(), 7);
+        assert!(star.top_k_by_degree(0).is_empty());
+        // Matches a full sort on an irregular graph.
+        let t = Topology::grid(5, 4);
+        for k in [1, 3, 7, 20] {
+            let mut ids: Vec<usize> = (0..t.len()).collect();
+            ids.sort_by_key(|&id| (std::cmp::Reverse(t.degree(ProcessId(id))), id));
+            let mut expect: Vec<ProcessId> = ids[..k.min(t.len())]
+                .iter()
+                .map(|&id| ProcessId(id))
+                .collect();
+            expect.sort_unstable_by_key(|id| id.index());
+            assert_eq!(t.top_k_by_degree(k), expect, "k={k}");
+        }
     }
 }

@@ -83,6 +83,52 @@ proptest! {
         prop_assert!(t.is_connected());
     }
 
+    /// The dense bitmask plane and the pure-CSR path answer `connected`
+    /// and `degree` identically on random graphs driven through random
+    /// cut/heal/isolate sequences — the representations are
+    /// interchangeable, which is what lets the auto threshold pick by
+    /// size alone.
+    #[test]
+    fn csr_and_dense_agree_under_mutation(
+        seed in any::<u64>(),
+        n in 4usize..12,
+        k in 2usize..4,
+        ops in proptest::collection::vec((0usize..3, 0usize..12, 0usize..12), 0..24),
+    ) {
+        prop_assume!(k < n);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let base = Topology::random_k_connected(n, k, 0.1, &mut rng);
+        let mut dense = base.clone();
+        dense.set_repr(AdjacencyRepr::Dense);
+        let mut sparse = base;
+        sparse.set_repr(AdjacencyRepr::Sparse);
+        for (op, a, b) in ops {
+            let (a, b) = (ProcessId(a % n), ProcessId(b % n));
+            match op {
+                0 => {
+                    prop_assert_eq!(dense.cut_link(a, b), sparse.cut_link(a, b));
+                }
+                1 => {
+                    prop_assert_eq!(dense.heal_link(a, b), sparse.heal_link(a, b));
+                }
+                _ => {
+                    dense.isolate(a);
+                    sparse.isolate(a);
+                }
+            }
+            for i in 0..n {
+                prop_assert_eq!(dense.degree(ProcessId(i)), sparse.degree(ProcessId(i)));
+                for j in 0..n {
+                    prop_assert_eq!(
+                        dense.connected(ProcessId(i), ProcessId(j)),
+                        sparse.connected(ProcessId(i), ProcessId(j)),
+                        "connected({}, {}) diverged", i, j
+                    );
+                }
+            }
+        }
+    }
+
     /// Disconnecting a vertex removes all its deliveries and only its own.
     #[test]
     fn disconnect_isolates(n in 3usize..7, victim in 0usize..7, rounds in 1u64..8) {

@@ -1,0 +1,171 @@
+//! Quiescence-aware stepping: the scheduler's O(active) contract.
+//!
+//! These tests pin the sparse-mode semantics documented in the crate
+//! docs: processes that opt out of [`Process::always_active`] are not
+//! stepped on pulses where nothing addressed them, fully quiescent
+//! rounds still advance the clock and fire due schedule entries, and
+//! none of it changes a trace — dense and sparse adjacency, serial and
+//! sharded stepping all produce byte-identical histories.
+
+use bytes::Bytes;
+use ga_simnet::prelude::*;
+
+/// Counts its own steps; quiescent unless a message (or fault) wakes it.
+struct StepCounter {
+    steps: usize,
+}
+
+impl Process for StepCounter {
+    fn on_pulse(&mut self, _ctx: &mut Context<'_>) {
+        self.steps += 1;
+    }
+    fn always_active(&self) -> bool {
+        false
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// One starter emits a token, everyone else forwards arrivals away from
+/// their sender — a perpetual single-token wavefront that keeps exactly
+/// one process active per round while the rest of the ring sleeps.
+struct Walker {
+    start: bool,
+}
+
+impl Process for Walker {
+    fn on_pulse(&mut self, ctx: &mut Context<'_>) {
+        if self.start {
+            self.start = false;
+            let to = ctx.neighbors()[0];
+            ctx.send(ProcessId(to), Bytes::from_static(&[0x77]));
+            return;
+        }
+        if let Some(m) = ctx.inbox().first() {
+            let from = m.from.index();
+            let to = ctx
+                .neighbors()
+                .iter()
+                .copied()
+                .find(|&nb| nb != from)
+                .unwrap_or(from);
+            ctx.send(ProcessId(to), m.payload.clone());
+        }
+    }
+    fn always_active(&self) -> bool {
+        self.start
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+fn steps(sim: &Simulation, id: usize) -> usize {
+    sim.process_as::<StepCounter>(ProcessId(id)).unwrap().steps
+}
+
+#[test]
+fn all_quiescent_ring_advances_rounds_without_stepping_anyone() {
+    let n = 64;
+    let mut sim = Simulation::builder(Topology::ring(n))
+        .build_with(|_| Box::new(StepCounter { steps: 0 }) as Box<dyn Process>);
+    sim.run(50);
+    assert_eq!(sim.round(), Round(50), "the clock still advances");
+    assert!(
+        (0..n).all(|i| steps(&sim, i) == 0),
+        "no messages, no wake-ups: nobody steps"
+    );
+    assert_eq!(sim.pending_messages(), 0);
+    assert_eq!(sim.quiescent_processes(), n);
+}
+
+#[test]
+fn a_scramble_wakes_exactly_the_scrambled_processes() {
+    let n = 16;
+    let mut sim = Simulation::builder(Topology::ring(n))
+        .build_with(|_| Box::new(StepCounter { steps: 0 }) as Box<dyn Process>);
+    sim.run(5);
+    sim.inject(&TransientFault::state_only([3, 9], 1));
+    sim.run(5);
+    for i in 0..n {
+        let expected = usize::from(i == 3 || i == 9);
+        assert_eq!(steps(&sim, i), expected, "process {i}");
+    }
+}
+
+#[test]
+fn a_due_schedule_entry_fires_in_an_otherwise_quiescent_round() {
+    let n = 8;
+    let schedule = Schedule::new().at(
+        3,
+        ScheduledAction::Inject(TransientFault::state_only([0], 7)),
+    );
+    let mut sim = Simulation::builder(Topology::ring(n))
+        .schedule(schedule)
+        .build_with(|_| Box::new(StepCounter { steps: 0 }) as Box<dyn Process>);
+    sim.run(10);
+    assert_eq!(steps(&sim, 0), 1, "the scheduled fault woke the victim");
+    assert!((1..n).all(|i| steps(&sim, i) == 0));
+}
+
+#[test]
+fn a_single_token_keeps_exactly_one_process_active() {
+    let n = 32;
+    let mut sim = Simulation::builder(Topology::ring(n)).build_with(|id| {
+        Box::new(Walker {
+            start: id.index() == 0,
+        }) as Box<dyn Process>
+    });
+    sim.run(2);
+    for _ in 0..10 {
+        assert_eq!(sim.pending_messages(), 1, "one token in flight");
+        assert_eq!(sim.quiescent_processes(), n - 1);
+        sim.step();
+    }
+    assert_eq!(
+        sim.trace().messages_delivered,
+        12,
+        "one delivery per round after the starter fired"
+    );
+}
+
+#[test]
+fn traces_are_identical_across_repr_and_exec_choices() {
+    let n = 48;
+    let run = |repr: AdjacencyRepr, shards: usize| {
+        let mut topology = Topology::ring(n);
+        topology.set_repr(repr);
+        let mut sim = Simulation::builder(topology)
+            .seed(11)
+            .shards(shards)
+            .telemetry(TelemetryConfig::default())
+            .build_with(|id| {
+                Box::new(Walker {
+                    start: id.index() == 0,
+                }) as Box<dyn Process>
+            });
+        sim.run(30);
+        let events = sim.events_mut().expect("telemetry on").drain();
+        (sim.trace().clone(), events)
+    };
+    let baseline = run(AdjacencyRepr::Dense, 1);
+    for (repr, shards) in [
+        (AdjacencyRepr::Sparse, 1),
+        (AdjacencyRepr::Dense, 4),
+        (AdjacencyRepr::Sparse, 4),
+    ] {
+        let other = run(repr, shards);
+        assert_eq!(baseline.0, other.0, "trace diverged at {repr:?} s{shards}");
+        assert_eq!(
+            baseline.1, other.1,
+            "event stream diverged at {repr:?} s{shards}"
+        );
+    }
+}

@@ -18,7 +18,14 @@
 # the telemetry event sink attached (one event per delivered message);
 # its ratio vs step_loop_bytes/n64 is the cost of turning events on, and
 # step_loop_bytes/n64 itself is the events-off row — with the sink
-# disabled telemetry must stay within noise of the pre-telemetry loop.
+# disabled telemetry must stay within noise of the pre-telemetry loop, and
+#   substrate/step_loop_sparse/n{4096,65536}  — one circulating token on a
+# ring under quiescence-aware stepping: per-round cost is O(active), so
+# the two rows must be flat in n (an O(n)-scan scheduler shows ~16×), and
+#   substrate/step_loop_sparse/grid1m         — the same token on a
+# 1000×1000 grid (n = 10⁶), with the process's Linux peak RSS recorded as
+#   substrate/step_loop_sparse/grid1m_peak_rss_bytes
+# so CSR-topology / inbox-arena memory regressions land in the snapshot.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -61,5 +68,15 @@ base = ns.get("substrate/step_loop_bytes/n64")
 if events and base:
     print(f"n64 telemetry events on vs off: {events / base:.2f}x "
           f"({(events / base - 1) * 100:+.1f}% overhead)")
+small = ns.get("substrate/step_loop_sparse/n4096")
+big = ns.get("substrate/step_loop_sparse/n65536")
+if small and big:
+    print(f"sparse token step n65536 vs n4096: {big / small:.2f}x "
+          f"(flat = O(active) holds)")
+grid = ns.get("substrate/step_loop_sparse/grid1m")
+rss = ns.get("substrate/step_loop_sparse/grid1m_peak_rss_bytes")
+if grid:
+    extra = f", peak RSS {rss / 2**20:.0f} MiB" if rss else ""
+    print(f"sparse token step at n=10^6 grid: {grid:.0f} ns/round{extra}")
 EOF
 fi

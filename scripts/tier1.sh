@@ -63,6 +63,33 @@ run_unsupportive 4 4 target/scenario_unsup_b.json target/scenario_unsup_b_events
 cmp target/scenario_unsup_a.json target/scenario_unsup_b.json
 cmp target/scenario_unsup_a_events.jsonl target/scenario_unsup_b_events.jsonl
 
+echo "==> sparse-vs-dense adjacency byte-identity (smoke + unsupportive)"
+# The CSR neighbor lists and the dense bitmask plane must be perfectly
+# interchangeable: forcing every topology down each path has to produce
+# identical summaries — and, for the event-enabled unsupportive run,
+# identical event JSONL (corruption targeting uses degree queries, so a
+# repr divergence would surface here first).
+./target/release/scenario run --suite smoke --workers 4 --repr dense > target/scenario_smoke_dense.json
+./target/release/scenario run --suite smoke --workers 4 --repr sparse > target/scenario_smoke_sparse.json
+cmp target/scenario_smoke_dense.json target/scenario_smoke_sparse.json
+cmp target/scenario_smoke_a.json target/scenario_smoke_dense.json
+run_unsupportive_repr() {
+    ./target/release/scenario run --suite unsupportive --no-records --repr "$1" \
+        --workers 4 --shards 4 --out "$2" --events "$3" > /dev/null && rc=0 || rc=$?
+    [ "$rc" -eq 0 ] || [ "$rc" -eq 2 ] || exit "$rc"
+}
+run_unsupportive_repr dense target/scenario_unsup_dense.json target/scenario_unsup_dense_events.jsonl
+run_unsupportive_repr sparse target/scenario_unsup_sparse.json target/scenario_unsup_sparse_events.jsonl
+cmp target/scenario_unsup_dense.json target/scenario_unsup_sparse.json
+cmp target/scenario_unsup_dense_events.jsonl target/scenario_unsup_sparse_events.jsonl
+cmp target/scenario_unsup_a.json target/scenario_unsup_dense.json
+
+echo "==> large-n sparse smoke (quiescence-aware stepping at n=65536)"
+# A 65536-ring and a 64x64 grid relay wavefront: viable only because a
+# round costs O(active), so a hang or an O(n)-scan regression blows the
+# timeout rather than silently slowing every future gate run.
+timeout 120 ./target/release/scenario run --suite sparse --workers 2 > target/scenario_sparse.json
+
 echo "==> scenario trace smoke (event JSONL -> Chrome trace-event JSON)"
 ./target/release/scenario trace target/scenario_stab_a_events.jsonl \
     --out target/scenario_stab_trace.json

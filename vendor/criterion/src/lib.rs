@@ -244,6 +244,20 @@ fn report_line(r: &BenchResult) {
     println!("{:<56} {:>14.1} ns/iter{rate}", r.name, r.ns_per_iter);
 }
 
+/// Records an arbitrary scalar measurement (peak RSS, a count, ...) as a
+/// row in the report alongside the timing rows. The snapshot format has
+/// one numeric column (`ns_per_iter`), so name the metric with its unit —
+/// e.g. `substrate/grid_walk_1m/peak_rss_bytes`.
+pub fn record_metric(name: impl Into<String>, value: f64) {
+    let result = BenchResult {
+        name: name.into(),
+        ns_per_iter: value,
+        throughput: None,
+    };
+    report_line(&result);
+    RESULTS.lock().expect("results lock").push(result);
+}
+
 /// Writes all recorded results as JSON to the file named by the
 /// `BENCH_JSON` environment variable, if set. Called by
 /// [`criterion_main!`] after all groups ran.
@@ -311,6 +325,18 @@ mod tests {
         let all = recorded_results();
         let mine = all.iter().find(|r| r.name == "t/spin").expect("recorded");
         assert!(mine.ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn metrics_are_recorded_verbatim() {
+        record_metric("t/metric_bytes", 123.5);
+        let all = recorded_results();
+        let mine = all
+            .iter()
+            .find(|r| r.name == "t/metric_bytes")
+            .expect("recorded");
+        assert_eq!(mine.ns_per_iter, 123.5);
+        assert!(mine.throughput.is_none());
     }
 
     #[test]

@@ -3,8 +3,8 @@
 //! The build environment has no network access, so the workspace vendors
 //! the slice of the API its property tests use: the [`proptest!`] macro,
 //! [`prop_assert!`]/[`prop_assert_eq!`]/[`prop_assume!`], `any::<T>()`,
-//! range strategies, [`collection::vec`], [`sample::subsequence`] and
-//! [`strategy::Strategy::prop_map`].
+//! range strategies, tuples of strategies, [`collection::vec`],
+//! [`sample::subsequence`] and [`strategy::Strategy::prop_map`].
 //!
 //! Differences from upstream: cases are generated from a deterministic
 //! per-test seed (no persisted failure files) and there is **no
@@ -116,6 +116,23 @@ pub mod strategy {
             rng.gen_range(self.clone())
         }
     }
+
+    // Tuples of strategies generate component-wise, left to right — what
+    // upstream calls the tuple strategy composition.
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident/$v:ident),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($v,)+) = self;
+                    ($($v.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A / a, B / b);
+    impl_tuple_strategy!(A / a, B / b, C / c);
+    impl_tuple_strategy!(A / a, B / b, C / c, D / d);
 }
 
 pub mod collection {
