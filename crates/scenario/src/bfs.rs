@@ -168,10 +168,12 @@ mod tests {
     use super::*;
     use ga_simnet::rng::process_rng;
 
+    // Homogeneous population: exercise the slab build path (byte-identical
+    // to boxed storage) through a real protocol, scrambles included.
     fn build(topology: Topology) -> Simulation {
         Simulation::builder(topology)
             .seed(7)
-            .build_with(|id| Box::new(BfsTree::new(id)) as Box<dyn Process>)
+            .build_slab(BfsTree::new)
     }
 
     #[test]

@@ -66,6 +66,7 @@ use std::io::Write;
 use std::time::Instant;
 
 use ga_simnet::runtime::Runtime;
+use ga_simnet::sim::set_plan_cache;
 use ga_simnet::telemetry::{ProfileData, Profiler, TelemetryConfig};
 use ga_simnet::topology::{set_default_repr, AdjacencyRepr};
 
@@ -120,6 +121,10 @@ struct Options {
     /// invocation to the dense bitmask or the pure-CSR path. Traces are
     /// identical either way; the knob exists so CI can prove it.
     repr: Option<AdjacencyRepr>,
+    /// `false` disables shard-plan caching for every simulation built
+    /// during the invocation. Caching never changes a trace; the knob
+    /// exists so CI can prove it (cached vs uncached byte-identity).
+    plan_cache: bool,
 }
 
 impl Options {
@@ -136,6 +141,7 @@ impl Options {
             profile: None,
             table: None,
             repr: None,
+            plan_cache: true,
         };
         let mut i = 0;
         while i < args.len() {
@@ -198,6 +204,10 @@ impl Options {
                 "--table" => {
                     opts.table = Some(take(i)?.clone());
                     i += 2;
+                }
+                "--no-plan-cache" => {
+                    opts.plan_cache = false;
+                    i += 1;
                 }
                 "--repr" => {
                     opts.repr = Some(match take(i)?.as_str() {
@@ -291,9 +301,13 @@ fn usage(err: &str) -> i32 {
     eprintln!("                            topology: auto (size-based, default), dense");
     eprintln!("                            (bitmask) or sparse (pure CSR); traces are");
     eprintln!("                            byte-identical across modes");
+    eprintln!("        [--no-plan-cache]   recompute the shard plan every round instead");
+    eprintln!("                            of reusing it when the active set and topology");
+    eprintln!("                            are unchanged; traces are byte-identical");
+    eprintln!("                            either way");
     eprintln!("  bench [--suite NAME]      time a sweep, write throughput JSON");
     eprintln!("        [--seeds N] [--workers N] [--shards N] [--table METRIC]");
-    eprintln!("        [--repr MODE]       as for run");
+    eprintln!("        [--repr MODE] [--no-plan-cache]  as for run");
     eprintln!("        [--out FILE (default BENCH_scenarios.json)]");
     eprintln!("  trace EVENTS.jsonl        convert an --events file to Chrome trace-event");
     eprintln!("        [--out FILE]        JSON (Perfetto/chrome://tracing); stdout");
@@ -327,6 +341,7 @@ fn run(opts: &Options) -> i32 {
     if let Some(repr) = opts.repr {
         set_default_repr(repr);
     }
+    set_plan_cache(opts.plan_cache);
     // The one pool behind the whole invocation: concurrent runs and their
     // sharded step loops all draw from these `--workers` threads.
     let runtime = Runtime::new(opts.workers);
@@ -493,6 +508,7 @@ fn bench(opts: &Options) -> i32 {
     if let Some(repr) = opts.repr {
         set_default_repr(repr);
     }
+    set_plan_cache(opts.plan_cache);
     // Resolve the budget split once: it also prints the ignored---shards
     // note, and the bench region must not re-trigger it.
     let workers = opts.sweep_workers(&suite);
@@ -906,6 +922,7 @@ mod tests {
                 "--records",
                 "runs.jsonl",
                 "--no-records",
+                "--no-plan-cache",
             ]),
             "paper",
         )
@@ -917,6 +934,7 @@ mod tests {
         assert_eq!(opts.out.as_deref(), Some("x.json"));
         assert_eq!(opts.record_sink.as_deref(), Some("runs.jsonl"));
         assert!(!opts.records);
+        assert!(!opts.plan_cache);
     }
 
     #[test]
@@ -936,6 +954,7 @@ mod tests {
         assert!(opts.workers >= 1);
         assert_eq!(opts.shards, None);
         assert!(opts.record_sink.is_none());
+        assert!(opts.plan_cache);
     }
 
     #[test]

@@ -25,8 +25,10 @@ use rand::RngCore;
 use crate::ids::{ProcessId, Round};
 use crate::inbox::Inboxes;
 use crate::message::Message;
+#[cfg(test)]
 use crate::process::Process;
 use crate::rng::{labeled_rng_u64, labeled_rng_u64_pair};
+use crate::store::ProcessAccess;
 use crate::telemetry::{DropReason, Event, EventSink};
 use crate::topology::Topology;
 
@@ -107,7 +109,7 @@ impl TransientFault {
         &self,
         seed: u64,
         round: Round,
-        processes: &mut [Box<dyn Process>],
+        processes: &mut impl ProcessAccess,
         inboxes: &mut Inboxes,
         mut events: Option<&mut EventSink>,
     ) -> u64 {
@@ -321,7 +323,7 @@ impl CorruptionFamily {
         seed: u64,
         round: Round,
         topology: &Topology,
-        processes: &mut [Box<dyn Process>],
+        processes: &mut impl ProcessAccess,
         inboxes: &mut Inboxes,
         mut events: Option<&mut EventSink>,
     ) -> u64 {

@@ -39,11 +39,14 @@ pub(crate) struct Inboxes {
 }
 
 impl Inboxes {
-    /// `n` empty inboxes; no per-slot allocations.
+    /// `n` empty inboxes; no per-slot allocations. Each side table is one
+    /// up-front reservation: `touched` can hold every slot index without
+    /// regrowing, so a dense round (all n inboxes touched) never pays
+    /// incremental realloc-and-copy cycles on the hot push path.
     pub(crate) fn new(n: usize) -> Inboxes {
         Inboxes {
             slots: vec![Vec::new(); n],
-            touched: Vec::new(),
+            touched: Vec::with_capacity(n),
             flagged: vec![false; n],
             pool: Vec::new(),
         }

@@ -102,6 +102,40 @@
 //!   global ascending-id order, keeping traces and event streams
 //!   byte-identical at any workers × shards × pool size.
 //!
+//! ### The build path
+//!
+//! Startup is engineered like the hot path, because at 10⁶ processes it
+//! *is* the hot path of short runs:
+//!
+//! * **Streaming CSR construction.** Topology constructors never
+//!   materialize a per-vertex `Vec<Vec<usize>>` intermediate. Family
+//!   constructors (`ring`/`grid`/`star`/`complete`) know every row's
+//!   exact degree and sorted order up front and emit rows straight into
+//!   one pre-sized flat array — no counting pass, no sort, no dedup;
+//!   [`Topology::from_edges`](topology::Topology::from_edges) validates
+//!   all edges first (fail-fast, before any n-sized allocation), then
+//!   counts degrees and scatters endpoints in two passes over the edge
+//!   list. Either way: O(1) allocations per build.
+//! * **Process slabs vs boxes.**
+//!   [`SimulationBuilder::build_slab`](sim::SimulationBuilder::build_slab)
+//!   stores a homogeneous population contiguously — one arena allocation
+//!   for all n processes instead of n boxes. Trade-off: boxed storage
+//!   ([`build`](sim::SimulationBuilder::build) /
+//!   [`build_with`](sim::SimulationBuilder::build_with)) supports mixed
+//!   process types from the start; a slab is promoted to boxed storage
+//!   (one-time O(n)) only if
+//!   [`replace_process`](sim::Simulation::replace_process) introduces
+//!   heterogeneity mid-run. Traces are identical either way.
+//! * **Cached shard plans.** The degree-balanced bin-pack is fingerprinted
+//!   by `(topology generation, shard count, active set)` and reused while
+//!   all three match — the invalidation rule: any topology mutation
+//!   (cut/heal/isolate) bumps the generation, and any change to the active
+//!   set misses the exact-compare confirm. Dense-activity rounds (everyone
+//!   active) therefore pay the bin-pack once, not every round; the plan
+//!   only decides which thread steps whom, so caching can never change a
+//!   trace ([`set_plan_cache`](sim::set_plan_cache) turns it off for the
+//!   byte-identity gates).
+//!
 //! ## Two-plane telemetry
 //!
 //! [`telemetry`] adds observability without touching the determinism
@@ -150,6 +184,7 @@ pub mod rng;
 pub mod runtime;
 pub mod schedule;
 pub mod sim;
+pub(crate) mod store;
 pub mod telemetry;
 pub mod topology;
 pub mod trace;
@@ -163,7 +198,9 @@ pub mod prelude {
     pub use crate::process::{Context, Process};
     pub use crate::runtime::Runtime;
     pub use crate::schedule::{Recurrence, Schedule, ScheduledAction};
-    pub use crate::sim::{Delivery, Simulation, SimulationBuilder, StepExec};
+    pub use crate::sim::{
+        plan_cache_enabled, set_plan_cache, Delivery, Simulation, SimulationBuilder, StepExec,
+    };
     pub use crate::telemetry::{
         DropReason, Event, EventSink, ProfileData, Profiler, TelemetryConfig,
     };

@@ -10,6 +10,13 @@
 //! allocates its payload **once** and every recipient shares the
 //! refcounted buffer. Steady-state sends are allocation-free when callers
 //! hand over an existing `Bytes` (cloning one is a refcount bump).
+//!
+//! How processes are *stored* is the scheduler's business, not the
+//! trait's: a heterogeneous population lives in one box per process,
+//! while a homogeneous one built with
+//! [`SimulationBuilder::build_slab`](crate::sim::SimulationBuilder::build_slab)
+//! lives contiguously in a single slab arena — same trait calls, same
+//! traces, just one allocation instead of n at build time.
 
 use bytes::Bytes;
 use rand::rngs::StdRng;

@@ -12,11 +12,13 @@ use crate::process::{Context, Process};
 use crate::rng::{labeled_rng_u64_pair, process_rng};
 use crate::runtime::{BatchTask, Runtime};
 use crate::schedule::{Schedule, ScheduledAction};
+use crate::store::ProcessStore;
 use crate::telemetry::{DropReason, Event, EventSink, Profiler, TelemetryConfig};
 use crate::topology::Topology;
 use crate::trace::Trace;
 use crate::SimError;
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
 /// Numeric RNG domain for the message-loss model (see
@@ -27,6 +29,57 @@ use std::time::Instant;
 /// thread) in which senders are routed — the property that lets
 /// [`StepExec::Sharded`] reproduce serial traces byte-for-byte.
 const LOSS_DOMAIN: u64 = 0x1055_1055_1055_1055;
+
+/// Process-wide default for the shard-plan cache (see
+/// [`set_plan_cache`]). On by default; simulations snapshot it at build
+/// time, and [`SimulationBuilder::plan_cache`] overrides it per run.
+static PLAN_CACHE: AtomicBool = AtomicBool::new(true);
+
+/// Sets the process-wide shard-plan cache default. The cache only skips
+/// re-running the deterministic bin-pack when the active set and topology
+/// are unchanged — it can never change a trace — so the off switch exists
+/// purely so byte-identity gates can compare cached vs uncached runs.
+pub fn set_plan_cache(enabled: bool) {
+    PLAN_CACHE.store(enabled, Ordering::Relaxed);
+}
+
+/// The current process-wide shard-plan cache default.
+pub fn plan_cache_enabled() -> bool {
+    PLAN_CACHE.load(Ordering::Relaxed)
+}
+
+/// Fingerprint of the inputs the shard plan depends on: the topology
+/// generation (degrees), the shard count, and the active id set
+/// (length + endpoints + an FNV-1a rolling hash). A key match is only a
+/// *candidate* hit — the cached plan's exact active slice is compared
+/// before reuse, so a hash collision can never produce a stale plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PlanKey {
+    generation: u64,
+    shards: usize,
+    len: usize,
+    first: usize,
+    last: usize,
+    hash: u64,
+}
+
+impl PlanKey {
+    fn new(generation: u64, shards: usize, active: &[usize]) -> PlanKey {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for &i in active {
+            hash ^= i as u64;
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+        PlanKey {
+            generation,
+            shards,
+            len: active.len(),
+            first: active.first().copied().unwrap_or(usize::MAX),
+            last: active.last().copied().unwrap_or(usize::MAX),
+            hash,
+        }
+    }
+}
 
 /// How [`Simulation::step`] executes its compute phase.
 ///
@@ -117,7 +170,11 @@ pub enum Delivery {
 ///    round.
 pub struct Simulation {
     topology: Topology,
-    processes: Vec<Box<dyn Process>>,
+    /// The process table: boxed (heterogeneous) or a contiguous slab
+    /// (homogeneous populations via
+    /// [`build_slab`](SimulationBuilder::build_slab)) — behaviorally
+    /// identical, see [`crate::store`].
+    processes: ProcessStore,
     /// Slot i = messages to deliver to process i at the next pulse
     /// (arena-backed; tracks which slots were touched).
     inboxes: Inboxes,
@@ -142,6 +199,15 @@ pub struct Simulation {
     /// Bin-pack scratch: `(weight, id)` pairs and per-bin load tallies.
     plan_weights: Vec<(usize, usize)>,
     plan_loads: Vec<usize>,
+    /// Fingerprint of the inputs `shard_plan` was computed from; `None`
+    /// until the first sharded round (or when caching is off).
+    plan_key: Option<PlanKey>,
+    /// The exact active set `shard_plan` was computed from — compared in
+    /// full on a key hit so fingerprint collisions are harmless.
+    plan_active: Vec<usize>,
+    /// Whether to reuse `shard_plan` across rounds when its inputs are
+    /// unchanged (never affects any trace; see [`set_plan_cache`]).
+    plan_cache: bool,
     /// Per-shard compute buffers, recycled across rounds (one entry when
     /// stepping serially).
     shard_scratch: Vec<ShardScratch>,
@@ -185,6 +251,8 @@ pub struct SimulationBuilder {
     runtime: Option<Runtime>,
     telemetry: Option<TelemetryConfig>,
     profiler: Option<Profiler>,
+    /// `None` = adopt the process-wide default at build time.
+    plan_cache: Option<bool>,
 }
 
 impl SimulationBuilder {
@@ -250,6 +318,15 @@ impl SimulationBuilder {
         self
     }
 
+    /// Overrides the shard-plan cache for this simulation (default: the
+    /// process-wide [`plan_cache_enabled`] setting). Caching only skips
+    /// re-running the deterministic bin-pack when its inputs are
+    /// unchanged, so it never changes a trace.
+    pub fn plan_cache(mut self, enabled: bool) -> Self {
+        self.plan_cache = Some(enabled);
+        self
+    }
+
     /// Builds the simulation, constructing each process from its id.
     pub fn build_with(self, mut make: impl FnMut(ProcessId) -> Box<dyn Process>) -> Simulation {
         let n = self.topology.len();
@@ -263,27 +340,50 @@ impl SimulationBuilder {
     ///
     /// Panics if `processes.len()` differs from the topology size.
     pub fn build(self, processes: Vec<Box<dyn Process>>) -> Simulation {
+        self.build_store(ProcessStore::Boxed(processes))
+    }
+
+    /// Builds a homogeneous population stored contiguously in one slab
+    /// arena — one allocation for all n processes instead of n boxes,
+    /// which is what makes million-process builds fast. Behaviorally
+    /// identical to [`build_with`](SimulationBuilder::build_with); a
+    /// mid-run [`replace_process`](Simulation::replace_process) promotes
+    /// the slab to boxed storage transparently (one-time O(n)).
+    pub fn build_slab<P: Process + 'static>(
+        self,
+        mut make: impl FnMut(ProcessId) -> P,
+    ) -> Simulation {
+        let n = self.topology.len();
+        let mut slab = Vec::with_capacity(n);
+        slab.extend((0..n).map(|i| make(ProcessId(i))));
+        self.build_store(ProcessStore::slab(slab))
+    }
+
+    fn build_store(self, processes: ProcessStore) -> Simulation {
         assert_eq!(
             processes.len(),
             self.topology.len(),
             "one process per topology vertex"
         );
         let n = self.topology.len();
-        let persistent: Vec<usize> = processes
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| p.always_active())
-            .map(|(i, _)| i)
-            .collect();
+        let mut persistent = Vec::with_capacity(n);
+        for i in 0..n {
+            if processes.get(i).is_some_and(|p| p.always_active()) {
+                persistent.push(i);
+            }
+        }
         Simulation {
             inboxes: Inboxes::new(n),
             consumed: Inboxes::new(n),
             persistent,
             woken: Vec::new(),
-            active: Vec::new(),
+            active: Vec::with_capacity(n),
             shard_plan: Vec::new(),
             plan_weights: Vec::new(),
             plan_loads: Vec::new(),
+            plan_key: None,
+            plan_active: Vec::new(),
+            plan_cache: self.plan_cache.unwrap_or_else(plan_cache_enabled),
             shard_scratch: Vec::new(),
             exec: self.exec,
             runtime: self.runtime,
@@ -314,6 +414,7 @@ impl Simulation {
             runtime: None,
             telemetry: None,
             profiler: None,
+            plan_cache: None,
         }
     }
 
@@ -501,7 +602,7 @@ impl Simulation {
             let scratch = &mut self.shard_scratch[0];
             for &i in &self.active {
                 step_one(
-                    &mut self.processes[i],
+                    self.processes.get_mut(i).expect("active ids are in range"),
                     ProcessId(i),
                     scratch,
                     consumed,
@@ -518,15 +619,31 @@ impl Simulation {
             // (adopting the process-wide pool if none was attached). The
             // merge below replays ascending sender order whatever the
             // plan, so results are byte-identical at any pool size.
-            plan_shards(
-                &self.active,
-                topology,
-                shards,
-                &mut self.shard_plan,
-                &mut self.plan_weights,
-                &mut self.plan_loads,
-            );
-            let shared = SharedProcs(self.processes.as_mut_ptr());
+            //
+            // The plan is a pure function of (degrees, shard count,
+            // active ids); when caching is on and all three are unchanged
+            // since the plan was built — degrees fingerprinted by the
+            // topology's mutation generation, the active set confirmed by
+            // an exact slice compare after the hash — the previous plan is
+            // reused. Dense-activity rounds (everyone active, no churn)
+            // therefore pay the bin-pack once, not every round.
+            let key = PlanKey::new(topology.generation(), shards, &self.active);
+            let hit =
+                self.plan_cache && self.plan_key == Some(key) && self.plan_active == self.active;
+            if !hit {
+                plan_shards(
+                    &self.active,
+                    topology,
+                    shards,
+                    &mut self.shard_plan,
+                    &mut self.plan_weights,
+                    &mut self.plan_loads,
+                );
+                self.plan_active.clear();
+                self.plan_active.extend_from_slice(&self.active);
+                self.plan_key = Some(key);
+            }
+            let shared = self.processes.shared();
             let runtime = &*self.runtime.get_or_insert_with(Runtime::global);
             let tasks: Vec<BatchTask<'_>> = self
                 .shard_plan
@@ -543,7 +660,7 @@ impl Simulation {
                             // every task completes — so no two tasks alias
                             // a process and no reference outlives the
                             // batch.
-                            let process = unsafe { &mut *shared.0.add(i) };
+                            let process = unsafe { &mut *shared.get_ptr(i) };
                             step_one(
                                 process,
                                 ProcessId(i),
@@ -568,7 +685,7 @@ impl Simulation {
         // `persistent ⊆ active`, so unstepped processes were already out.
         self.persistent.clear();
         for &i in &self.active {
-            if self.processes[i].always_active() {
+            if self.processes.get(i).is_some_and(|p| p.always_active()) {
                 self.persistent.push(i);
             }
         }
@@ -719,7 +836,9 @@ impl Simulation {
     }
 
     /// Replaces the program of processor `id` (e.g. corrupting an honest
-    /// processor into a Byzantine one mid-run).
+    /// processor into a Byzantine one mid-run). On a slab-built simulation
+    /// this promotes the whole table to boxed storage first (a one-time
+    /// O(n) move), since the table is no longer homogeneous.
     ///
     /// # Errors
     ///
@@ -729,16 +848,14 @@ impl Simulation {
         id: ProcessId,
         process: Box<dyn Process>,
     ) -> Result<(), SimError> {
-        match self.processes.get_mut(id.index()) {
-            Some(slot) => {
-                *slot = process;
-                // The new program runs (and its quiescence opt-out is
-                // re-queried) at the next pulse.
-                self.woken.push(id.index());
-                Ok(())
-            }
-            None => Err(SimError::UnknownProcess(id)),
+        if id.index() >= self.processes.len() {
+            return Err(SimError::UnknownProcess(id));
         }
+        self.processes.make_boxed()[id.index()] = process;
+        // The new program runs (and its quiescence opt-out is re-queried)
+        // at the next pulse.
+        self.woken.push(id.index());
+        Ok(())
     }
 
     /// Replaces the round-triggered event schedule. Entries scheduled for
@@ -845,18 +962,6 @@ impl Simulation {
     }
 }
 
-/// Raw shared access to the process table for the sharded compute phase.
-///
-/// Each batch task dereferences only the ids of its own (disjoint) bin —
-/// see the `SAFETY` comment at the use site.
-#[derive(Clone, Copy)]
-struct SharedProcs(*mut Box<dyn Process>);
-
-// SAFETY: tasks access disjoint, in-range indices only, and the pointer
-// never outlives `run_batch` (which joins every task before returning).
-unsafe impl Send for SharedProcs {}
-unsafe impl Sync for SharedProcs {}
-
 /// Assigns the round's active ids to `shards` bins by a deterministic
 /// greedy bin-pack over `degree + 1` weights: heaviest first (ties toward
 /// the lower id), each to the currently least-loaded bin (ties toward the
@@ -914,7 +1019,7 @@ fn plan_shards(
 /// same independence.
 #[allow(clippy::too_many_arguments)]
 fn step_one(
-    process: &mut Box<dyn Process>,
+    process: &mut dyn Process,
     id: ProcessId,
     scratch: &mut ShardScratch,
     consumed: &Inboxes,
@@ -1457,6 +1562,161 @@ mod tests {
         );
         manual.run(4);
         assert_eq!(scheduled.trace(), manual.trace());
+    }
+
+    #[test]
+    fn slab_build_matches_boxed_build() {
+        use crate::telemetry::TelemetryConfig;
+        // A slab-stored population must be indistinguishable from a boxed
+        // one: identical traces and event streams, serial and sharded.
+        for shards in [1, 4] {
+            let build_boxed = || {
+                Simulation::builder(Topology::complete(6))
+                    .seed(5)
+                    .shards(shards)
+                    .telemetry(TelemetryConfig::default())
+                    .build_with(|_| Box::new(Counter { received: 0 }) as Box<dyn Process>)
+            };
+            let build_slab = || {
+                Simulation::builder(Topology::complete(6))
+                    .seed(5)
+                    .shards(shards)
+                    .telemetry(TelemetryConfig::default())
+                    .build_slab(|_| Counter { received: 0 })
+            };
+            let mut boxed = build_boxed();
+            let mut slab = build_slab();
+            boxed.run(6);
+            slab.run(6);
+            assert_eq!(boxed.trace(), slab.trace(), "shards={shards}");
+            assert_eq!(boxed.take_events(), slab.take_events(), "shards={shards}");
+            assert_eq!(
+                slab.process_as::<Counter>(ProcessId(0)).unwrap().received,
+                boxed.process_as::<Counter>(ProcessId(0)).unwrap().received,
+            );
+        }
+    }
+
+    #[test]
+    fn plan_cache_never_changes_the_trace() {
+        use crate::telemetry::TelemetryConfig;
+        // Dense activity with churn firing mid-window: the cut/heal bumps
+        // the topology generation, so a stale plan would misassign (or
+        // worse, mis-weight) ids if invalidation were broken. Cached and
+        // uncached runs must agree byte-for-byte at every shard count.
+        let build = |shards: usize, cache: bool| {
+            Simulation::builder(Topology::complete(8))
+                .seed(13)
+                .shards(shards)
+                .plan_cache(cache)
+                .telemetry(TelemetryConfig::default())
+                .schedule(
+                    Schedule::new()
+                        .at(
+                            3,
+                            ScheduledAction::CutLink {
+                                a: ProcessId(1),
+                                b: ProcessId(2),
+                            },
+                        )
+                        .at(
+                            5,
+                            ScheduledAction::HealLink {
+                                a: ProcessId(1),
+                                b: ProcessId(2),
+                            },
+                        )
+                        .at(6, ScheduledAction::Disconnect(ProcessId(7))),
+                )
+                .build_with(|_| Box::new(Counter { received: 0 }) as Box<dyn Process>)
+        };
+        let mut reference = build(1, false);
+        reference.run(9);
+        let reference_events = reference.take_events();
+        for shards in [2, 4, 8] {
+            for cache in [false, true] {
+                let mut sim = build(shards, cache);
+                sim.run(9);
+                assert_eq!(
+                    reference.trace(),
+                    sim.trace(),
+                    "shards={shards} cache={cache}"
+                );
+                assert_eq!(
+                    reference_events,
+                    sim.take_events(),
+                    "shards={shards} cache={cache}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plan_cache_reuses_and_invalidates() {
+        // White-box: dense activity on a static topology converges to one
+        // plan; churn invalidates it.
+        let mut sim = Simulation::builder(Topology::complete(6))
+            .seed(3)
+            .shards(3)
+            .plan_cache(true)
+            .build_with(|_| Box::new(Counter { received: 0 }) as Box<dyn Process>);
+        sim.run(2);
+        let key = sim.plan_key.expect("sharded rounds fingerprint the plan");
+        sim.run(3);
+        assert_eq!(
+            sim.plan_key,
+            Some(key),
+            "static dense rounds reuse the plan"
+        );
+        sim.disconnect(ProcessId(4));
+        sim.run(1);
+        let after = sim.plan_key.expect("replanned after churn");
+        assert_ne!(key, after, "isolation bumps the generation");
+    }
+
+    #[test]
+    fn plan_key_distinguishes_distinct_active_sets() {
+        // Same length, same endpoints, different interiors: the rolling
+        // hash (plus the exact compare in step()) must not treat these as
+        // one plan.
+        let a = PlanKey::new(0, 4, &[0, 2, 5, 9]);
+        let b = PlanKey::new(0, 4, &[0, 3, 5, 9]);
+        assert_ne!(a, b);
+        assert_ne!(
+            PlanKey::new(0, 4, &[0, 2, 5, 9]),
+            PlanKey::new(1, 4, &[0, 2, 5, 9])
+        );
+        assert_ne!(
+            PlanKey::new(0, 4, &[0, 2, 5, 9]),
+            PlanKey::new(0, 2, &[0, 2, 5, 9])
+        );
+        assert_eq!(a, PlanKey::new(0, 4, &[0, 2, 5, 9]));
+    }
+
+    #[test]
+    fn replace_process_promotes_a_slab() {
+        // Swapping one program into a slab-built population promotes the
+        // store to boxed form without disturbing anyone's state.
+        let mut sim = Simulation::builder(Topology::complete(3))
+            .seed(0)
+            .build_slab(|_| Counter { received: 0 });
+        sim.run(2);
+        let heard = sim.process_as::<Counter>(ProcessId(0)).unwrap().received;
+        assert_eq!(heard, 2);
+        sim.replace_process(
+            ProcessId(1),
+            Box::new(crate::adversary::ByzantineProcess::new(Box::new(
+                crate::adversary::Silent,
+            ))),
+        )
+        .unwrap();
+        sim.run(2);
+        // p0 keeps its pre-promotion count and now only hears from p2.
+        assert_eq!(
+            sim.process_as::<Counter>(ProcessId(0)).unwrap().received,
+            heard + 2 + 1,
+            "one round of both peers still in flight, then p2 alone"
+        );
     }
 
     #[test]

@@ -1,0 +1,293 @@
+//! Process storage: boxed heterogeneous tables and contiguous slabs.
+//!
+//! The simulator's process table has two shapes behind one accessor
+//! surface:
+//!
+//! * **Boxed** — `Vec<Box<dyn Process>>`, one heap allocation per
+//!   process. Fully general: any mix of process types, and programs can
+//!   be swapped mid-run. This is what
+//!   [`build`](crate::sim::SimulationBuilder::build) and
+//!   [`build_with`](crate::sim::SimulationBuilder::build_with) produce.
+//! * **Slab** — a homogeneous population stored contiguously in one
+//!   `Vec<P>` arena: one allocation for all n processes instead of 10⁶
+//!   separate boxes, which is what makes million-process builds fast and
+//!   keeps stepping cache-friendly. Produced by
+//!   [`build_slab`](crate::sim::SimulationBuilder::build_slab).
+//!
+//! The two are behaviorally identical — every access goes through
+//! [`ProcessStore::get`]/[`ProcessStore::get_mut`], and a slab is
+//! transparently promoted to boxed storage the first time heterogeneity
+//! is introduced (a mid-run
+//! [`replace_process`](crate::sim::Simulation::replace_process)), a
+//! one-time O(n) move.
+
+use crate::process::Process;
+
+/// Backing storage for a simulation's process table (see module docs).
+pub(crate) enum ProcessStore {
+    /// One box per process; the general heterogeneous form.
+    Boxed(Vec<Box<dyn Process>>),
+    /// A contiguous homogeneous arena behind a type-erased accessor.
+    Slab(Box<dyn Slab>),
+}
+
+impl ProcessStore {
+    /// Wraps a homogeneous population in a slab store.
+    pub(crate) fn slab<P: Process + 'static>(processes: Vec<P>) -> ProcessStore {
+        ProcessStore::Slab(Box::new(TypedSlab(processes)))
+    }
+
+    /// Number of processes.
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            ProcessStore::Boxed(v) => v.len(),
+            ProcessStore::Slab(s) => s.len(),
+        }
+    }
+
+    /// Whether the store holds no processes.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Process `i`, if in range.
+    pub(crate) fn get(&self, i: usize) -> Option<&dyn Process> {
+        match self {
+            ProcessStore::Boxed(v) => v.get(i).map(|b| &**b),
+            ProcessStore::Slab(s) => (i < s.len()).then(|| s.get(i)),
+        }
+    }
+
+    /// Mutable process `i`, if in range.
+    pub(crate) fn get_mut(&mut self, i: usize) -> Option<&mut dyn Process> {
+        match self {
+            // `as_mut_slice` pins method resolution to the slice's
+            // `get_mut`, not the `ProcessAccess` impl on `Vec`.
+            ProcessStore::Boxed(v) => match v.as_mut_slice().get_mut(i) {
+                Some(b) => Some(&mut **b),
+                None => None,
+            },
+            ProcessStore::Slab(s) => (i < s.len()).then(|| s.get_mut(i)),
+        }
+    }
+
+    /// Raw shared accessor for the sharded compute phase — see
+    /// [`SharedStore`].
+    pub(crate) fn shared(&mut self) -> SharedStore {
+        match self {
+            ProcessStore::Boxed(v) => SharedStore {
+                ptr: v.as_mut_ptr() as *mut u8,
+                get: get_boxed_raw,
+            },
+            ProcessStore::Slab(s) => s.shared(),
+        }
+    }
+
+    /// Converts a slab to boxed storage in place (no-op when already
+    /// boxed) and returns the boxed table — the promotion
+    /// [`replace_process`](crate::sim::Simulation::replace_process) uses
+    /// to introduce heterogeneity into a slab population.
+    pub(crate) fn make_boxed(&mut self) -> &mut Vec<Box<dyn Process>> {
+        if matches!(self, ProcessStore::Slab(_)) {
+            let ProcessStore::Slab(slab) = std::mem::replace(self, ProcessStore::Boxed(Vec::new()))
+            else {
+                unreachable!("just matched Slab");
+            };
+            *self = ProcessStore::Boxed(slab.into_boxed());
+        }
+        match self {
+            ProcessStore::Boxed(v) => v,
+            ProcessStore::Slab(_) => unreachable!("promoted above"),
+        }
+    }
+}
+
+/// Type-erased view of a homogeneous process arena. Implemented only by
+/// [`TypedSlab`]; the indirection exists so [`ProcessStore`] need not be
+/// generic over the process type.
+pub(crate) trait Slab: Send {
+    fn len(&self) -> usize;
+    fn get(&self, i: usize) -> &dyn Process;
+    fn get_mut(&mut self, i: usize) -> &mut dyn Process;
+    /// Moves every process into its own box (slab → boxed promotion).
+    fn into_boxed(self: Box<Self>) -> Vec<Box<dyn Process>>;
+    fn shared(&mut self) -> SharedStore;
+}
+
+struct TypedSlab<P: Process + 'static>(Vec<P>);
+
+impl<P: Process + 'static> Slab for TypedSlab<P> {
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn get(&self, i: usize) -> &dyn Process {
+        &self.0[i]
+    }
+
+    fn get_mut(&mut self, i: usize) -> &mut dyn Process {
+        &mut self.0[i]
+    }
+
+    fn into_boxed(self: Box<Self>) -> Vec<Box<dyn Process>> {
+        self.0
+            .into_iter()
+            .map(|p| Box::new(p) as Box<dyn Process>)
+            .collect()
+    }
+
+    fn shared(&mut self) -> SharedStore {
+        SharedStore {
+            ptr: self.0.as_mut_ptr() as *mut u8,
+            get: get_slab_raw::<P>,
+        }
+    }
+}
+
+/// # Safety
+///
+/// `ptr` must be the base of a live `Vec<Box<dyn Process>>` and `i` in
+/// range; the caller upholds the aliasing contract described on
+/// [`SharedStore`].
+unsafe fn get_boxed_raw(ptr: *mut u8, i: usize) -> *mut dyn Process {
+    let boxes = ptr as *mut Box<dyn Process>;
+    unsafe { &mut **boxes.add(i) as *mut dyn Process }
+}
+
+/// # Safety
+///
+/// `ptr` must be the base of a live `Vec<P>` and `i` in range; the caller
+/// upholds the aliasing contract described on [`SharedStore`].
+unsafe fn get_slab_raw<P: Process + 'static>(ptr: *mut u8, i: usize) -> *mut dyn Process {
+    unsafe { (ptr as *mut P).add(i) as *mut dyn Process }
+}
+
+/// Raw shared access to the process table for the sharded compute phase:
+/// a base pointer plus a monomorphized element accessor, so shard tasks
+/// pay one indirect call per process instead of a store-shape match.
+///
+/// Each batch task dereferences only the indices of its own (disjoint)
+/// shard-plan bin, and the pointer never outlives `run_batch` (which
+/// joins every task before returning) — the same contract the `SAFETY`
+/// comment at the use site in [`crate::sim`] spells out.
+#[derive(Clone, Copy)]
+pub(crate) struct SharedStore {
+    ptr: *mut u8,
+    get: unsafe fn(*mut u8, usize) -> *mut dyn Process,
+}
+
+// SAFETY: tasks access disjoint, in-range indices only, and the pointer
+// never outlives `run_batch` (which joins every task before returning).
+unsafe impl Send for SharedStore {}
+unsafe impl Sync for SharedStore {}
+
+impl SharedStore {
+    /// Raw pointer to process `i`; the caller dereferences it.
+    ///
+    /// # Safety
+    ///
+    /// `i` must be in range, no two live references derived from the
+    /// returned pointer may target the same index, and no derived borrow
+    /// may outlive the store it was created from.
+    pub(crate) unsafe fn get_ptr(&self, i: usize) -> *mut dyn Process {
+        unsafe { (self.get)(self.ptr, i) }
+    }
+}
+
+/// The mutable per-process access fault injectors need, implemented by
+/// the simulator's store and by plain boxed vectors (the fault fixtures).
+pub(crate) trait ProcessAccess {
+    fn get_mut(&mut self, i: usize) -> Option<&mut dyn Process>;
+}
+
+impl ProcessAccess for ProcessStore {
+    fn get_mut(&mut self, i: usize) -> Option<&mut dyn Process> {
+        ProcessStore::get_mut(self, i)
+    }
+}
+
+impl ProcessAccess for Vec<Box<dyn Process>> {
+    fn get_mut(&mut self, i: usize) -> Option<&mut dyn Process> {
+        match self.as_mut_slice().get_mut(i) {
+            Some(b) => Some(&mut **b),
+            None => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::Context;
+
+    struct Tag(u32);
+
+    impl Process for Tag {
+        fn on_pulse(&mut self, _ctx: &mut Context<'_>) {}
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    fn tag_of(p: &dyn Process) -> u32 {
+        p.as_any().downcast_ref::<Tag>().unwrap().0
+    }
+
+    #[test]
+    fn slab_and_boxed_answer_identically() {
+        let mut slab = ProcessStore::slab((0..5u32).map(Tag).collect());
+        let mut boxed = ProcessStore::Boxed(
+            (0..5u32)
+                .map(|i| Box::new(Tag(i)) as Box<dyn Process>)
+                .collect(),
+        );
+        for store in [&mut slab, &mut boxed] {
+            assert_eq!(store.len(), 5);
+            for i in 0..5 {
+                assert_eq!(tag_of(store.get(i).unwrap()), i as u32);
+                assert_eq!(tag_of(store.get_mut(i).unwrap()), i as u32);
+            }
+            assert!(store.get(5).is_none());
+            assert!(store.get_mut(5).is_none());
+        }
+    }
+
+    #[test]
+    fn promotion_preserves_contents() {
+        let mut store = ProcessStore::slab((0..4u32).map(Tag).collect());
+        {
+            let boxed = store.make_boxed();
+            assert_eq!(boxed.len(), 4);
+            boxed[2] = Box::new(Tag(99));
+        }
+        assert!(matches!(store, ProcessStore::Boxed(_)));
+        let tags: Vec<u32> = (0..4).map(|i| tag_of(store.get(i).unwrap())).collect();
+        assert_eq!(tags, vec![0, 1, 99, 3]);
+        // Idempotent on boxed stores.
+        store.make_boxed();
+        assert_eq!(store.len(), 4);
+    }
+
+    #[test]
+    fn shared_accessor_reaches_every_element() {
+        for mut store in [
+            ProcessStore::slab((0..6u32).map(Tag).collect()),
+            ProcessStore::Boxed(
+                (0..6u32)
+                    .map(|i| Box::new(Tag(i)) as Box<dyn Process>)
+                    .collect(),
+            ),
+        ] {
+            let shared = store.shared();
+            for i in 0..6 {
+                // SAFETY: indices are disjoint per iteration and in range;
+                // the borrow dies before the next call.
+                let p = unsafe { &mut *shared.get_ptr(i) };
+                assert_eq!(tag_of(p), i as u32);
+            }
+        }
+    }
+}

@@ -30,6 +30,21 @@
 //! in the gap), [`heal_link`](Topology::heal_link) re-inserts into that
 //! slack, and only linking a *never-present* edge with no slack triggers an
 //! O(n + E) rebuild — so cut/heal churn schedules never rebuild.
+//!
+//! ## Construction: streaming CSR, no per-vertex intermediates
+//!
+//! Every constructor builds the CSR arrays directly. Family constructors
+//! (`ring`/`grid`/`star`/`complete`) know each row's exact degree and
+//! sorted order up front, so they emit rows straight into a pre-sized flat
+//! array in one pass — no counting pass, no sort, no dedup.
+//! [`from_edges`](Topology::from_edges) takes two passes over the edge
+//! list (count degrees into row offsets, then scatter endpoints through
+//! per-row cursors) followed by an in-place per-row sort+dedup; duplicate
+//! edges become row slack. Either way a 10⁶-vertex build performs O(1)
+//! allocations instead of the n per-vertex `Vec`s the old adjacency-list
+//! intermediate cost. Every mutation bumps a generation counter so
+//! downstream caches (the simulator's shard-plan cache) can invalidate on
+//! topology change without diffing rows.
 
 use crate::ids::ProcessId;
 use crate::SimError;
@@ -111,6 +126,11 @@ pub struct Topology {
     /// Dense fast path: row-major `n × ceil(n/64)` adjacency bitmask kept
     /// in sync with the CSR rows. `None` in the sparse representation.
     bits: Option<Vec<u64>>,
+    /// Bumped by every mutation (`link`/`cut_link`/`isolate`): the
+    /// invalidation key for caches derived from degrees or edges, e.g. the
+    /// simulator's shard-plan cache. Representation changes don't bump it
+    /// — they never change a logical answer.
+    generation: u64,
 }
 
 impl PartialEq for Topology {
@@ -122,8 +142,10 @@ impl PartialEq for Topology {
 impl Eq for Topology {}
 
 impl Topology {
-    /// Builds CSR rows (and the dense bitmask when the process-wide
-    /// default representation asks for one) from sorted adjacency lists.
+    /// The old construction path, kept as the reference the property tests
+    /// pin the streaming builders against: materializes per-vertex `Vec`
+    /// adjacency lists, then packs them into CSR.
+    #[cfg(test)]
     fn from_adj(n: usize, adj: Vec<Vec<usize>>) -> Topology {
         let total: usize = adj.iter().map(Vec::len).sum();
         let mut starts = Vec::with_capacity(n + 1);
@@ -135,17 +157,102 @@ impl Topology {
             flat.extend_from_slice(list);
         }
         starts.push(flat.len());
+        Topology::finish(n, starts, lens, flat)
+    }
+
+    /// Final assembly shared by every construction path: attaches the
+    /// dense bitmask when the process-wide default representation asks
+    /// for one.
+    fn finish(n: usize, starts: Vec<usize>, lens: Vec<usize>, flat: Vec<usize>) -> Topology {
         let mut t = Topology {
             n,
             starts,
             lens,
             flat,
             bits: None,
+            generation: 0,
         };
         if wants_bits(n, default_repr()) {
             t.build_bits();
         }
         t
+    }
+
+    /// Streaming single-pass CSR builder for constructors whose rows can
+    /// be emitted directly in sorted order: `emit(u, flat)` appends vertex
+    /// `u`'s sorted neighbor row to the flat array. No per-vertex `Vec`
+    /// intermediates and no sort/dedup pass — one pre-sized allocation for
+    /// `flat` (from `total`, the exact directed-edge count family
+    /// constructors know up front) plus one each for `starts`/`lens`.
+    fn from_sorted_rows(
+        n: usize,
+        total: usize,
+        mut emit: impl FnMut(usize, &mut Vec<usize>),
+    ) -> Topology {
+        let mut starts = Vec::with_capacity(n + 1);
+        let mut lens = Vec::with_capacity(n);
+        let mut flat = Vec::with_capacity(total);
+        for u in 0..n {
+            let before = flat.len();
+            starts.push(before);
+            emit(u, &mut flat);
+            lens.push(flat.len() - before);
+            debug_assert!(
+                flat[before..].windows(2).all(|w| w[0] < w[1]),
+                "row {u} must be emitted strictly sorted"
+            );
+        }
+        starts.push(flat.len());
+        Topology::finish(n, starts, lens, flat)
+    }
+
+    /// Two-pass streaming CSR builder from a validated undirected edge
+    /// list: pass 1 counts degrees into the row offsets, pass 2 scatters
+    /// endpoints into the pre-sized flat array through per-row write
+    /// cursors, then each row is sorted and deduplicated in place
+    /// (duplicate edges become row slack). Three allocations total,
+    /// independent of E.
+    fn from_edge_list(n: usize, edges: &[(usize, usize)]) -> Topology {
+        let mut cursors = vec![0usize; n];
+        for &(a, b) in edges {
+            cursors[a] += 1;
+            cursors[b] += 1;
+        }
+        let mut starts = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        starts.push(0);
+        for count in &mut cursors {
+            acc += *count;
+            starts.push(acc);
+            *count = 0; // reused as the pass-2 write cursor
+        }
+        let mut flat = vec![0usize; acc];
+        for &(a, b) in edges {
+            flat[starts[a] + cursors[a]] = b;
+            cursors[a] += 1;
+            flat[starts[b] + cursors[b]] = a;
+            cursors[b] += 1;
+        }
+        let mut lens = Vec::with_capacity(n);
+        for u in 0..n {
+            let row = &mut flat[starts[u]..starts[u + 1]];
+            row.sort_unstable();
+            let mut live = 0;
+            for i in 0..row.len() {
+                if live == 0 || row[i] != row[live - 1] {
+                    row[live] = row[i];
+                    live += 1;
+                }
+            }
+            lens.push(live); // duplicates leave slack at the row tail
+        }
+        Topology::finish(n, starts, lens, flat)
+    }
+
+    /// Mutation counter for cache invalidation — see the field docs.
+    #[inline]
+    pub(crate) fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Live neighbor row of vertex `u`.
@@ -281,10 +388,9 @@ impl Topology {
     /// Panics if `n == 0`.
     pub fn complete(n: usize) -> Topology {
         assert!(n > 0, "topology needs at least one processor");
-        let adj = (0..n)
-            .map(|i| (0..n).filter(|&j| j != i).collect())
-            .collect();
-        Topology::from_adj(n, adj)
+        Topology::from_sorted_rows(n, n * (n - 1), |i, flat| {
+            flat.extend((0..n).filter(|&j| j != i));
+        })
     }
 
     /// A ring on `n` processors (useful for worst-case connectivity tests).
@@ -294,15 +400,13 @@ impl Topology {
     /// Panics if `n < 3`.
     pub fn ring(n: usize) -> Topology {
         assert!(n >= 3, "a ring needs at least 3 processors");
-        let adj = (0..n)
-            .map(|i| {
-                let mut v = vec![(i + n - 1) % n, (i + 1) % n];
-                v.sort_unstable();
-                v.dedup();
-                v
-            })
-            .collect();
-        Topology::from_adj(n, adj)
+        // With n >= 3 the two ring neighbors are always distinct, so each
+        // row is exactly {prev, next} in ascending order.
+        Topology::from_sorted_rows(n, 2 * n, |i, flat| {
+            let (prev, next) = ((i + n - 1) % n, (i + 1) % n);
+            flat.push(prev.min(next));
+            flat.push(prev.max(next));
+        })
     }
 
     /// A star on `n` processors: processor 0 is the hub, every other
@@ -316,10 +420,13 @@ impl Topology {
     /// Panics if `n < 2`.
     pub fn star(n: usize) -> Topology {
         assert!(n >= 2, "a star needs a hub and at least one leaf");
-        let adj = (0..n)
-            .map(|i| if i == 0 { (1..n).collect() } else { vec![0] })
-            .collect();
-        Topology::from_adj(n, adj)
+        Topology::from_sorted_rows(n, 2 * (n - 1), |i, flat| {
+            if i == 0 {
+                flat.extend(1..n);
+            } else {
+                flat.push(0);
+            }
+        })
     }
 
     /// A `w × h` grid (4-neighbor lattice); vertex `(x, y)` has index
@@ -332,26 +439,25 @@ impl Topology {
     pub fn grid(w: usize, h: usize) -> Topology {
         assert!(w > 0 && h > 0, "grid needs positive dimensions");
         let n = w * h;
-        let adj = (0..n)
-            .map(|i| {
-                let (x, y) = (i % w, i / w);
-                let mut v = Vec::with_capacity(4);
-                if y > 0 {
-                    v.push(i - w);
-                }
-                if x > 0 {
-                    v.push(i - 1);
-                }
-                if x + 1 < w {
-                    v.push(i + 1);
-                }
-                if y + 1 < h {
-                    v.push(i + w);
-                }
-                v
-            })
-            .collect();
-        Topology::from_adj(n, adj)
+        // (w−1)·h horizontal + w·(h−1) vertical undirected edges, each
+        // appearing in two rows; the up/left/right/down emit order is
+        // ascending by index.
+        let total = 2 * ((w - 1) * h + w * (h - 1));
+        Topology::from_sorted_rows(n, total, |i, flat| {
+            let (x, y) = (i % w, i / w);
+            if y > 0 {
+                flat.push(i - w);
+            }
+            if x > 0 {
+                flat.push(i - 1);
+            }
+            if x + 1 < w {
+                flat.push(i + 1);
+            }
+            if y + 1 < h {
+                flat.push(i + w);
+            }
+        })
     }
 
     /// Builds a topology from explicit undirected edges.
@@ -364,7 +470,8 @@ impl Topology {
         if n == 0 {
             return Err(SimError::BadTopology("zero processors".into()));
         }
-        let mut adj = vec![Vec::new(); n];
+        // Validate every edge before any n-sized allocation: a bad edge on
+        // a 10⁶-vertex call must fail fast, not after the big build.
         for &(a, b) in edges {
             if a == b {
                 return Err(SimError::BadTopology(format!("self loop at {a}")));
@@ -374,14 +481,8 @@ impl Topology {
                     "edge ({a},{b}) out of range for n={n}"
                 )));
             }
-            adj[a].push(b);
-            adj[b].push(a);
         }
-        for list in &mut adj {
-            list.sort_unstable();
-            list.dedup();
-        }
-        Ok(Topology::from_adj(n, adj))
+        Ok(Topology::from_edge_list(n, edges))
     }
 
     /// A random graph where every vertex gets at least `k` neighbors:
@@ -399,7 +500,8 @@ impl Topology {
     pub fn random_k_connected(n: usize, k: usize, extra_p: f64, rng: &mut impl Rng) -> Topology {
         assert!(k >= 2 && k < n, "need 2 <= k < n");
         let half = k.div_ceil(2);
-        let mut edges = Vec::new();
+        // The Harary backbone is exactly n·⌈k/2⌉ edges, known up front.
+        let mut edges = Vec::with_capacity(n * half);
         for i in 0..n {
             for d in 1..=half {
                 edges.push((i, (i + d) % n));
@@ -494,6 +596,9 @@ impl Topology {
     pub fn isolate(&mut self, id: ProcessId) {
         let victim = id.index();
         let peers: Vec<usize> = self.row(victim).to_vec();
+        if !peers.is_empty() {
+            self.generation += 1;
+        }
         self.lens[victim] = 0;
         if self.bits.is_some() {
             for &peer in &peers {
@@ -536,6 +641,7 @@ impl Topology {
         let Err(pos_a) = self.row(a).binary_search(&b) else {
             return Ok(false);
         };
+        self.generation += 1;
         if self.lens[a] < self.cap(a) && self.lens[b] < self.cap(b) {
             self.insert_at(a, pos_a, b);
             if let Err(pos_b) = self.row(b).binary_search(&a) {
@@ -578,6 +684,7 @@ impl Topology {
         let Ok(pos_a) = self.row(a).binary_search(&b) else {
             return Ok(false);
         };
+        self.generation += 1;
         self.remove_at(a, pos_a);
         if let Ok(pos_b) = self.row(b).binary_search(&a) {
             self.remove_at(b, pos_b);
@@ -1171,6 +1278,156 @@ mod tests {
         assert_eq!(t.neighbors(ProcessId(3)), &[0, 2, 4]);
         assert_eq!(t.edge_count(), 7);
         assert_bitmask_parity(&t);
+    }
+
+    /// The old construction path: per-vertex adjacency `Vec`s, sorted and
+    /// deduped, then packed. The streaming builders must reproduce it
+    /// exactly (logical rows, hence equality, plus bitmask parity).
+    fn reference_from_edges(n: usize, edges: &[(usize, usize)]) -> Topology {
+        let mut adj = vec![Vec::new(); n];
+        for &(a, b) in edges {
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+        }
+        Topology::from_adj(n, adj)
+    }
+
+    #[test]
+    fn family_constructors_match_the_reference_path() {
+        // Each family's streaming emitter vs the same graph routed through
+        // the old per-vertex-Vec reference, across shapes that cover hubs,
+        // degenerate rows and both repr regimes.
+        for n in [1usize, 2, 5, 64] {
+            if n >= 3 {
+                let edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+                assert_eq!(
+                    Topology::ring(n),
+                    reference_from_edges(n, &edges),
+                    "ring({n})"
+                );
+            }
+            if n >= 2 {
+                let spokes: Vec<(usize, usize)> = (1..n).map(|leaf| (0, leaf)).collect();
+                assert_eq!(
+                    Topology::star(n),
+                    reference_from_edges(n, &spokes),
+                    "star({n})"
+                );
+            }
+            let mut all = Vec::new();
+            for a in 0..n {
+                for b in a + 1..n {
+                    all.push((a, b));
+                }
+            }
+            assert_eq!(
+                Topology::complete(n),
+                reference_from_edges(n, &all),
+                "complete({n})"
+            );
+        }
+        for (w, h) in [(1usize, 1usize), (1, 5), (5, 1), (4, 3), (8, 8)] {
+            let n = w * h;
+            let mut edges = Vec::new();
+            for i in 0..n {
+                let (x, y) = (i % w, i / w);
+                if x + 1 < w {
+                    edges.push((i, i + 1));
+                }
+                if y + 1 < h {
+                    edges.push((i, i + w));
+                }
+            }
+            assert_eq!(
+                Topology::grid(w, h),
+                reference_from_edges(n, &edges),
+                "grid({w},{h})"
+            );
+        }
+    }
+
+    #[test]
+    fn from_edges_fails_fast_before_allocating() {
+        // A bad edge must be rejected even at a vertex count where the
+        // old allocate-first path would have built 10⁶ Vecs to find it.
+        let err = Topology::from_edges(1_000_000, &[(0, 1), (5, 1_000_000)]);
+        assert!(err.is_err());
+        let err = Topology::from_edges(1_000_000, &[(0, 1), (7, 7)]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn generation_counts_mutations_only() {
+        let mut t = Topology::ring(6);
+        assert_eq!(t.generation(), 0, "fresh builds start at zero");
+        t.set_repr(AdjacencyRepr::Sparse);
+        t.set_repr(AdjacencyRepr::Dense);
+        assert_eq!(t.generation(), 0, "repr changes are not mutations");
+        t.cut_link(ProcessId(0), ProcessId(1)).unwrap();
+        assert_eq!(t.generation(), 1);
+        t.cut_link(ProcessId(0), ProcessId(1)).unwrap();
+        assert_eq!(t.generation(), 1, "no-op cut doesn't bump");
+        t.heal_link(ProcessId(0), ProcessId(1)).unwrap();
+        assert_eq!(t.generation(), 2);
+        t.heal_link(ProcessId(0), ProcessId(1)).unwrap();
+        assert_eq!(t.generation(), 2, "no-op link doesn't bump");
+        t.link(ProcessId(0), ProcessId(3)).unwrap();
+        assert_eq!(t.generation(), 3, "rebuild path bumps too");
+        t.isolate(ProcessId(2));
+        assert_eq!(t.generation(), 4);
+        t.isolate(ProcessId(2));
+        assert_eq!(
+            t.generation(),
+            4,
+            "isolating an isolated vertex doesn't bump"
+        );
+    }
+
+    mod streaming_matches_reference {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// The two-pass streaming `from_edges` is indistinguishable
+            /// from the old per-vertex-Vec path for arbitrary edge sets —
+            /// duplicates, reversed duplicates and unsorted input included.
+            #[test]
+            fn from_edges_matches_from_adj(
+                n in 1usize..40,
+                raw in proptest::collection::vec((0usize..40, 0usize..40), 0..120),
+            ) {
+                let edges: Vec<(usize, usize)> = raw
+                    .into_iter()
+                    .map(|(a, b)| (a % n, b % n))
+                    .filter(|&(a, b)| a != b)
+                    .collect();
+                let streamed = Topology::from_edges(n, &edges).unwrap();
+                let reference = reference_from_edges(n, &edges);
+                prop_assert_eq!(&streamed, &reference);
+                prop_assert_eq!(streamed.edge_count(), reference.edge_count());
+                prop_assert_eq!(streamed.repr(), reference.repr());
+                for u in 0..n {
+                    prop_assert_eq!(
+                        streamed.neighbors(ProcessId(u)),
+                        reference.neighbors(ProcessId(u)),
+                        "row {} diverged", u
+                    );
+                    for v in 0..n {
+                        prop_assert_eq!(
+                            streamed.connected(ProcessId(u), ProcessId(v)),
+                            reference.connected(ProcessId(u), ProcessId(v)),
+                            "connected({}, {}) diverged", u, v
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

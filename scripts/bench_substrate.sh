@@ -25,7 +25,15 @@
 #   substrate/step_loop_sparse/grid1m         — the same token on a
 # 1000×1000 grid (n = 10⁶), with the process's Linux peak RSS recorded as
 #   substrate/step_loop_sparse/grid1m_peak_rss_bytes
-# so CSR-topology / inbox-arena memory regressions land in the snapshot.
+# so CSR-topology / inbox-arena memory regressions land in the snapshot, and
+#   substrate/build_grid1m/{streaming,naive}   — constructing the 10⁶-vertex
+# grid via the streaming CSR builder vs the old per-vertex Vec<Vec> path
+# (their ratio is the build-speed win; the gate is ≥3x), plus
+#   substrate/build_ring1m/streaming           — the 10⁶-ring build, and
+#   substrate/build_sim1m/{slab,boxed}         — one arena allocation vs 10⁶
+# boxes for the n=10⁶ process table, and
+#   substrate/step_loop_dense_active/n100000{,_replan} — all-active n=10⁵
+# sharded rounds with the shard plan cached vs re-binpacked every round.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -78,5 +86,22 @@ rss = ns.get("substrate/step_loop_sparse/grid1m_peak_rss_bytes")
 if grid:
     extra = f", peak RSS {rss / 2**20:.0f} MiB" if rss else ""
     print(f"sparse token step at n=10^6 grid: {grid:.0f} ns/round{extra}")
+streaming = ns.get("substrate/build_grid1m/streaming")
+naive = ns.get("substrate/build_grid1m/naive")
+if streaming and naive:
+    print(f"grid 10^6 build streaming vs naive: {naive / streaming:.2f}x "
+          f"({streaming / 1e6:.1f} ms vs {naive / 1e6:.1f} ms; gate >= 3x)")
+ring = ns.get("substrate/build_ring1m/streaming")
+if ring:
+    print(f"ring 10^6 build: {ring / 1e6:.1f} ms")
+slab = ns.get("substrate/build_sim1m/slab")
+boxed = ns.get("substrate/build_sim1m/boxed")
+if slab and boxed:
+    print(f"n=10^6 sim build slab vs boxed: {boxed / slab:.2f}x")
+cached = ns.get("substrate/step_loop_dense_active/n100000")
+replan = ns.get("substrate/step_loop_dense_active/n100000_replan")
+if cached and replan:
+    print(f"dense-active n=10^5 cached plan vs per-round replan: "
+          f"{replan / cached:.2f}x")
 EOF
 fi

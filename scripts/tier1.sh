@@ -90,6 +90,33 @@ echo "==> large-n sparse smoke (quiescence-aware stepping at n=65536)"
 # timeout rather than silently slowing every future gate run.
 timeout 120 ./target/release/scenario run --suite sparse --workers 2 > target/scenario_sparse.json
 
+echo "==> grid1m build smoke (streaming CSR constructs n=10^6 inside the timeout)"
+# Constructing the 1000x1000 grid topology must be fast: the streaming
+# CSR builder does it in O(1) allocations, so a reintroduced per-vertex
+# Vec intermediate (or an accidental O(n^2) pass) blows this bound long
+# before it blows a bench snapshot.
+timeout 60 cargo test -q -p ga-simnet --release --offline \
+    --test sparse grid1m_builds_fast -- --exact
+
+echo "==> cached vs uncached shard-plan byte-identity (smoke + unsupportive)"
+# The shard-plan cache reuses the previous round's bin-pack whenever the
+# active set and topology are unchanged. The plan only decides which
+# thread steps whom, so disabling the cache must reproduce the exact
+# summary JSON — and, for the event-enabled unsupportive run (whose churn
+# and corruption bursts invalidate the cache mid-run), the exact event
+# JSONL.
+./target/release/scenario run --suite smoke --workers 4 --shards 4 --no-plan-cache \
+    > target/scenario_smoke_noplancache.json
+cmp target/scenario_smoke_s4.json target/scenario_smoke_noplancache.json
+run_unsupportive_nocache() {
+    ./target/release/scenario run --suite unsupportive --no-records --no-plan-cache \
+        --workers 4 --shards 4 --out "$1" --events "$2" > /dev/null && rc=0 || rc=$?
+    [ "$rc" -eq 0 ] || [ "$rc" -eq 2 ] || exit "$rc"
+}
+run_unsupportive_nocache target/scenario_unsup_nocache.json target/scenario_unsup_nocache_events.jsonl
+cmp target/scenario_unsup_b.json target/scenario_unsup_nocache.json
+cmp target/scenario_unsup_b_events.jsonl target/scenario_unsup_nocache_events.jsonl
+
 echo "==> scenario trace smoke (event JSONL -> Chrome trace-event JSON)"
 ./target/release/scenario trace target/scenario_stab_a_events.jsonl \
     --out target/scenario_stab_trace.json
